@@ -1,0 +1,62 @@
+//! Construction-time benchmarks (Tables 4 and 5).
+//!
+//! Measures, per dataset at bench scale: labeling + path collection,
+//! p-histogram construction, order collection, o-histogram construction,
+//! and XSketch greedy refinement at a matched budget. The paper's claims
+//! under test: p-/o-histogram construction is near-free next to statistics
+//! collection, and XSketch refinement is orders of magnitude slower than
+//! p-histogram construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use xpe_datagen::{Dataset, DatasetSpec};
+use xpe_pathid::Labeling;
+use xpe_synopsis::{
+    OHistogramSet, PHistogramSet, PathIdFrequencyTable, PathOrderTable, Summary, SummaryConfig,
+};
+use xpe_xsketch::XSketch;
+
+const SCALE: f64 = 0.02;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for ds in Dataset::ALL {
+        let doc = DatasetSpec {
+            dataset: ds,
+            scale: SCALE,
+            seed: 7,
+        }
+        .generate();
+        let labeling = Labeling::compute(&doc);
+        let freq = PathIdFrequencyTable::build(&doc, &labeling);
+        let order = PathOrderTable::build(&doc, &labeling);
+        let phist = PHistogramSet::build(&freq, 1.0);
+
+        group.bench_function(BenchmarkId::new("collect_path", ds.name()), |b| {
+            b.iter(|| {
+                let lab = Labeling::compute(&doc);
+                PathIdFrequencyTable::build(&doc, &lab)
+            })
+        });
+        group.bench_function(BenchmarkId::new("build_p_histogram", ds.name()), |b| {
+            b.iter(|| PHistogramSet::build(&freq, 1.0))
+        });
+        group.bench_function(BenchmarkId::new("collect_order", ds.name()), |b| {
+            b.iter(|| PathOrderTable::build(&doc, &labeling))
+        });
+        group.bench_function(BenchmarkId::new("build_o_histogram", ds.name()), |b| {
+            b.iter(|| OHistogramSet::build(&order, &phist, doc.tags(), 1.0))
+        });
+        let budget = Summary::build(&doc, SummaryConfig::default())
+            .sizes()
+            .path_total();
+        group.bench_function(BenchmarkId::new("xsketch_refinement", ds.name()), |b| {
+            b.iter(|| XSketch::build(&doc, budget))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Estimation-latency benchmarks (Figures 10–13 runtime side).
+//!
+//! Measures the estimator's per-query cost by class (simple / branch /
+//! order), the raw path join, and — for contrast — the exact evaluator the
+//! workloads are scored against. The point of a synopsis is that
+//! estimation cost is independent of document size, so the estimator
+//! should beat exact evaluation by a growing margin at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use xpe_core::{path_join, Estimator};
+use xpe_datagen::{generate_workload, Dataset, DatasetSpec, WorkloadConfig};
+use xpe_pathid::Labeling;
+use xpe_synopsis::{Summary, SummaryConfig};
+use xpe_xml::nav::DocOrder;
+use xpe_xpath::Evaluator;
+
+const SCALE: f64 = 0.02;
+
+fn bench_estimation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimation");
+    for ds in Dataset::ALL {
+        let doc = DatasetSpec {
+            dataset: ds,
+            scale: SCALE,
+            seed: 7,
+        }
+        .generate();
+        let labeling = Labeling::compute(&doc);
+        let workload = generate_workload(
+            &doc,
+            &labeling.encoding,
+            &WorkloadConfig {
+                simple_attempts: 400,
+                branch_attempts: 400,
+                ..WorkloadConfig::default()
+            },
+        );
+        let summary = Summary::build(&doc, SummaryConfig::default());
+        let est = Estimator::new(&summary);
+        let order = DocOrder::new(&doc);
+        let eval = Evaluator::new(&doc, &order);
+
+        let classes: [(&str, &[xpe_datagen::QueryCase]); 3] = [
+            ("simple", &workload.simple),
+            ("branch", &workload.branch),
+            ("order", &workload.order_branch),
+        ];
+        for (class, cases) in classes {
+            if cases.is_empty() {
+                continue;
+            }
+            group.bench_function(
+                BenchmarkId::new(format!("estimate_{class}"), ds.name()),
+                |b| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let case = &cases[i % cases.len()];
+                        i += 1;
+                        est.estimate(&case.query)
+                    })
+                },
+            );
+        }
+        if !workload.branch.is_empty() {
+            group.bench_function(BenchmarkId::new("path_join", ds.name()), |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let case = &workload.branch[i % workload.branch.len()];
+                    i += 1;
+                    path_join(&summary, &case.query)
+                })
+            });
+            group.bench_function(BenchmarkId::new("exact_eval", ds.name()), |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let case = &workload.branch[i % workload.branch.len()];
+                    i += 1;
+                    eval.selectivity(&case.query)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

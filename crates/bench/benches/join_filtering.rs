@@ -1,0 +1,51 @@
+//! The XSym'05 claim behind the whole path-encoding scheme: pre-filtering
+//! structural-join inputs by surviving path ids speeds up selective
+//! queries. Measures `count_path` with and without the pid filter per
+//! dataset on a selective and an unselective path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use xpe_datagen::{Dataset, DatasetSpec};
+use xpe_join::JoinProcessor;
+use xpe_pathid::Labeling;
+use xpe_xpath::parse_query;
+
+const SCALE: f64 = 0.02;
+
+fn bench_join_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_filtering");
+    let cases = [
+        (Dataset::SSPlays, "//PLAY/PERSONAE/PGROUP/GRPDESCR"),
+        (Dataset::SSPlays, "//SCENE/SPEECH/LINE"),
+        (Dataset::Dblp, "//dblp/phdthesis/school"),
+        (Dataset::Dblp, "//dblp/article/author"),
+        (Dataset::XMark, "//site/categories/category/description"),
+        (Dataset::XMark, "//item/description/parlist/listitem"),
+    ];
+    for (ds, q) in cases {
+        let doc = DatasetSpec {
+            dataset: ds,
+            scale: SCALE,
+            seed: 7,
+        }
+        .generate();
+        let labeling = Labeling::compute(&doc);
+        let proc = JoinProcessor::new(&doc, &labeling);
+        let query = parse_query(q).unwrap();
+        // Sanity: filter must not change the answer.
+        assert_eq!(
+            proc.count_path(&query, true).map(|s| s.matches),
+            proc.count_path(&query, false).map(|s| s.matches),
+        );
+        for filter in [false, true] {
+            let label = format!("{}{}", q, if filter { " +pidfilter" } else { "" });
+            group.bench_function(BenchmarkId::new(ds.name(), label), |b| {
+                b.iter(|| proc.count_path(&query, filter))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_filtering);
+criterion_main!(benches);

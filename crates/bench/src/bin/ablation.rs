@@ -1,0 +1,114 @@
+//! Ablations of the paper's design choices (beyond the published
+//! experiments; called out in DESIGN.md):
+//!
+//! 1. **Variance-threshold vs equi-width p-histogram buckets** at matched
+//!    bucket counts — what does sorting + deviation-bounded bucketing buy?
+//! 2. **O-histogram box growth vs single-cell buckets** — space cost of
+//!    losslessness without Algorithm 2's rectangles.
+//! 3. **Eq. 2 branch correction on/off** — raw joined frequency `f_Q(n)`
+//!    versus the Node-Independence-corrected estimate for branch targets.
+
+use xpe_bench::{
+    err, kb, load, print_table, summary_at, workload_error, workload_error_with, ExpContext,
+};
+use xpe_core::{path_join, Estimator};
+use xpe_datagen::Dataset;
+use xpe_synopsis::{OHistogramSet, PHistogramSet, PathIdFrequencyTable, PathOrderTable};
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!("Ablations (scale = {})", ctx.scale);
+
+    // --- 1. p-histogram bucketing strategy -----------------------------
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let b = load(&ctx, ds);
+        let freq = PathIdFrequencyTable::build(&b.doc, &b.labeling);
+        let all: Vec<_> = b
+            .workload
+            .simple
+            .iter()
+            .chain(&b.workload.branch)
+            .cloned()
+            .collect();
+        for v in [2.0, 6.0] {
+            let base = summary_at(&b, v, 0.0);
+            let mut equi = base.clone();
+            equi.phist = PHistogramSet::build_equi_width_like(&freq, v);
+            let e_var = workload_error(&Estimator::new(&base), &all);
+            let e_equi = workload_error(&Estimator::new(&equi), &all);
+            rows.push(vec![
+                ds.name().to_owned(),
+                format!("{v}"),
+                base.phist.size_bytes().to_string(),
+                equi.phist.size_bytes().to_string(),
+                err(e_var),
+                err(e_equi),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation 1: variance-threshold vs equi-width p-buckets",
+        &[
+            "Dataset",
+            "Var",
+            "Bytes(var)",
+            "Bytes(equi)",
+            "Err(var)",
+            "Err(equi)",
+        ],
+        &rows,
+    );
+
+    // --- 2. o-histogram box growth --------------------------------------
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let b = load(&ctx, ds);
+        let freq = PathIdFrequencyTable::build(&b.doc, &b.labeling);
+        let order = PathOrderTable::build(&b.doc, &b.labeling);
+        let phist = PHistogramSet::build(&freq, 0.0);
+        let grown = OHistogramSet::build(&order, &phist, b.doc.tags(), 0.0);
+        let cells = OHistogramSet::build_single_cell(&order, &phist, b.doc.tags());
+        rows.push(vec![
+            ds.name().to_owned(),
+            kb(grown.size_bytes()),
+            grown.bucket_count().to_string(),
+            kb(cells.size_bytes()),
+            cells.bucket_count().to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation 2: o-histogram box growth vs single-cell buckets (both lossless)",
+        &["Dataset", "Boxes(KB)", "#Boxes", "Cells(KB)", "#Cells"],
+        &rows,
+    );
+
+    // --- 3. Eq. 2 branch correction -------------------------------------
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let b = load(&ctx, ds);
+        let s = summary_at(&b, 0.0, 0.0);
+        let est = Estimator::new(&s);
+        let e_eq2 = workload_error(&est, &b.workload.branch);
+        // Raw join frequency of the target, no correction.
+        let e_raw = workload_error_with(&b.workload.branch, |c| {
+            path_join(&s, &c.query).frequency(c.query.target())
+        });
+        rows.push(vec![
+            ds.name().to_owned(),
+            b.workload.branch.len().to_string(),
+            err(e_eq2),
+            err(e_raw),
+        ]);
+    }
+    print_table(
+        "Ablation 3: branch queries — Eq. 2 correction vs raw f_Q(n)",
+        &["Dataset", "#Queries", "Err(Eq.2)", "Err(raw)"],
+        &rows,
+    );
+    println!(
+        "\n  Expected: variance bucketing beats equi-width at matched size;\n  \
+         box growth shrinks the lossless o-histogram; Eq. 2 cuts branch\n  \
+         error versus the uncorrected join frequency."
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 12: estimation error of order-axis queries with the target in
+//! the **branch** part, versus o-histogram memory, one curve per
+//! p-histogram variance (0, 1, 5, 10). Expected shape: error falls with
+//! o-histogram memory when the p-histogram is accurate; at high p-variance
+//! the curves flatten (inaccurate path information caps what better order
+//! information can buy — paper §7.3).
+
+use xpe_bench::{order_figure, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "Figure 12 reproduction (scale = {}; target in branch part)",
+        ctx.scale
+    );
+    order_figure(&ctx, false);
+}

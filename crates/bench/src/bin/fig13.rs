@@ -1,0 +1,16 @@
+//! Figure 13: like Figure 12 but with the target in the **trunk** part.
+//! Expected shape: lower error than Figure 12 at low p-variance even with
+//! coarse o-histograms — Eq. 5 takes the minimum of one order-free and two
+//! order-based estimates, so accurate path information compensates for
+//! lost order detail (paper §7.3).
+
+use xpe_bench::{order_figure, ExpContext};
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    println!(
+        "Figure 13 reproduction (scale = {}; target in trunk part)",
+        ctx.scale
+    );
+    order_figure(&ctx, true);
+}

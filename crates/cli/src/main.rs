@@ -1,0 +1,236 @@
+//! `xpe` — command-line front end for the XPath estimation system.
+//!
+//! ```text
+//! xpe stats <file.xml>                         structural statistics
+//! xpe build <file.xml> -o <summary.xps>        build + save a summary
+//!     [--p-variance V] [--o-variance V]
+//! xpe estimate <summary.xps> <query>...        estimate selectivities
+//! xpe exact <file.xml> <query>...              exact selectivities
+//! xpe generate <ssplays|dblp|xmark> -o <out.xml>
+//!     [--scale S] [--seed N]                   synthesize a corpus
+//! ```
+
+use std::process::ExitCode;
+
+use xpe::prelude::*;
+use xpe::synopsis::Summary as Syn;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
+        Some("estimate") => cmd_estimate(&args[1..]),
+        Some("exact") => cmd_exact(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  xpe stats <file.xml>
+  xpe build <file.xml> -o <summary.xps> [--p-variance V] [--o-variance V]
+  xpe estimate <summary.xps> <query>...
+  xpe exact <file.xml> <query>...
+  xpe generate <ssplays|dblp|xmark> -o <out.xml> [--scale S] [--seed N]";
+
+fn load_doc(path: &str) -> Result<Document, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_document(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Parsed command-line flags as `(name, value)` pairs.
+type Flags = Vec<(String, String)>;
+
+/// Extracts `--flag value` pairs, returning remaining positionals.
+fn split_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name.to_owned(), value.clone()));
+        } else if a == "-o" {
+            let value = it.next().ok_or("-o needs a value")?;
+            flags.push(("out".to_owned(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(flags, name) {
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{name}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (_, pos) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("stats takes one file".into());
+    };
+    let doc = load_doc(path)?;
+    let s = xpe::xml::stats::DocumentStats::compute(&doc);
+    let lab = Labeling::compute(&doc);
+    println!("elements:        {}", s.elements);
+    println!("distinct tags:   {}", s.distinct_tags);
+    println!("distinct paths:  {}", s.distinct_paths);
+    println!("distinct pids:   {}", lab.interner.len());
+    println!("max depth:       {}", s.max_depth);
+    println!("avg fanout:      {:.2}", s.avg_fanout);
+    println!("serialized size: {} bytes", s.serialized_bytes);
+    Ok(())
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("build takes one input file".into());
+    };
+    let out = flag(&flags, "out").ok_or("build requires -o <summary.xps>")?;
+    let config = SummaryConfig {
+        p_variance: parse_flag(&flags, "p-variance", 0.0)?,
+        o_variance: parse_flag(&flags, "o-variance", 0.0)?,
+    };
+    let doc = load_doc(path)?;
+    let summary = Syn::build(&doc, config);
+    let sizes = summary.sizes();
+    summary
+        .save_to_file(out)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "summary written to {out}: {} B path info + {} B order info \
+         ({} paths, {} pids, {} tags)",
+        sizes.path_total(),
+        sizes.o_histograms,
+        summary.encoding.len(),
+        summary.pids.len(),
+        summary.tags.len(),
+    );
+    Ok(())
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), String> {
+    let (_, pos) = split_flags(args)?;
+    let [path, queries @ ..] = pos.as_slice() else {
+        return Err("estimate takes a summary file and at least one query".into());
+    };
+    if queries.is_empty() {
+        return Err("estimate needs at least one query".into());
+    }
+    let summary = Syn::load_from_file(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let est = Estimator::new(&summary);
+    for q in queries {
+        match est.estimate_str(q) {
+            Ok(v) => println!("{v:.2}\t{q}"),
+            Err(e) => println!("error: {e}\t{q}"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_exact(args: &[String]) -> Result<(), String> {
+    let (_, pos) = split_flags(args)?;
+    let [path, queries @ ..] = pos.as_slice() else {
+        return Err("exact takes an XML file and at least one query".into());
+    };
+    if queries.is_empty() {
+        return Err("exact needs at least one query".into());
+    }
+    let doc = load_doc(path)?;
+    let order = DocOrder::new(&doc);
+    let eval = Evaluator::new(&doc, &order);
+    for q in queries {
+        match parse_query(q) {
+            Ok(query) => println!("{}\t{q}", eval.selectivity(&query)),
+            Err(e) => println!("error: {e}\t{q}"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args)?;
+    let [name] = pos.as_slice() else {
+        return Err("generate takes one dataset name".into());
+    };
+    let dataset = match name.as_str() {
+        "ssplays" => Dataset::SSPlays,
+        "dblp" => Dataset::Dblp,
+        "xmark" => Dataset::XMark,
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let out = flag(&flags, "out").ok_or("generate requires -o <out.xml>")?;
+    let spec = DatasetSpec {
+        dataset,
+        scale: parse_flag(&flags, "scale", 0.01)?,
+        seed: parse_flag(&flags, "seed", 42u64)?,
+    };
+    let doc = spec.generate();
+    std::fs::write(out, xpe::xml::to_string(&doc)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("{} elements written to {out}", doc.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn split_flags_separates_pairs_and_positionals() {
+        let (flags, pos) = split_flags(&args(&[
+            "file.xml", "--scale", "0.5", "-o", "out.bin", "extra",
+        ]))
+        .unwrap();
+        assert_eq!(pos, vec!["file.xml", "extra"]);
+        assert_eq!(flag(&flags, "scale"), Some("0.5"));
+        assert_eq!(flag(&flags, "out"), Some("out.bin"));
+        assert_eq!(flag(&flags, "missing"), None);
+    }
+
+    #[test]
+    fn split_flags_rejects_dangling_flag() {
+        assert!(split_flags(&args(&["--scale"])).is_err());
+        assert!(split_flags(&args(&["-o"])).is_err());
+    }
+
+    #[test]
+    fn parse_flag_types_and_defaults() {
+        let (flags, _) = split_flags(&args(&["--seed", "7", "--scale", "0.25"])).unwrap();
+        assert_eq!(parse_flag(&flags, "seed", 0u64).unwrap(), 7);
+        assert_eq!(parse_flag(&flags, "scale", 1.0f64).unwrap(), 0.25);
+        assert_eq!(parse_flag(&flags, "absent", 42u32).unwrap(), 42);
+        let (bad, _) = split_flags(&args(&["--seed", "notanumber"])).unwrap();
+        assert!(parse_flag(&bad, "seed", 0u64).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `xpe` binary: generate → stats → build →
+//! estimate → exact, plus error handling.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xpe(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xpe"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xpe-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline() {
+    let dir = tmpdir("pipeline");
+    let xml = dir.join("d.xml");
+    let xps = dir.join("d.xps");
+
+    // generate
+    let o = xpe(&[
+        "generate",
+        "ssplays",
+        "--scale",
+        "0.01",
+        "--seed",
+        "5",
+        "-o",
+        xml.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    assert!(stdout(&o).contains("elements written"));
+
+    // stats
+    let o = xpe(&["stats", xml.to_str().unwrap()]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("distinct paths"));
+
+    // build
+    let o = xpe(&[
+        "build",
+        xml.to_str().unwrap(),
+        "-o",
+        xps.to_str().unwrap(),
+        "--p-variance",
+        "0",
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+
+    // estimate vs exact must agree for a simple query at variance 0.
+    let est = xpe(&["estimate", xps.to_str().unwrap(), "//ACT/SCENE"]);
+    let exa = xpe(&["exact", xml.to_str().unwrap(), "//ACT/SCENE"]);
+    assert!(est.status.success() && exa.status.success());
+    let est_val: f64 = stdout(&est)
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    let exa_val: f64 = stdout(&exa)
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(est_val, exa_val);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let o = xpe(&[]);
+    assert!(o.status.success(), "bare invocation prints usage");
+    assert!(String::from_utf8_lossy(&o.stderr).contains("usage"));
+
+    let o = xpe(&["frobnicate"]);
+    assert!(!o.status.success());
+
+    let o = xpe(&["stats", "/nonexistent/file.xml"]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("error"));
+
+    let o = xpe(&["generate", "nosuchdataset", "-o", "/tmp/x.xml"]);
+    assert!(!o.status.success());
+
+    let o = xpe(&["build", "/nonexistent.xml", "-o", "/tmp/x.xps"]);
+    assert!(!o.status.success());
+}
+
+#[test]
+fn estimate_reports_bad_queries_without_failing() {
+    let dir = tmpdir("badq");
+    let xml = dir.join("d.xml");
+    let xps = dir.join("d.xps");
+    xpe(&[
+        "generate",
+        "ssplays",
+        "--scale",
+        "0.01",
+        "-o",
+        xml.to_str().unwrap(),
+    ]);
+    xpe(&["build", xml.to_str().unwrap(), "-o", xps.to_str().unwrap()]);
+    let o = xpe(&["estimate", xps.to_str().unwrap(), "not-a-query["]);
+    assert!(o.status.success(), "per-query errors are reported inline");
+    assert!(stdout(&o).contains("error"));
+    std::fs::remove_dir_all(&dir).ok();
+}

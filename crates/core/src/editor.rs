@@ -1,0 +1,209 @@
+//! Query surgery for the estimation formulas.
+//!
+//! §4 and §5 of the paper derive auxiliary queries from the input: the
+//! order-free counterpart `Q`, the spine query `Q' = q1/q2`, and the
+//! trimmed query `Q̃' = q1[/ni1/folls::q3]`. This module rebuilds a
+//! [`Query`] from a kept subset of nodes, remapping ids and dropping order
+//! constraints (every derived query the formulas evaluate is order-free;
+//! order information enters only through o-histogram lookups).
+
+use xpe_xpath::{Query, QueryEdge, QueryNode, QueryNodeId};
+
+/// A derived query plus the id mapping from the original.
+#[derive(Clone, Debug)]
+pub struct Rebuilt {
+    /// The derived (always constraint-free) query.
+    pub query: Query,
+    /// `map[old.index()]` is the node's id in the derived query, `None` if
+    /// it was dropped.
+    pub map: Vec<Option<QueryNodeId>>,
+}
+
+impl Rebuilt {
+    /// The new id of `old`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` was dropped by the rebuild.
+    pub fn remap(&self, old: QueryNodeId) -> QueryNodeId {
+        self.map[old.index()].expect("node kept by rebuild")
+    }
+}
+
+/// Rebuilds `q` keeping exactly the nodes with `keep[id.index()]`, with
+/// `target` (which must be kept) as the new target. Order constraints are
+/// dropped. A kept node's parent must also be kept — the formulas only ever
+/// remove whole subtrees.
+pub fn rebuild(q: &Query, keep: &[bool], target: QueryNodeId) -> Rebuilt {
+    debug_assert!(keep[target.index()], "target must survive");
+    let mut map: Vec<Option<QueryNodeId>> = vec![None; q.len()];
+    let mut next = 0u32;
+    for old in q.node_ids() {
+        if keep[old.index()] {
+            if let Some((p, _)) = q.parent_of(old) {
+                debug_assert!(keep[p.index()], "kept node's parent must be kept");
+            }
+            map[old.index()] = Some(QueryNodeId::from_index(next as usize));
+            next += 1;
+        }
+    }
+    let mut nodes: Vec<QueryNode> = Vec::with_capacity(next as usize);
+    for old in q.node_ids() {
+        if !keep[old.index()] {
+            continue;
+        }
+        let src = q.node(old);
+        let edges: Vec<QueryEdge> = src
+            .edges
+            .iter()
+            .filter(|e| keep[e.to.index()])
+            .map(|e| QueryEdge {
+                axis: e.axis,
+                to: map[e.to.index()].expect("kept child mapped"),
+            })
+            .collect();
+        nodes.push(QueryNode {
+            tag: src.tag.clone(),
+            edges,
+            constraints: Vec::new(),
+        });
+    }
+    let query = Query::new(
+        nodes,
+        q.root_axis(),
+        map[target.index()].expect("target mapped"),
+    )
+    .expect("subset of a valid query is valid");
+    Rebuilt { query, map }
+}
+
+/// The order-free counterpart `Q` of `Q̃` (paper §5): same structure, no
+/// constraints, same target.
+pub fn without_constraints(q: &Query) -> Rebuilt {
+    rebuild(q, &vec![true; q.len()], q.target())
+}
+
+/// Marks `head` and its whole query subtree.
+pub fn subtree_of(q: &Query, head: QueryNodeId) -> Vec<bool> {
+    let mut in_sub = vec![false; q.len()];
+    let mut stack = vec![head];
+    while let Some(n) = stack.pop() {
+        if std::mem::replace(&mut in_sub[n.index()], true) {
+            continue;
+        }
+        for e in &q.node(n).edges {
+            stack.push(e.to);
+        }
+    }
+    in_sub
+}
+
+/// The spine query of target `n` (generalized `Q' = q1/q2`): keeps the path
+/// from the query root to `n` plus `n`'s own subtree; drops every other
+/// branch.
+pub fn spine_query(q: &Query, n: QueryNodeId) -> Rebuilt {
+    let mut keep = subtree_of(q, n);
+    for a in q.path_to(n) {
+        keep[a.index()] = true;
+    }
+    rebuild(q, &keep, n)
+}
+
+/// Removes the descendants of `head` (keeping `head` itself) — the paper's
+/// "deleting the branch part q2 except for its first node ni1".
+pub fn trim_below(q: &Query, head: QueryNodeId, target: QueryNodeId) -> Rebuilt {
+    let mut keep = vec![true; q.len()];
+    let sub = subtree_of(q, head);
+    for id in q.node_ids() {
+        if sub[id.index()] && id != head {
+            keep[id.index()] = false;
+        }
+    }
+    rebuild(q, &keep, target)
+}
+
+/// Removes the subtrees rooted at each of `heads` entirely.
+pub fn drop_subtrees(q: &Query, heads: &[QueryNodeId], target: QueryNodeId) -> Rebuilt {
+    let mut keep = vec![true; q.len()];
+    for &h in heads {
+        let sub = subtree_of(q, h);
+        for id in q.node_ids() {
+            if sub[id.index()] {
+                keep[id.index()] = false;
+            }
+        }
+    }
+    rebuild(q, &keep, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_xpath::parse_query;
+
+    #[test]
+    fn without_constraints_preserves_structure() {
+        let q = parse_query("//A[/C/folls::$B/D]").unwrap();
+        let r = without_constraints(&q);
+        assert_eq!(r.query.len(), q.len());
+        assert!(!r.query.has_order_constraints());
+        assert_eq!(r.query.node(r.query.target()).tag, "B");
+    }
+
+    #[test]
+    fn spine_query_drops_other_branches() {
+        // Q2 = //C[/E]/F with target E: the spine is C/E.
+        let q = parse_query("//C[/$E]/F").unwrap();
+        let r = spine_query(&q, q.target());
+        assert_eq!(r.query.len(), 2);
+        assert_eq!(r.query.node(r.query.root()).tag, "C");
+        assert_eq!(r.query.node(r.query.target()).tag, "E");
+        // E is the rendered default target, so Display omits the marker.
+        assert_eq!(r.query.to_string(), "//C/E");
+    }
+
+    #[test]
+    fn spine_keeps_targets_own_subtree() {
+        // //A[/B/X]/C/D with target B: the spine keeps A, B and B's child X.
+        let q = parse_query("//A[/$B/X]/C/D").unwrap();
+        let r = spine_query(&q, q.target());
+        assert_eq!(r.query.len(), 3);
+        let tags: Vec<&str> = r
+            .query
+            .node_ids()
+            .map(|n| r.query.node(n).tag.as_str())
+            .collect();
+        assert!(tags.contains(&"X"));
+        assert!(!tags.contains(&"C"));
+    }
+
+    #[test]
+    fn trim_below_keeps_head() {
+        // Trim C's subtree in //A[/C/F]/B: F disappears, C stays.
+        let q = parse_query("//A[/C/F]/B").unwrap();
+        let c = q.node_ids().find(|&n| q.node(n).tag == "C").unwrap();
+        let r = trim_below(&q, c, q.target());
+        assert_eq!(r.query.len(), 3);
+        let c_new = r.remap(c);
+        assert!(r.query.node(c_new).edges.is_empty());
+    }
+
+    #[test]
+    fn drop_subtrees_removes_whole_branch() {
+        let q = parse_query("//A[/C/F]/B/D").unwrap();
+        let c = q.node_ids().find(|&n| q.node(n).tag == "C").unwrap();
+        let r = drop_subtrees(&q, &[c], q.target());
+        assert_eq!(r.query.len(), 3); // A, B, D
+        assert_eq!(r.query.to_string(), "//A/B/D");
+        assert!(r.map[c.index()].is_none());
+    }
+
+    #[test]
+    fn remap_panics_on_dropped_node() {
+        let q = parse_query("//A[/C]/B").unwrap();
+        let c = q.node_ids().find(|&n| q.node(n).tag == "C").unwrap();
+        let r = drop_subtrees(&q, &[c], q.target());
+        let result = std::panic::catch_unwind(|| r.remap(c));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The path id join (paper §4, Figure 3).
+//!
+//! Every query node starts with the full `(pid, frequency)` list of its tag
+//! from the p-histogram; path ids that cannot satisfy the containment and
+//! tag-relationship test along some query edge are removed, iterating to a
+//! fixpoint. The surviving frequencies are the `f_Q(n)` values the
+//! estimation formulas consume.
+
+use xpe_pathid::{axis_compatible_masked, relation_mask, Pid};
+use xpe_synopsis::Summary;
+use xpe_xpath::{Axis, Query, QueryNodeId};
+
+/// Per-query-node surviving `(pid, estimated frequency)` lists.
+#[derive(Clone, Debug)]
+pub struct JoinResult {
+    /// `lists[q.index()]`: surviving pids of each query node.
+    pub lists: Vec<Vec<(Pid, f64)>>,
+}
+
+impl JoinResult {
+    /// `f_Q(n)`: the summed frequency of `n`'s surviving path ids.
+    pub fn frequency(&self, n: QueryNodeId) -> f64 {
+        self.lists[n.index()].iter().map(|&(_, f)| f).sum()
+    }
+
+    /// The surviving pids of `n`.
+    pub fn pids(&self, n: QueryNodeId) -> impl Iterator<Item = Pid> + '_ {
+        self.lists[n.index()].iter().map(|&(p, _)| p)
+    }
+}
+
+/// Runs the path join of `query` against `summary`.
+///
+/// Order constraints are ignored here — the join prunes on structural
+/// (child/descendant) edges only; §5's formulas layer order corrections on
+/// top of the joined frequencies.
+pub fn path_join(summary: &Summary, query: &Query) -> JoinResult {
+    let mut lists: Vec<Vec<(Pid, f64)>> = query
+        .node_ids()
+        .map(|q| {
+            summary
+                .phistogram(&query.node(q).tag)
+                .map(|h| h.entries().collect())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // A `/`-rooted query pins its first step to the document root: keep
+    // only ids whose paths carry the step's tag at depth 0. (Elements other
+    // than the root can never sit at depth 0, so this only over-counts on
+    // self-recursive roots — an estimator-grade approximation.)
+    if query.root_axis() == Axis::Child {
+        let root_node = query.root();
+        if let Some(tag) = summary.tags.get(&query.node(root_node).tag) {
+            lists[root_node.index()].retain(|&(pid, _)| {
+                summary
+                    .pids
+                    .bits(pid)
+                    .ones()
+                    .any(|enc| summary.encoding.path(enc).first() == Some(&tag))
+            });
+        } else {
+            lists[root_node.index()].clear();
+        }
+    }
+
+    // Collect structural edges (u, axis, v) once.
+    let mut edges = Vec::new();
+    for u in query.node_ids() {
+        for e in &query.node(u).edges {
+            edges.push((u, e.axis, e.to));
+        }
+    }
+
+    // Nested-loop containment tests per edge, iterated to a fixpoint. The
+    // loop terminates because every pass can only shrink the lists.
+    loop {
+        let mut changed = false;
+        for &(u, axis, v) in &edges {
+            let child = match axis {
+                Axis::Child => true,
+                Axis::Descendant => false,
+                _ => unreachable!("structural edges only"),
+            };
+            let (Some(tag_u), Some(tag_v)) = (
+                summary.tags.get(&query.node(u).tag),
+                summary.tags.get(&query.node(v).tag),
+            ) else {
+                // Unknown tag: both ends die.
+                changed |= !lists[u.index()].is_empty() || !lists[v.index()].is_empty();
+                lists[u.index()].clear();
+                lists[v.index()].clear();
+                continue;
+            };
+            let (u_list, v_list) = two_lists(&mut lists, u.index(), v.index());
+            // One mask per edge collapses every pid-pair test to word ops.
+            let mask = relation_mask(&summary.encoding, tag_u, tag_v, child);
+            let compatible =
+                |pu: Pid, pv: Pid| axis_compatible_masked(&summary.pids, pu, pv, &mask);
+            let before_u = u_list.len();
+            u_list.retain(|&(pu, _)| v_list.iter().any(|&(pv, _)| compatible(pu, pv)));
+            let before_v = v_list.len();
+            v_list.retain(|&(pv, _)| u_list.iter().any(|&(pu, _)| compatible(pu, pv)));
+            changed |= u_list.len() != before_u || v_list.len() != before_v;
+        }
+        if !changed {
+            break;
+        }
+    }
+    JoinResult { lists }
+}
+
+fn two_lists<T>(v: &mut [Vec<T>], a: usize, b: usize) -> (&mut Vec<T>, &mut Vec<T>) {
+    assert_ne!(a, b, "query edges never self-loop");
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_synopsis::SummaryConfig;
+    use xpe_xpath::parse_query;
+
+    fn summary() -> Summary {
+        Summary::build(
+            &xpe_xml::fixtures::paper_figure1(),
+            SummaryConfig::default(),
+        )
+    }
+
+    /// The surviving pid bit strings of a query node, sorted.
+    fn pids_of(s: &Summary, j: &JoinResult, q: &Query, tag: &str) -> Vec<String> {
+        let node = q
+            .node_ids()
+            .find(|&n| q.node(n).tag == tag)
+            .expect("tag in query");
+        let mut v: Vec<String> = j.pids(node).map(|p| s.pids.bits(p).to_string()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn paper_example_4_1_join() {
+        // Q1 = //A[/C/F]/B/D (Figure 3): after the join A = {p7},
+        // C = {p3}, F = {p1}, B = {p5}, D = {p5}.
+        let s = summary();
+        let q = parse_query("//A[/C/F]/B/D").unwrap();
+        let j = path_join(&s, &q);
+        assert_eq!(pids_of(&s, &j, &q, "A"), vec!["1011"]); // p7
+        assert_eq!(pids_of(&s, &j, &q, "C"), vec!["0011"]); // p3
+        assert_eq!(pids_of(&s, &j, &q, "F"), vec!["0001"]); // p1
+        assert_eq!(pids_of(&s, &j, &q, "B"), vec!["1000"]); // p5
+        assert_eq!(pids_of(&s, &j, &q, "D"), vec!["1000"]); // p5
+                                                            // Frequencies: f(A)=1, f(B)=3, f(D)=4 (Figure 3(b)).
+        let a = q.root();
+        assert_eq!(j.frequency(a), 1.0);
+    }
+
+    #[test]
+    fn paper_example_4_2_simple_query() {
+        // //A//C: A keeps {p6, p7}, C keeps {p2, p3}; both selectivities 2.
+        let s = summary();
+        let q = parse_query("//A//C").unwrap();
+        let j = path_join(&s, &q);
+        assert_eq!(pids_of(&s, &j, &q, "A"), vec!["1010", "1011"]); // p6, p7
+        assert_eq!(pids_of(&s, &j, &q, "C"), vec!["0010", "0011"]); // p2, p3
+        assert_eq!(j.frequency(q.root()), 2.0);
+        assert_eq!(j.frequency(q.target()), 2.0);
+    }
+
+    #[test]
+    fn paper_example_4_3_branch_overestimate() {
+        // Q2 = //C[/E]/F: E keeps {(p2, 2)} — the join's known
+        // over-estimate the branch formula later corrects to 1.
+        let s = summary();
+        let q = parse_query("//C[/$E]/F").unwrap();
+        let j = path_join(&s, &q);
+        assert_eq!(pids_of(&s, &j, &q, "E"), vec!["0010"]);
+        assert_eq!(j.frequency(q.target()), 2.0);
+        // C itself is exact: {p3} with frequency 1.
+        assert_eq!(j.frequency(q.root()), 1.0);
+    }
+
+    #[test]
+    fn unknown_tag_empties_the_query() {
+        let s = summary();
+        let q = parse_query("//A/Zebra").unwrap();
+        let j = path_join(&s, &q);
+        assert_eq!(j.frequency(q.root()), 0.0);
+        assert_eq!(j.frequency(q.target()), 0.0);
+    }
+
+    #[test]
+    fn incompatible_axis_prunes_everything() {
+        // D is never a parent of A.
+        let s = summary();
+        let q = parse_query("//D/A").unwrap();
+        let j = path_join(&s, &q);
+        assert_eq!(j.frequency(q.target()), 0.0);
+    }
+
+    #[test]
+    fn child_vs_descendant_pruning_differs() {
+        // //Root/E: E is never a child of Root → empty.
+        let s = summary();
+        let child = parse_query("/Root/E").unwrap();
+        assert_eq!(path_join(&s, &child).frequency(child.target()), 0.0);
+        // //Root//E: all three E's survive.
+        let desc = parse_query("/Root//E").unwrap();
+        assert_eq!(path_join(&s, &desc).frequency(desc.target()), 3.0);
+    }
+
+    #[test]
+    fn join_ignores_order_constraints() {
+        let s = summary();
+        let plain = parse_query("//A[/C]/B").unwrap();
+        let ordered = parse_query("//A[/C/folls::$B]").unwrap();
+        let jp = path_join(&s, &plain);
+        let jo = path_join(&s, &ordered);
+        // Same structural pruning on B regardless of the constraint.
+        assert_eq!(
+            pids_of(&s, &jp, &plain, "B"),
+            pids_of(&s, &jo, &ordered, "B")
+        );
+    }
+}

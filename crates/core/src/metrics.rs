@@ -1,0 +1,134 @@
+//! Accuracy metrics for the experiments.
+//!
+//! The paper reports the *average relative error* of estimates over a
+//! workload from which zero-result ("negative") queries were removed, so
+//! the denominator is always at least one.
+
+/// Relative error of one estimate: `|est − actual| / actual`.
+///
+/// `actual` is clamped to at least 1 so that workloads containing an
+/// accidental zero-result query do not divide by zero (the generators
+/// remove negative queries, matching the paper).
+pub fn relative_error(estimate: f64, actual: u64) -> f64 {
+    let a = (actual as f64).max(1.0);
+    (estimate - actual as f64).abs() / a
+}
+
+/// Mean relative error over `(estimate, actual)` pairs; `None` for an
+/// empty workload.
+pub fn mean_relative_error<I>(pairs: I) -> Option<f64>
+where
+    I: IntoIterator<Item = (f64, u64)>,
+{
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (est, actual) in pairs {
+        sum += relative_error(est, actual);
+        n += 1;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimate_has_zero_error() {
+        assert_eq!(relative_error(4.0, 4), 0.0);
+    }
+
+    #[test]
+    fn over_and_under_estimates_are_symmetric() {
+        assert_eq!(relative_error(6.0, 4), 0.5);
+        assert_eq!(relative_error(2.0, 4), 0.5);
+    }
+
+    #[test]
+    fn zero_actual_clamps_denominator() {
+        assert_eq!(relative_error(3.0, 0), 3.0);
+    }
+
+    #[test]
+    fn mean_over_workload() {
+        let pairs = vec![(4.0, 4), (6.0, 4), (2.0, 4)];
+        assert!((mean_relative_error(pairs).unwrap() - (1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(mean_relative_error(Vec::new()), None);
+    }
+}
+
+/// Distributional error statistics over a workload: the paper reports
+/// averages, but tails matter to an optimizer (one 30× misestimate can
+/// wreck a plan even when the mean is 2%).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ErrorStats {
+    /// Number of (estimate, actual) pairs.
+    pub count: usize,
+    /// Mean relative error.
+    pub mean: f64,
+    /// Median relative error.
+    pub median: f64,
+    /// 90th percentile relative error.
+    pub p90: f64,
+    /// Worst relative error.
+    pub max: f64,
+}
+
+impl ErrorStats {
+    /// Computes the statistics over `(estimate, actual)` pairs. Returns
+    /// `None` for an empty workload.
+    pub fn compute<I>(pairs: I) -> Option<ErrorStats>
+    where
+        I: IntoIterator<Item = (f64, u64)>,
+    {
+        let mut errors: Vec<f64> = pairs
+            .into_iter()
+            .map(|(e, a)| relative_error(e, a))
+            .collect();
+        if errors.is_empty() {
+            return None;
+        }
+        errors.sort_by(f64::total_cmp);
+        let n = errors.len();
+        let pct = |q: f64| errors[(((n - 1) as f64) * q).round() as usize];
+        Some(ErrorStats {
+            count: n,
+            mean: errors.iter().sum::<f64>() / n as f64,
+            median: pct(0.5),
+            p90: pct(0.9),
+            max: errors[n - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod error_stats_tests {
+    use super::*;
+
+    #[test]
+    fn stats_over_known_distribution() {
+        // Errors: 0.0, 0.5, 0.5, 1.0 (a = 4 throughout).
+        let pairs = vec![(4.0, 4), (6.0, 4), (2.0, 4), (8.0, 4)];
+        let s = ErrorStats::compute(pairs).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 0.5).abs() < 1e-12);
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.max, 1.0);
+        assert!(s.p90 >= s.median && s.p90 <= s.max);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(ErrorStats::compute(Vec::new()), None);
+    }
+
+    #[test]
+    fn single_pair() {
+        let s = ErrorStats::compute(vec![(3.0, 2)]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.p90, 0.5);
+        assert_eq!(s.max, 0.5);
+    }
+}

@@ -1,0 +1,160 @@
+//! Optimizer-facing helpers: the paper's motivation is query optimization,
+//! so the estimator exposes the two decisions a structural-join planner
+//! actually makes — which predicate to apply first, and per-step
+//! cardinalities along the main path.
+
+use xpe_xpath::{Query, QueryNodeId};
+
+use crate::editor;
+use crate::estimator::Estimator;
+
+/// The estimated selectivity of one predicate branch of a node.
+#[derive(Clone, Debug)]
+pub struct PredicateRank {
+    /// Edge index at the branching node.
+    pub edge: usize,
+    /// The branch head.
+    pub head: QueryNodeId,
+    /// Estimated matches of the branching node if only this predicate is
+    /// kept (smaller = more selective = apply first).
+    pub estimated_card: f64,
+}
+
+/// Per-step cardinality estimates along the path from the query root to
+/// the target — what a pipelined plan would materialize at each step.
+#[derive(Clone, Debug)]
+pub struct PathCardinalities {
+    /// `(node, estimated matches)` from root to target, inclusive.
+    pub steps: Vec<(QueryNodeId, f64)>,
+}
+
+impl<'s> Estimator<'s> {
+    /// Ranks the predicate branches of `node` from most to least selective
+    /// under the order-free interpretation: for each branch, the query is
+    /// reduced to the root→`node` path plus that single branch, and
+    /// `node`'s cardinality is estimated.
+    ///
+    /// Branches on the path to the target are not predicates and are
+    /// excluded.
+    pub fn rank_predicates(&self, query: &Query, node: QueryNodeId) -> Vec<PredicateRank> {
+        let plain = editor::without_constraints(query);
+        let q = &plain.query;
+        let node = plain.remap(node);
+        let target_path = q.path_to(q.target());
+        let on_target_path = |to: QueryNodeId| target_path.contains(&to);
+
+        let mut ranks = Vec::new();
+        for (i, e) in q.node(node).edges.iter().enumerate() {
+            // The continuation toward the target is not a predicate.
+            if on_target_path(e.to) {
+                continue;
+            }
+            // Reduced query: path to `node`, `node`, and this branch only.
+            let mut keep = vec![false; q.len()];
+            for &a in &q.path_to(node) {
+                keep[a.index()] = true;
+            }
+            for (idx, flag) in editor::subtree_of(q, e.to).into_iter().enumerate() {
+                if flag {
+                    keep[idx] = true;
+                }
+            }
+            let reduced = editor::rebuild(q, &keep, node);
+            let estimated_card = self.estimate_plain(&reduced.query, reduced.remap(node));
+            ranks.push(PredicateRank {
+                edge: i,
+                head: e.to,
+                estimated_card,
+            });
+        }
+        ranks.sort_by(|a, b| a.estimated_card.total_cmp(&b.estimated_card));
+        ranks
+    }
+
+    /// Estimated cardinality of every step on the root→target path of
+    /// `query` (order constraints ignored): the sizes a pipelined
+    /// structural-join plan would see.
+    pub fn path_cardinalities(&self, query: &Query) -> PathCardinalities {
+        let plain = editor::without_constraints(query);
+        let q = &plain.query;
+        let steps = q
+            .path_to(q.target())
+            .into_iter()
+            .map(|n| (n, self.estimate_plain(q, n)))
+            .collect();
+        PathCardinalities { steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_synopsis::{Summary, SummaryConfig};
+    use xpe_xpath::parse_query;
+
+    fn summary(xml: &str) -> Summary {
+        Summary::build(
+            &xpe_xml::parse_document(xml).unwrap(),
+            SummaryConfig::default(),
+        )
+    }
+
+    #[test]
+    fn ranks_by_selectivity() {
+        // `rare` appears under one p, `common` under three.
+        let xml = "<r>\
+            <p><rare/><common/></p>\
+            <p><common/></p>\
+            <p><common/></p>\
+            <p/>\
+         </r>";
+        let s = summary(xml);
+        let est = Estimator::new(&s);
+        let q = parse_query("//$p[/rare][/common]").unwrap();
+        let ranks = est.rank_predicates(&q, q.target());
+        assert_eq!(ranks.len(), 2);
+        assert!(ranks[0].estimated_card <= ranks[1].estimated_card);
+        assert_eq!(q.node(ranks[0].head).tag, "rare");
+        assert_eq!(ranks[0].estimated_card, 1.0);
+        assert_eq!(ranks[1].estimated_card, 3.0);
+    }
+
+    #[test]
+    fn continuation_branch_excluded() {
+        let xml = "<r><p><a/><b><c/></b></p></r>";
+        let s = summary(xml);
+        let est = Estimator::new(&s);
+        // Target is c, below b: the b-branch is the continuation, only
+        // the a-branch is a predicate of p.
+        let q = parse_query("//p[/a]/b/c").unwrap();
+        let p = q.root();
+        let ranks = est.rank_predicates(&q, p);
+        assert_eq!(ranks.len(), 1);
+        assert_eq!(q.node(ranks[0].head).tag, "a");
+    }
+
+    #[test]
+    fn path_cardinalities_walk_the_spine() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let s = Summary::build(&doc, SummaryConfig::default());
+        let est = Estimator::new(&s);
+        let q = parse_query("//A/B/D").unwrap();
+        let cards = est.path_cardinalities(&q);
+        assert_eq!(cards.steps.len(), 3);
+        let values: Vec<f64> = cards.steps.iter().map(|&(_, c)| c).collect();
+        assert_eq!(values, vec![3.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn order_constraints_are_ignored_for_planning() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let s = Summary::build(&doc, SummaryConfig::default());
+        let est = Estimator::new(&s);
+        let q = parse_query("//$A[/C/folls::B]").unwrap();
+        let ranks = est.rank_predicates(&q, q.target());
+        assert_eq!(ranks.len(), 2, "both chain branches rank as predicates");
+        for r in &ranks {
+            assert!(r.estimated_card.is_finite());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Estimator edge cases beyond the paper's worked examples: degenerate
+//! queries, chains of three, document-axis conversions on recursive data,
+//! and graceful handling of empty joins.
+
+use xpe_core::Estimator;
+use xpe_synopsis::{Summary, SummaryConfig};
+use xpe_xml::{nav::DocOrder, parse_document};
+use xpe_xpath::parse_query;
+
+fn summary_of(xml: &str) -> Summary {
+    Summary::build(&parse_document(xml).unwrap(), SummaryConfig::default())
+}
+
+fn exact(xml: &str, q: &str) -> f64 {
+    let doc = parse_document(xml).unwrap();
+    let order = DocOrder::new(&doc);
+    xpe_xpath::selectivity(&doc, &order, &parse_query(q).unwrap()) as f64
+}
+
+#[test]
+fn single_step_queries() {
+    let xml = "<r><a/><a/><b/></r>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    assert_eq!(est.estimate_str("//a").unwrap(), 2.0);
+    assert_eq!(est.estimate_str("//r").unwrap(), 1.0);
+    assert_eq!(est.estimate_str("/r").unwrap(), 1.0);
+    assert_eq!(est.estimate_str("/a").unwrap(), 0.0, "a is not the root");
+    assert_eq!(est.estimate_str("//zzz").unwrap(), 0.0);
+}
+
+#[test]
+fn order_query_with_unknown_tag_is_zero() {
+    let xml = "<r><a><b/><c/></a></r>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    assert_eq!(est.estimate_str("//a[/b/folls::zzz]").unwrap(), 0.0);
+    assert_eq!(est.estimate_str("//a[/zzz/folls::b]").unwrap(), 0.0);
+    assert_eq!(est.estimate_str("//a[/b/foll::zzz]").unwrap(), 0.0);
+}
+
+#[test]
+fn order_query_whose_plain_part_is_empty() {
+    // b and q never co-occur under a.
+    let xml = "<r><a><b/></a><a><q/></a></r>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    assert_eq!(est.estimate_str("//a[/b/folls::q]").unwrap(), 0.0);
+}
+
+#[test]
+fn chain_of_three_sibling_constraints() {
+    let xml = "<r>\
+        <a><x/><y/><z/></a>\
+        <a><x/><y/><z/></a>\
+        <a><z/><y/><x/></a>\
+     </r>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    let e = est.estimate_str("//$a[/x/folls::y/folls::z]").unwrap();
+    let truth = exact(xml, "//$a[/x/folls::y/folls::z]");
+    assert_eq!(truth, 2.0);
+    // Chains beyond length two are a documented generalization; the
+    // estimate must stay sane (bounded by the unordered count, positive).
+    assert!(e > 0.0 && e <= 3.0 + 1e-9, "estimate {e}");
+}
+
+#[test]
+fn document_axis_conversion_on_deep_paths() {
+    // D sits two levels below A; foll:: must decompose through B.
+    let xml = "<r>\
+        <a><c/><b><m><d/></m></b></a>\
+        <a><b><m><d/></m></b><c/></a>\
+     </r>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    let e = est.estimate_str("//a[/c/foll::$d]").unwrap();
+    let truth = exact(xml, "//a[/c/foll::$d]");
+    assert_eq!(truth, 1.0);
+    assert!((e - truth).abs() <= 1.0, "estimate {e} vs {truth}");
+}
+
+#[test]
+fn document_axis_conversion_with_multiple_intermediate_labels() {
+    // d reachable below a through two different child labels: the
+    // conversion must sum over both sibling-level rewrites.
+    let xml = "<r>\
+        <a><c/><b><d/></b><m><d/></m></a>\
+     </r>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    let e = est.estimate_str("//a[/c/foll::$d]").unwrap();
+    let truth = exact(xml, "//a[/c/foll::$d]");
+    assert_eq!(truth, 2.0);
+    assert!((e - truth).abs() <= 1.0 + 1e-9, "estimate {e} vs {truth}");
+}
+
+#[test]
+fn preceding_conversion_mirrors_following() {
+    let xml = "<r><a><b><d/></b><c/></a><a><c/><b><d/></b></a></r>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    let foll = est.estimate_str("//a[/c/foll::$d]").unwrap();
+    let prec = est.estimate_str("//a[/c/prec::$d]").unwrap();
+    let foll_truth = exact(xml, "//a[/c/foll::$d]");
+    let prec_truth = exact(xml, "//a[/c/prec::$d]");
+    assert_eq!(foll_truth, 1.0);
+    assert_eq!(prec_truth, 1.0);
+    assert!((foll - foll_truth).abs() <= 1.0);
+    assert!((prec - prec_truth).abs() <= 1.0);
+}
+
+#[test]
+fn sibling_constraint_between_same_tags() {
+    // "a chapter followed by another chapter".
+    let xml = "<r><b><ch/><ch/></b><b><ch/></b></r>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    let e = est.estimate_str("//b[/ch/folls::$ch]").unwrap();
+    assert_eq!(exact(xml, "//b[/ch/folls::$ch]"), 1.0);
+    assert!((0.0..=3.0).contains(&e), "estimate {e}");
+}
+
+#[test]
+fn deep_trunk_above_order_constraint() {
+    let xml = "<lib>\
+        <shelf><book><t/><ch/></book></shelf>\
+        <shelf><book><ch/><t/></book></shelf>\
+     </lib>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    let e = est.estimate_str("//lib/shelf/book[/t/folls::$ch]").unwrap();
+    assert_eq!(exact(xml, "//lib/shelf/book[/t/folls::$ch]"), 1.0);
+    assert!((e - 1.0).abs() < 1e-9, "estimate {e}");
+}
+
+#[test]
+fn multiple_independent_predicates_with_order() {
+    // An extra unordered predicate alongside the constrained pair.
+    let xml = "<r>\
+        <a><k/><x/><y/></a>\
+        <a><x/><y/></a>\
+        <a><k/><y/><x/></a>\
+     </r>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    let e = est.estimate_str("//$a[/k][/x/folls::y]").unwrap();
+    let truth = exact(xml, "//$a[/k][/x/folls::y]");
+    assert_eq!(truth, 1.0);
+    assert!(
+        e >= 0.0 && (e - truth).abs() <= 1.5,
+        "estimate {e} vs {truth}"
+    );
+}
+
+#[test]
+fn estimate_str_propagates_parse_errors() {
+    let s = summary_of("<r><a/></r>");
+    let est = Estimator::new(&s);
+    assert!(est.estimate_str("not a query").is_err());
+    assert!(est.estimate_str("//a[").is_err());
+}
+
+#[test]
+fn branch_zero_denominator_is_zero_not_nan() {
+    // Spine exists but full query empty → the Eq. 2 path must not divide
+    // by zero.
+    let xml = "<r><a><b/></a><a><c/></a></r>";
+    let s = summary_of(xml);
+    let est = Estimator::new(&s);
+    let e = est.estimate_str("//a[/c]/$b").unwrap();
+    assert!(e.is_finite());
+    assert_eq!(e, 0.0);
+}

@@ -1,0 +1,225 @@
+//! Reproduction of every worked example in the paper (§4–§5) on the
+//! Figure 1 instance, digit for digit.
+
+use xpe_core::{path_join, Estimator};
+use xpe_synopsis::{Summary, SummaryConfig};
+use xpe_xml::nav::DocOrder;
+use xpe_xpath::parse_query;
+
+fn setup() -> (xpe_xml::Document, Summary) {
+    let doc = xpe_xml::fixtures::paper_figure1();
+    let summary = Summary::build(&doc, SummaryConfig::default());
+    (doc, summary)
+}
+
+fn assert_close(actual: f64, expected: f64) {
+    assert!(
+        (actual - expected).abs() < 1e-9,
+        "expected {expected}, got {actual}"
+    );
+}
+
+#[test]
+fn example_4_2_simple_query_is_exact() {
+    // "//A//C": selectivity of both A and C is 2.
+    let (_, s) = setup();
+    let est = Estimator::new(&s);
+    assert_close(est.estimate_str("//A//C").unwrap(), 2.0);
+    assert_close(est.estimate_str("//$A//C").unwrap(), 2.0);
+}
+
+#[test]
+fn theorem_4_1_on_all_simple_queries() {
+    // Every root-to-leaf-derived simple path estimates exactly at v = 0.
+    let (doc, s) = setup();
+    let est = Estimator::new(&s);
+    let order = DocOrder::new(&doc);
+    for q in [
+        "/Root",
+        "/Root/A",
+        "/Root/A/B",
+        "/Root/A/B/D",
+        "/Root/A/B/E",
+        "/Root/A/C",
+        "/Root/A/C/E",
+        "/Root/A/C/F",
+        "//A",
+        "//B",
+        "//C",
+        "//D",
+        "//E",
+        "//F",
+        "//B/D",
+        "//B/E",
+        "//C/E",
+        "//C/F",
+        "//A//D",
+        "//A//E",
+    ] {
+        let query = parse_query(q).unwrap();
+        let exact = xpe_xpath::selectivity(&doc, &order, &query) as f64;
+        assert_close(est.estimate(&query), exact);
+    }
+}
+
+#[test]
+fn example_4_5_branch_estimate() {
+    // Q2 = //C[/E]/F with target E: f_Q2(C) = 1, f_Q'2(C) = 2,
+    // f_Q'2(E) = 2 → S ≈ 2 · 1 / 2 = 1 (also the exact answer).
+    let (_, s) = setup();
+    let est = Estimator::new(&s);
+    assert_close(est.estimate_str("//C[/$E]/F").unwrap(), 1.0);
+    // And for C itself (trunk): f = 1, exact.
+    assert_close(est.estimate_str("//$C[/E]/F").unwrap(), 1.0);
+}
+
+#[test]
+fn example_5_1_order_query_target_sibling() {
+    // Q̃1 = A[/C[/F]/folls::B/D], target B:
+    //   S_Q̃'(B) = 2 (o-histogram), S_Q(B) ≈ 1.33, S_Q'(B) ≈ 2.67
+    //   → S ≈ 2 · 1.33 / 2.67 = 1.
+    let (_, s) = setup();
+    let est = Estimator::new(&s);
+    assert_close(est.estimate_str("//A[/C[/F]/folls::$B/D]").unwrap(), 1.0);
+}
+
+#[test]
+fn example_5_1_intermediate_quantities() {
+    // The ingredients the paper lists: S_Q1(B) = 1.3̅ and S_Q'1(B) = 2.6̅.
+    let (_, s) = setup();
+    let est = Estimator::new(&s);
+    // Q1 (order-free counterpart): //A[/C/F][/B/D], target B.
+    let q1 = parse_query("//A[/C[/F]][/$B/D]").unwrap();
+    assert_close(est.estimate(&q1), 4.0 / 3.0);
+    // Q'1 (neighbor trimmed): //A[/C][/B/D], target B.
+    let q1p = parse_query("//A[/C][/$B/D]").unwrap();
+    assert_close(est.estimate(&q1p), 8.0 / 3.0);
+}
+
+#[test]
+fn example_5_2_order_query_target_below_sibling() {
+    // Same query, target D: S ≈ S_Q(D) · S_Q̃'(B) / S_Q'(B)
+    //   = 1.33 · 2 / 2.67 = 1.
+    let (_, s) = setup();
+    let est = Estimator::new(&s);
+    assert_close(est.estimate_str("//A[/C[/F]/folls::B/$D]").unwrap(), 1.0);
+}
+
+#[test]
+fn equation_5_trunk_target_is_min_bounded() {
+    // Target A in Q̃1: S ≤ S_Q(A) and S ≤ S_Q̃(heads).
+    let (_, s) = setup();
+    let est = Estimator::new(&s);
+    let ordered = est.estimate_str("//$A[/C[/F]/folls::B/D]").unwrap();
+    let plain = est.estimate_str("//$A[/C[/F]][/B/D]").unwrap();
+    assert!(ordered <= plain + 1e-9);
+    assert!(ordered >= 0.0);
+    // Exact answer is 1 (only the middle A); the estimate is min-bounded
+    // at S_Q̃(B) = 1.
+    assert_close(ordered, 1.0);
+}
+
+#[test]
+fn example_5_3_following_axis_conversion() {
+    // //A[/C/foll::D] with target D converts to //A[/C/folls::B/D].
+    let (_, s) = setup();
+    let est = Estimator::new(&s);
+    let via_foll = est.estimate_str("//A[/C/foll::$D]").unwrap();
+    let via_sibling = est.estimate_str("//A[/C/folls::B/$D]").unwrap();
+    assert_close(via_foll, via_sibling);
+    // Exact answer on Figure 1 is 2; the estimate lands close.
+    assert!((via_foll - 2.0).abs() < 1.01, "estimate {via_foll}");
+}
+
+#[test]
+fn preceding_axis_converts_symmetrically() {
+    let (_, s) = setup();
+    let est = Estimator::new(&s);
+    let via_prec = est.estimate_str("//A[/C/prec::$D]").unwrap();
+    let via_sibling = est.estimate_str("//A[/C/pres::B/$D]").unwrap();
+    assert_close(via_prec, via_sibling);
+}
+
+#[test]
+fn negative_queries_estimate_zero() {
+    let (_, s) = setup();
+    let est = Estimator::new(&s);
+    assert_close(est.estimate_str("//F/E").unwrap(), 0.0);
+    assert_close(est.estimate_str("//D/A").unwrap(), 0.0);
+    assert_close(est.estimate_str("//Zebra").unwrap(), 0.0);
+    assert_close(est.estimate_str("//A[/F]/B").unwrap(), 0.0);
+}
+
+#[test]
+fn join_frequencies_match_figure_3() {
+    let (_, s) = setup();
+    let q = parse_query("//A[/C/F]/B/D").unwrap();
+    let j = path_join(&s, &q);
+    // Figure 3(b): A:{(p7,1)}, C:{(p3,1)}, F:{(p1,1)}, B:{(p5,3)}, D:{(p5,4)}.
+    let freq_of = |tag: &str| {
+        let n = q.node_ids().find(|&n| q.node(n).tag == tag).unwrap();
+        j.frequency(n)
+    };
+    assert_close(freq_of("A"), 1.0);
+    assert_close(freq_of("C"), 1.0);
+    assert_close(freq_of("F"), 1.0);
+    assert_close(freq_of("B"), 3.0);
+    assert_close(freq_of("D"), 4.0);
+}
+
+#[test]
+fn sibling_query_without_branches_uses_order_table_directly() {
+    // //A[/C/folls::$B]: S_Q̃'(B) = g(p5, C, after) = 2; S_Q(B)/S_Q'(B)
+    // are equal (no extra branch) so the estimate is 2 — the exact answer.
+    let (_, s) = setup();
+    let est = Estimator::new(&s);
+    assert_close(est.estimate_str("//A[/C/folls::$B]").unwrap(), 2.0);
+    // The reversed direction: B before C happens once.
+    assert_close(est.estimate_str("//A[/C/pres::$B]").unwrap(), 1.0);
+}
+
+#[test]
+fn order_estimates_against_exact_on_figure1() {
+    // The estimator's assumptions hold well on Figure 1: every order query
+    // below estimates within 1.0 absolute of the truth.
+    let (doc, s) = setup();
+    let est = Estimator::new(&s);
+    let order = DocOrder::new(&doc);
+    for q in [
+        "//A[/C/folls::$B]",
+        "//A[/B/folls::$C]",
+        "//A[/C/folls::B/$D]",
+        "//A[/B/pres::$C]",
+        "//$A[/C/folls::B]",
+        "//$A[/B/folls::C]",
+    ] {
+        let query = parse_query(q).unwrap();
+        let exact = xpe_xpath::selectivity(&doc, &order, &query) as f64;
+        let estimate = est.estimate(&query);
+        assert!(
+            (estimate - exact).abs() <= 1.0 + 1e-9,
+            "{q}: est {estimate} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn before_head_target_reads_the_before_region() {
+    // Target is the *before* head: //A[/$C/folls::B] asks for C elements
+    // followed by a sibling B — the o-histogram lookup must use the
+    // +element (before) region. Exact on Figure 1: the middle A's C (a B
+    // follows it) and the last A's C.
+    let (doc, s) = setup();
+    let est = Estimator::new(&s);
+    let order = DocOrder::new(&doc);
+    let q = parse_query("//A[/$C/folls::B]").unwrap();
+    let exact = xpe_xpath::selectivity(&doc, &order, &q) as f64;
+    assert_eq!(exact, 2.0);
+    assert_close(est.estimate(&q), 2.0);
+    // And the mirrored preceding-sibling form: B elements with C before
+    // them — the after region.
+    let q = parse_query("//A[/$B/pres::C]").unwrap();
+    let exact = xpe_xpath::selectivity(&doc, &order, &q) as f64;
+    assert_eq!(exact, 2.0);
+    assert_close(est.estimate(&q), 2.0);
+}

@@ -1,0 +1,215 @@
+//! Synthetic DBLP bibliography.
+//!
+//! Mirrors the DBLP XML: a *shallow and wide* tree — one `dblp` root with
+//! hundreds of thousands of publication children, each a flat record of
+//! field elements. 31 distinct tags, ~87 distinct root-to-leaf paths
+//! (paper Tables 1 and 3). The enormous sibling fan-out under the root is
+//! what makes DBLP's order information dominate its path information
+//! (paper §7.1). Scale 1.0 ≈ 1.7M elements.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xpe_xml::{Document, TreeBuilder};
+
+/// One field of a publication kind: name, inclusion probability, maximum
+/// repetitions.
+type FieldSpec = (&'static str, f64, usize);
+
+/// Publication kinds with their plausible field sets.
+const KINDS: &[(&str, &[FieldSpec])] = &[
+    (
+        "article",
+        &[
+            ("author", 0.98, 4),
+            ("title", 1.0, 1),
+            ("pages", 0.9, 1),
+            ("year", 1.0, 1),
+            ("volume", 0.9, 1),
+            ("journal", 1.0, 1),
+            ("number", 0.7, 1),
+            ("url", 0.6, 1),
+            ("ee", 0.5, 1),
+        ],
+    ),
+    (
+        "inproceedings",
+        &[
+            ("author", 0.98, 5),
+            ("title", 1.0, 1),
+            ("pages", 0.85, 1),
+            ("year", 1.0, 1),
+            ("booktitle", 1.0, 1),
+            ("url", 0.6, 1),
+            ("ee", 0.5, 1),
+            ("crossref", 0.7, 1),
+        ],
+    ),
+    (
+        "proceedings",
+        &[
+            ("editor", 0.9, 3),
+            ("title", 1.0, 1),
+            ("year", 1.0, 1),
+            ("booktitle", 0.9, 1),
+            ("publisher", 0.9, 1),
+            ("isbn", 0.7, 1),
+            ("series", 0.5, 1),
+            ("volume", 0.5, 1),
+            ("url", 0.6, 1),
+        ],
+    ),
+    (
+        "book",
+        &[
+            ("author", 0.8, 3),
+            ("editor", 0.3, 2),
+            ("title", 1.0, 1),
+            ("year", 1.0, 1),
+            ("publisher", 1.0, 1),
+            ("isbn", 0.8, 1),
+            ("pages", 0.3, 1),
+            ("school", 0.05, 1),
+        ],
+    ),
+    (
+        "incollection",
+        &[
+            ("author", 0.95, 3),
+            ("title", 1.0, 1),
+            ("pages", 0.8, 1),
+            ("year", 1.0, 1),
+            ("booktitle", 1.0, 1),
+            ("publisher", 0.6, 1),
+            ("crossref", 0.6, 1),
+            ("chapter", 0.2, 1),
+        ],
+    ),
+    (
+        "phdthesis",
+        &[
+            ("author", 1.0, 1),
+            ("title", 1.0, 1),
+            ("year", 1.0, 1),
+            ("school", 1.0, 1),
+            ("publisher", 0.2, 1),
+            ("isbn", 0.2, 1),
+            ("month", 0.3, 1),
+        ],
+    ),
+    (
+        "mastersthesis",
+        &[
+            ("author", 1.0, 1),
+            ("title", 1.0, 1),
+            ("year", 1.0, 1),
+            ("school", 1.0, 1),
+        ],
+    ),
+    (
+        "www",
+        &[
+            ("author", 0.7, 3),
+            ("title", 1.0, 1),
+            ("url", 1.0, 1),
+            ("note", 0.4, 1),
+            ("cite", 0.2, 5),
+        ],
+    ),
+];
+
+/// Relative frequency of each kind (articles and inproceedings dominate).
+const KIND_WEIGHTS: &[f64] = &[0.38, 0.42, 0.03, 0.02, 0.05, 0.02, 0.01, 0.07];
+
+/// Generates a DBLP-like document. `scale` 1.0 ≈ 1.7M elements.
+pub fn generate(scale: f64, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x64_62_6c_70);
+    // ~240k records at scale 1 → ~1.7M elements at ~6 fields/record.
+    let records = ((240_000.0 * scale).round() as usize).max(1);
+    let mut b = TreeBuilder::new();
+    b.begin_element("dblp");
+    for _ in 0..records {
+        let k = pick_kind(&mut rng);
+        let (kind, fields) = KINDS[k];
+        b.begin_element(kind);
+        for &(field, p, max_rep) in fields {
+            if rng.gen_bool(p) {
+                let reps = if max_rep > 1 {
+                    1 + sample_extra(&mut rng, max_rep - 1)
+                } else {
+                    1
+                };
+                for _ in 0..reps {
+                    b.begin_element(field);
+                    b.text("value");
+                    b.end_element().expect("balanced");
+                }
+            }
+        }
+        b.end_element().expect("balanced");
+    }
+    b.end_element().expect("balanced");
+    b.finish().expect("single root")
+}
+
+fn pick_kind(rng: &mut StdRng) -> usize {
+    let r: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &w) in KIND_WEIGHTS.iter().enumerate() {
+        acc += w;
+        if r < acc {
+            return i;
+        }
+    }
+    KIND_WEIGHTS.len() - 1
+}
+
+/// Geometric-ish extra repetitions (most records have few authors).
+fn sample_extra(rng: &mut StdRng, max: usize) -> usize {
+    let mut n = 0;
+    while n < max && rng.gen_bool(0.45) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_xml::stats::DocumentStats;
+
+    #[test]
+    fn shape_tracks_dblp() {
+        let doc = generate(0.005, 11);
+        let s = DocumentStats::compute(&doc);
+        // 31 distinct tags in the real snapshot; we model most of them.
+        assert!(
+            (20..=32).contains(&s.distinct_tags),
+            "tags {}",
+            s.distinct_tags
+        );
+        // Shallow: depth 2 (dblp/record/field).
+        assert_eq!(s.max_depth, 2);
+        // Wide: the root has over a thousand children at this scale.
+        assert!(doc.children(doc.root()).len() >= 1_000);
+        // Distinct paths in the dozens (paper: 87).
+        assert!(
+            (30..=95).contains(&s.distinct_paths),
+            "paths {}",
+            s.distinct_paths
+        );
+    }
+
+    #[test]
+    fn kinds_cover_the_vocabulary() {
+        let doc = generate(0.01, 5);
+        let names: Vec<&str> = doc.tags().iter().map(|(_, n)| n).collect();
+        for kind in ["article", "inproceedings", "phdthesis", "www"] {
+            assert!(names.contains(&kind), "missing {kind}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(0.002, 9).len(), generate(0.002, 9).len());
+    }
+}

@@ -1,0 +1,121 @@
+//! Synthetic datasets and query workloads for the ICDE'06 experiments.
+//!
+//! The paper evaluates on Shakespeare's Plays, a DBLP snapshot and XMark
+//! (Table 1). Those exact corpora are not redistributable here, so this
+//! crate synthesizes documents from their published schemas with matching
+//! structural statistics — tag vocabulary, distinct-path counts, depth and
+//! fan-out character (see DESIGN.md "Substitutions"):
+//!
+//! * [`ssplays::generate`] — regular, moderately deep (21 tags, ~40 paths);
+//! * [`dblp::generate`] — shallow and extremely wide (31 tags, ~87 paths);
+//! * [`xmark::generate`] — large vocabulary with recursion (74 tags,
+//!   hundreds of paths).
+//!
+//! [`generate_workload`] reproduces §7's query generator: random
+//! subsequences of encoding-table paths (simple), merged pairs (branch),
+//! and sibling-order variants, deduplicated and with negative queries
+//! removed using the exact evaluator.
+//!
+//! # Example
+//!
+//! ```
+//! use xpe_datagen::{Dataset, DatasetSpec};
+//!
+//! let doc = DatasetSpec { dataset: Dataset::SSPlays, scale: 0.01, seed: 1 }
+//!     .generate();
+//! assert!(doc.len() > 500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod ssplays;
+mod workload;
+pub mod xmark;
+
+pub use workload::{generate_workload, QueryCase, TargetPlacement, Workload, WorkloadConfig};
+
+use xpe_xml::Document;
+
+/// The three corpora of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// Shakespeare's Plays (7.5 MB, 21 tags, 179,690 elements).
+    SSPlays,
+    /// DBLP (65.2 MB, 31 tags, 1,711,542 elements).
+    Dblp,
+    /// XMark (20.4 MB, 74 tags, 319,815 elements).
+    XMark,
+}
+
+impl Dataset {
+    /// All three datasets, in the paper's table order.
+    pub const ALL: [Dataset; 3] = [Dataset::SSPlays, Dataset::Dblp, Dataset::XMark];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::SSPlays => "SSPlays",
+            Dataset::Dblp => "DBLP",
+            Dataset::XMark => "XMark",
+        }
+    }
+
+    /// The element count the paper reports for the real corpus.
+    pub fn paper_elements(self) -> u64 {
+        match self {
+            Dataset::SSPlays => 179_690,
+            Dataset::Dblp => 1_711_542,
+            Dataset::XMark => 319_815,
+        }
+    }
+}
+
+/// A reproducible dataset instantiation.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Which corpus to synthesize.
+    pub dataset: Dataset,
+    /// 1.0 targets the paper's element count.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Generates the document.
+    pub fn generate(&self) -> Document {
+        match self.dataset {
+            Dataset::SSPlays => ssplays::generate(self.scale, self.seed),
+            Dataset::Dblp => dblp::generate(self.scale, self.seed),
+            Dataset::XMark => xmark::generate(self.scale, self.seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_one_percent_tracks_paper_counts() {
+        for ds in Dataset::ALL {
+            let doc = DatasetSpec {
+                dataset: ds,
+                scale: 0.01,
+                seed: 9,
+            }
+            .generate();
+            let expected = ds.paper_elements() as f64 * 0.01;
+            let ratio = doc.len() as f64 / expected;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{}: {} elements vs expected ~{}",
+                ds.name(),
+                doc.len(),
+                expected
+            );
+        }
+    }
+}

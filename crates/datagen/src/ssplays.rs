@@ -1,0 +1,164 @@
+//! Synthetic Shakespeare's Plays corpus (SSPlays).
+//!
+//! Mirrors the ibiblio Shakespeare XML schema: a very *regular* structure
+//! (the paper: "real-world datasets require very limited space due to
+//! their regular structures") — 21-ish distinct tags, ~40 distinct
+//! root-to-leaf paths, moderate depth. Scale 1.0 targets the corpus' ~180k
+//! elements (37 plays).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xpe_xml::{Document, TreeBuilder};
+
+/// Generates an SSPlays-like corpus. `scale` 1.0 ≈ 180k elements.
+pub fn generate(scale: f64, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x55_50_4c_41_59);
+    let plays = ((37.0 * scale).round() as usize).max(1);
+    let mut b = TreeBuilder::new();
+    b.begin_element("PLAYS");
+    for _ in 0..plays {
+        play(&mut b, &mut rng);
+    }
+    b.end_element().expect("balanced");
+    b.finish().expect("single root")
+}
+
+fn leaf(b: &mut TreeBuilder, tag: &str, text: &str) {
+    b.begin_element(tag);
+    b.text(text);
+    b.end_element().expect("balanced");
+}
+
+fn play(b: &mut TreeBuilder, rng: &mut StdRng) {
+    b.begin_element("PLAY");
+    leaf(b, "TITLE", "The Tragedy of Example");
+
+    // Front matter.
+    b.begin_element("FM");
+    for _ in 0..3 {
+        leaf(b, "P", "Text placed in the public domain.");
+    }
+    b.end_element().expect("balanced");
+
+    // Personae.
+    b.begin_element("PERSONAE");
+    leaf(b, "TITLE", "Dramatis Personae");
+    let personas = rng.gen_range(10..=25);
+    for _ in 0..personas {
+        leaf(b, "PERSONA", "A LORD");
+    }
+    let groups = rng.gen_range(1..=3);
+    for _ in 0..groups {
+        b.begin_element("PGROUP");
+        for _ in 0..rng.gen_range(2..=4) {
+            leaf(b, "PERSONA", "Attendant");
+        }
+        leaf(b, "GRPDESCR", "attendants on the court.");
+        b.end_element().expect("balanced");
+    }
+    b.end_element().expect("balanced");
+
+    leaf(b, "SCNDESCR", "SCENE: Various parts of the realm.");
+    leaf(b, "PLAYSUBT", "EXAMPLE");
+
+    // Occasional induction/prologue, as in the corpus.
+    if rng.gen_bool(0.15) {
+        b.begin_element("INDUCT");
+        scene_body(b, rng, 2);
+        b.end_element().expect("balanced");
+    }
+    if rng.gen_bool(0.2) {
+        b.begin_element("PROLOGUE");
+        leaf(b, "TITLE", "PROLOGUE");
+        for _ in 0..rng.gen_range(4..=10) {
+            leaf(b, "LINE", "Two households, both alike in dignity,");
+        }
+        b.end_element().expect("balanced");
+    }
+
+    let acts = rng.gen_range(3..=5);
+    for a in 0..acts {
+        b.begin_element("ACT");
+        leaf(b, "TITLE", &format!("ACT {}", a + 1));
+        let scenes = rng.gen_range(2..=7);
+        for s in 0..scenes {
+            b.begin_element("SCENE");
+            leaf(b, "TITLE", &format!("SCENE {}.", s + 1));
+            let speeches = rng.gen_range(8..=30);
+            scene_body(b, rng, speeches);
+            b.end_element().expect("balanced");
+        }
+        b.end_element().expect("balanced");
+    }
+
+    if rng.gen_bool(0.1) {
+        b.begin_element("EPILOGUE");
+        leaf(b, "TITLE", "EPILOGUE");
+        for _ in 0..rng.gen_range(3..=8) {
+            leaf(b, "LINE", "If we shadows have offended,");
+        }
+        b.end_element().expect("balanced");
+    }
+    b.end_element().expect("balanced");
+}
+
+fn scene_body(b: &mut TreeBuilder, rng: &mut StdRng, speeches: usize) {
+    leaf(b, "STAGEDIR", "Enter several persons");
+    for _ in 0..speeches {
+        b.begin_element("SPEECH");
+        leaf(b, "SPEAKER", "First Lord");
+        if rng.gen_bool(0.05) {
+            leaf(b, "SPEAKER", "Second Lord");
+        }
+        let lines = rng.gen_range(1..=8);
+        for _ in 0..lines {
+            leaf(b, "LINE", "What country, friends, is this?");
+        }
+        if rng.gen_bool(0.1) {
+            leaf(b, "STAGEDIR", "Aside");
+        }
+        b.end_element().expect("balanced");
+    }
+    if rng.gen_bool(0.5) {
+        leaf(b, "STAGEDIR", "Exeunt");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_xml::stats::DocumentStats;
+
+    #[test]
+    fn shape_tracks_the_corpus() {
+        let doc = generate(0.05, 7);
+        let s = DocumentStats::compute(&doc);
+        // ~21 distinct tags (paper Table 1), regular structure.
+        assert!(
+            (15..=22).contains(&s.distinct_tags),
+            "tags {}",
+            s.distinct_tags
+        );
+        // Few distinct paths (paper Table 3: 40).
+        assert!(s.distinct_paths <= 60, "paths {}", s.distinct_paths);
+        assert!(s.max_depth >= 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(0.02, 1);
+        let b = generate(0.02, 1);
+        let c = generate(0.02, 2);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a.len(), c.len());
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = generate(0.02, 3);
+        let large = generate(0.1, 3);
+        assert!(large.len() > small.len());
+        // Scale 0.02 ≈ 3600 elements; allow wide tolerance.
+        assert!(small.len() > 1_000);
+    }
+}

@@ -1,0 +1,568 @@
+//! The paper's query-workload generator (§7).
+//!
+//! * **Simple queries**: random *contiguous* subsequences of root-to-leaf
+//!   label paths from the encoding table — child-axis chains with a
+//!   leading `//` unless the window starts at the root. (Contiguity is how
+//!   the paper's Table 2 counts come out: SSPlays admits only 188 distinct
+//!   simple queries from 4000 attempts, which gap subsequences would far
+//!   exceed; it also matches every example query in the paper.)
+//! * **Branch queries**: two subsequences merged at a common node — a
+//!   shared contiguous prefix becomes the trunk, the divergent contiguous
+//!   tails become the predicate branch and the continuation.
+//! * **Order queries**: branch queries whose two branch heads are direct
+//!   children of the branching node, augmented with a
+//!   `folls`/`pres` constraint.
+//!
+//! Duplicates are removed by canonical query text; negative queries (zero
+//! exact selectivity) are removed with the exact evaluator, as the paper
+//! does "to obtain a reasonable average relative error".
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xpe_pathid::EncodingTable;
+use xpe_xml::{nav::DocOrder, Document};
+use xpe_xpath::{
+    Axis, Evaluator, OrderConstraint, OrderKind, Query, QueryEdge, QueryNode, QueryNodeId,
+};
+
+/// Where the evaluation places the target node of an order query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetPlacement {
+    /// On the branch part (the second sibling head) — Figure 12.
+    Branch,
+    /// On the trunk part (the branching node) — Figure 13.
+    Trunk,
+}
+
+/// One workload entry: the query, its canonical text, and the exact
+/// selectivity of its target (the experiments' ground truth).
+#[derive(Clone, Debug)]
+pub struct QueryCase {
+    /// The parsed query.
+    pub query: Query,
+    /// Canonical text (used for deduplication).
+    pub text: String,
+    /// Exact selectivity of the target node.
+    pub actual: u64,
+}
+
+/// The full §7 workload for one dataset.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Positive simple queries.
+    pub simple: Vec<QueryCase>,
+    /// Positive branch queries.
+    pub branch: Vec<QueryCase>,
+    /// Positive order queries with the target on the branch part.
+    pub order_branch: Vec<QueryCase>,
+    /// The same order queries with the target on the trunk part.
+    pub order_trunk: Vec<QueryCase>,
+}
+
+/// Generation parameters (defaults follow the paper: 4000 attempts per
+/// class, sizes 3–12).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of simple-query generation attempts.
+    pub simple_attempts: usize,
+    /// Number of branch-query generation attempts.
+    pub branch_attempts: usize,
+    /// Minimum query size in nodes.
+    pub min_size: usize,
+    /// Maximum query size in nodes.
+    pub max_size: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 42,
+            simple_attempts: 4000,
+            branch_attempts: 4000,
+            min_size: 3,
+            max_size: 12,
+        }
+    }
+}
+
+/// Generates the workload for `doc` (whose labeling supplied `encoding`).
+///
+/// Query *generation* is sequential (deterministic RNG); the exact
+/// ground-truth *evaluation* — by far the dominant cost on large documents
+/// — fans out across available cores with scoped threads.
+pub fn generate_workload(
+    doc: &Document,
+    encoding: &EncodingTable,
+    config: &WorkloadConfig,
+) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let order = DocOrder::new(doc);
+    let eval = Evaluator::new(doc, &order);
+    let paths: Vec<Vec<String>> = encoding
+        .iter()
+        .map(|(_, p)| p.iter().map(|&t| doc.tags().name(t).to_owned()).collect())
+        .collect();
+
+    // Phase 1: generate + dedup candidates per class, sequentially.
+    let mut seen = HashSet::new();
+    let mut candidates: Vec<(usize, Query, String)> = Vec::new();
+    let mut push_candidate = |class: usize, q: Query, seen: &mut HashSet<String>| {
+        let text = q.to_string();
+        if seen.insert(text.clone()) {
+            candidates.push((class, q, text));
+        }
+    };
+    for _ in 0..config.simple_attempts {
+        if let Some(q) = gen_simple(&paths, &mut rng, config) {
+            push_candidate(0, q, &mut seen);
+        }
+    }
+    for _ in 0..config.branch_attempts {
+        let Some(plan) = gen_branch_plan(&paths, &mut rng, config) else {
+            continue;
+        };
+        if let Some(q) = plan.build(None) {
+            push_candidate(1, q, &mut seen);
+        }
+        if plan.direct_heads() {
+            let folls = rng.gen_bool(0.5);
+            if let Some(q) = plan.build(Some((folls, TargetPlacement::Branch))) {
+                push_candidate(2, q, &mut seen);
+            }
+            if let Some(q) = plan.build(Some((folls, TargetPlacement::Trunk))) {
+                push_candidate(3, q, &mut seen);
+            }
+        }
+    }
+
+    // Phase 2: evaluate in parallel chunks (order preserved by index).
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(candidates.len().max(1));
+    let chunk = candidates.len().div_ceil(threads).max(1);
+    let mut actuals = vec![0u64; candidates.len()];
+    std::thread::scope(|scope| {
+        for (slot, cand) in actuals.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
+            let eval = &eval;
+            scope.spawn(move || {
+                for (a, (_, q, _)) in slot.iter_mut().zip(cand) {
+                    *a = eval.selectivity(q);
+                }
+            });
+        }
+    });
+
+    // Phase 3: keep positives, in generation order.
+    let mut classes: [Vec<QueryCase>; 4] = Default::default();
+    for ((class, query, text), actual) in candidates.into_iter().zip(actuals) {
+        if actual == 0 {
+            continue;
+        }
+        classes[class].push(QueryCase {
+            query,
+            text,
+            actual,
+        });
+    }
+    let [simple, branch, order_branch, order_trunk] = classes;
+    Workload {
+        simple,
+        branch,
+        order_branch,
+        order_trunk,
+    }
+}
+
+/// A random contiguous window of `path` of length `len`, returned as
+/// `(position, label)` pairs.
+fn window<'p>(path: &'p [String], len: usize, rng: &mut StdRng) -> Vec<(usize, &'p String)> {
+    let start = rng.gen_range(0..=path.len() - len);
+    (start..start + len).map(|i| (i, &path[i])).collect()
+}
+
+fn gen_simple(paths: &[Vec<String>], rng: &mut StdRng, config: &WorkloadConfig) -> Option<Query> {
+    let path = &paths[rng.gen_range(0..paths.len())];
+    if path.len() < config.min_size {
+        return None;
+    }
+    let len = rng.gen_range(config.min_size..=config.max_size.min(path.len()));
+    let picked = window(path, len, rng);
+    let mut nodes = Vec::with_capacity(picked.len());
+    for (i, &(_, label)) in picked.iter().enumerate() {
+        nodes.push(QueryNode {
+            tag: label.clone(),
+            edges: Vec::new(),
+            constraints: Vec::new(),
+        });
+        if i > 0 {
+            let to = QueryNodeId::from_index(i);
+            nodes[i - 1].edges.push(QueryEdge {
+                axis: Axis::Child,
+                to,
+            });
+        }
+    }
+    let root_axis = if picked[0].0 == 0 {
+        Axis::Child
+    } else {
+        Axis::Descendant
+    };
+    let target = QueryNodeId::from_index(nodes.len() - 1);
+    Query::new(nodes, root_axis, target).ok()
+}
+
+/// A branch query plan: trunk labels, the branching point, and the two
+/// divergent tails with their path positions.
+struct BranchPlan {
+    /// `(position, label)` of trunk steps, ending at the branching node.
+    trunk: Vec<(usize, String)>,
+    /// Tail of the first path (the predicate branch).
+    branch1: Vec<(usize, String)>,
+    /// Tail of the second path (the continuation).
+    branch2: Vec<(usize, String)>,
+    /// Position of the branching node on both paths.
+    fork_pos: usize,
+}
+
+impl BranchPlan {
+    /// Whether both branch heads sit directly below the branching node
+    /// (required for a sibling-order constraint).
+    fn direct_heads(&self) -> bool {
+        self.branch1.first().map(|&(p, _)| p) == Some(self.fork_pos + 1)
+            && self.branch2.first().map(|&(p, _)| p) == Some(self.fork_pos + 1)
+    }
+
+    /// Builds the query; `order` is `(folls, placement)` for the order
+    /// variant (`folls` false means `pres`).
+    fn build(&self, order: Option<(bool, TargetPlacement)>) -> Option<Query> {
+        let mut nodes: Vec<QueryNode> = Vec::new();
+        let add = |nodes: &mut Vec<QueryNode>, tag: &str| -> usize {
+            nodes.push(QueryNode {
+                tag: tag.to_owned(),
+                edges: Vec::new(),
+                constraints: Vec::new(),
+            });
+            nodes.len() - 1
+        };
+        let mut prev: Option<(usize, usize)> = None; // (node idx, path pos)
+        for (pos, label) in &self.trunk {
+            let id = add(&mut nodes, label);
+            if let Some((pidx, ppos)) = prev {
+                let axis = if *pos == ppos + 1 {
+                    Axis::Child
+                } else {
+                    Axis::Descendant
+                };
+                nodes[pidx].edges.push(QueryEdge {
+                    axis,
+                    to: QueryNodeId::from_index(id),
+                });
+            }
+            prev = Some((id, *pos));
+        }
+        let (fork_idx, fork_pos) = prev.expect("trunk nonempty");
+        debug_assert_eq!(fork_pos, self.fork_pos);
+
+        let attach_tail = |nodes: &mut Vec<QueryNode>, tail: &[(usize, String)]| -> usize {
+            let mut prev: Option<(usize, usize)> = Some((fork_idx, fork_pos));
+            let mut head_idx = 0;
+            for (i, (pos, label)) in tail.iter().enumerate() {
+                let id = add(nodes, label);
+                if i == 0 {
+                    head_idx = id;
+                }
+                let (pidx, ppos) = prev.expect("set");
+                let axis = if *pos == ppos + 1 {
+                    Axis::Child
+                } else {
+                    Axis::Descendant
+                };
+                nodes[pidx].edges.push(QueryEdge {
+                    axis,
+                    to: QueryNodeId::from_index(id),
+                });
+                prev = Some((id, *pos));
+            }
+            head_idx
+        };
+        let head1 = attach_tail(&mut nodes, &self.branch1);
+        let _head2 = attach_tail(&mut nodes, &self.branch2);
+
+        let target = match order {
+            Some((_, TargetPlacement::Trunk)) => fork_idx,
+            // Branch target: the deepest node of the second branch — the
+            // head itself (Eq. 3) when the branch is one step, a node below
+            // it (Eq. 4) otherwise. Plain branch queries default to the
+            // same node so the order variant differs only by its
+            // constraint.
+            _ => nodes.len() - 1,
+        };
+        if let Some((folls, _)) = order {
+            let e1 = nodes[fork_idx]
+                .edges
+                .iter()
+                .position(|e| e.to.index() == head1)
+                .expect("branch1 attached at fork");
+            let e2 = nodes[fork_idx].edges.len() - 1;
+            let (before, after) = if folls { (e1, e2) } else { (e2, e1) };
+            nodes[fork_idx].constraints.push(OrderConstraint {
+                before,
+                after,
+                kind: OrderKind::Sibling,
+            });
+        }
+        Query::new(nodes, Axis::Descendant, QueryNodeId::from_index(target)).ok()
+    }
+}
+
+fn gen_branch_plan(
+    paths: &[Vec<String>],
+    rng: &mut StdRng,
+    config: &WorkloadConfig,
+) -> Option<BranchPlan> {
+    let p1 = &paths[rng.gen_range(0..paths.len())];
+    let p2 = &paths[rng.gen_range(0..paths.len())];
+    // Common prefix length.
+    let common = p1.iter().zip(p2.iter()).take_while(|(a, b)| a == b).count();
+    if common == 0 || p1.len() <= common || p2.len() <= common {
+        return None;
+    }
+    // Branch at a node within the common prefix.
+    let fork_pos = rng.gen_range(0..common);
+    // Trunk: a contiguous run of p1 ending at the fork.
+    let trunk_len = rng.gen_range(0..=fork_pos.min(3));
+    let trunk: Vec<(usize, String)> = (fork_pos - trunk_len..=fork_pos)
+        .map(|i| (i, p1[i].clone()))
+        .collect();
+
+    // Tails: contiguous runs of the divergent suffixes, starting at the
+    // direct children of the fork (so order variants always exist).
+    let tail = |path: &[String], start: usize, rng: &mut StdRng| -> Vec<(usize, String)> {
+        let avail = path.len() - start;
+        let want = rng.gen_range(1..=avail.min(4));
+        (start..start + want)
+            .map(|i| (i, path[i].clone()))
+            .collect()
+    };
+    let branch1 = tail(p1, fork_pos + 1, rng);
+    let branch2 = tail(p2, fork_pos + 1, rng);
+    let total = trunk.len() + branch1.len() + branch2.len();
+    if total < config.min_size || total > config.max_size {
+        return None;
+    }
+    // A degenerate merge where both branches start identically collapses
+    // into a simple query; skip it.
+    if branch1.first().map(|(p, l)| (p, l.as_str()))
+        == branch2.first().map(|(p, l)| (p, l.as_str()))
+    {
+        return None;
+    }
+    Some(BranchPlan {
+        trunk,
+        branch1,
+        branch2,
+        fork_pos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_pathid::Labeling;
+
+    fn setup() -> (Document, EncodingTable) {
+        let doc = crate::ssplays::generate(0.02, 5);
+        let lab = Labeling::compute(&doc);
+        (doc, lab.encoding)
+    }
+
+    #[test]
+    fn workload_is_positive_and_deduplicated() {
+        let (doc, enc) = setup();
+        let cfg = WorkloadConfig {
+            simple_attempts: 300,
+            branch_attempts: 300,
+            ..WorkloadConfig::default()
+        };
+        let w = generate_workload(&doc, &enc, &cfg);
+        assert!(!w.simple.is_empty(), "no simple queries generated");
+        assert!(!w.branch.is_empty(), "no branch queries generated");
+        let mut texts = HashSet::new();
+        for case in w
+            .simple
+            .iter()
+            .chain(&w.branch)
+            .chain(&w.order_branch)
+            .chain(&w.order_trunk)
+        {
+            assert!(case.actual > 0, "negative query kept: {}", case.text);
+            assert!(texts.insert(&case.text), "duplicate: {}", case.text);
+        }
+    }
+
+    #[test]
+    fn simple_queries_are_paths_within_size_bounds() {
+        let (doc, enc) = setup();
+        let cfg = WorkloadConfig {
+            simple_attempts: 200,
+            branch_attempts: 0,
+            ..WorkloadConfig::default()
+        };
+        let w = generate_workload(&doc, &enc, &cfg);
+        for case in &w.simple {
+            let q = &case.query;
+            assert!(q.len() >= 3 && q.len() <= 12, "{}", case.text);
+            for n in q.node_ids() {
+                assert!(q.node(n).edges.len() <= 1, "not a path: {}", case.text);
+            }
+        }
+    }
+
+    #[test]
+    fn branch_queries_have_a_fork() {
+        let (doc, enc) = setup();
+        let cfg = WorkloadConfig {
+            simple_attempts: 0,
+            branch_attempts: 400,
+            ..WorkloadConfig::default()
+        };
+        let w = generate_workload(&doc, &enc, &cfg);
+        for case in &w.branch {
+            let q = &case.query;
+            let has_fork = q.node_ids().any(|n| q.node(n).edges.len() >= 2);
+            assert!(has_fork, "no fork: {}", case.text);
+        }
+    }
+
+    #[test]
+    fn order_queries_have_sibling_constraints_and_targets() {
+        let (doc, enc) = setup();
+        let cfg = WorkloadConfig {
+            simple_attempts: 0,
+            branch_attempts: 600,
+            ..WorkloadConfig::default()
+        };
+        let w = generate_workload(&doc, &enc, &cfg);
+        assert!(!w.order_branch.is_empty(), "no branch-target order queries");
+        assert!(!w.order_trunk.is_empty(), "no trunk-target order queries");
+        for case in w.order_branch.iter().chain(&w.order_trunk) {
+            assert!(case.query.has_order_constraints(), "{}", case.text);
+        }
+        // Trunk-target cases point at the constrained owner.
+        for case in &w.order_trunk {
+            let q = &case.query;
+            let t = q.target();
+            assert!(!q.node(t).constraints.is_empty(), "{}", case.text);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (doc, enc) = setup();
+        let cfg = WorkloadConfig {
+            simple_attempts: 100,
+            branch_attempts: 100,
+            ..WorkloadConfig::default()
+        };
+        let a = generate_workload(&doc, &enc, &cfg);
+        let b = generate_workload(&doc, &enc, &cfg);
+        assert_eq!(a.simple.len(), b.simple.len());
+        assert_eq!(
+            a.simple.iter().map(|c| &c.text).collect::<Vec<_>>(),
+            b.simple.iter().map(|c| &c.text).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[cfg(test)]
+mod cross_dataset_tests {
+    use super::*;
+    use xpe_pathid::Labeling;
+
+    fn workload_for(dataset: crate::Dataset, scale: f64) -> Workload {
+        let doc = crate::DatasetSpec {
+            dataset,
+            scale,
+            seed: 21,
+        }
+        .generate();
+        let lab = Labeling::compute(&doc);
+        generate_workload(
+            &doc,
+            &lab.encoding,
+            &WorkloadConfig {
+                simple_attempts: 250,
+                branch_attempts: 250,
+                ..WorkloadConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn dblp_workload_has_all_classes() {
+        let w = workload_for(crate::Dataset::Dblp, 0.003);
+        assert!(!w.simple.is_empty());
+        assert!(!w.branch.is_empty());
+        assert!(!w.order_branch.is_empty());
+        assert!(!w.order_trunk.is_empty());
+    }
+
+    #[test]
+    fn xmark_workload_has_all_classes() {
+        let w = workload_for(crate::Dataset::XMark, 0.01);
+        assert!(!w.simple.is_empty());
+        assert!(!w.branch.is_empty());
+        assert!(!w.order_branch.is_empty());
+        assert!(!w.order_trunk.is_empty());
+    }
+
+    #[test]
+    fn simple_queries_are_contiguous_child_chains() {
+        let w = workload_for(crate::Dataset::XMark, 0.01);
+        for case in &w.simple {
+            let q = &case.query;
+            for n in q.node_ids() {
+                for e in &q.node(n).edges {
+                    assert_eq!(e.axis, Axis::Child, "{}", case.text);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_workload_counts_scale_with_attempts() {
+        let doc = crate::DatasetSpec {
+            dataset: crate::Dataset::SSPlays,
+            scale: 0.02,
+            seed: 3,
+        }
+        .generate();
+        let lab = Labeling::compute(&doc);
+        let small = generate_workload(
+            &doc,
+            &lab.encoding,
+            &WorkloadConfig {
+                simple_attempts: 50,
+                branch_attempts: 50,
+                ..WorkloadConfig::default()
+            },
+        );
+        let large = generate_workload(
+            &doc,
+            &lab.encoding,
+            &WorkloadConfig {
+                simple_attempts: 500,
+                branch_attempts: 500,
+                ..WorkloadConfig::default()
+            },
+        );
+        assert!(large.simple.len() >= small.simple.len());
+        assert!(large.branch.len() >= small.branch.len());
+    }
+}

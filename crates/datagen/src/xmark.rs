@@ -1,0 +1,329 @@
+//! Synthetic XMark auction-site benchmark data.
+//!
+//! Mirrors the XMark schema (Schmidt et al., VLDB'02): the auction site
+//! with regions/items, people, open and closed auctions, categories — and
+//! crucially the *recursive* rich-text structure (`description` →
+//! `parlist` → `listitem` → `parlist` …, plus nested `bold`/`keyword`/
+//! `emph` markup) that gives the real dataset its 74 tags and 344 distinct
+//! root-to-leaf paths (paper Tables 1 and 3). Scale 1.0 ≈ 320k elements.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xpe_xml::{Document, TreeBuilder};
+
+/// Generates an XMark-like document. `scale` 1.0 ≈ 320k elements.
+pub fn generate(scale: f64, seed: u64) -> Document {
+    let rng = StdRng::seed_from_u64(seed ^ 0x78_6d_61_72_6b);
+    let mut g = Gen {
+        b: TreeBuilder::new(),
+        rng,
+    };
+    let g = &mut g;
+    // Unit counts calibrated so scale 1.0 lands near 320k elements.
+    let items = ((4_350.0 * scale).round() as usize).max(1);
+    let people = ((5_100.0 * scale).round() as usize).max(1);
+    let open = ((2_400.0 * scale).round() as usize).max(1);
+    let closed = ((1_950.0 * scale).round() as usize).max(1);
+    let categories = ((200.0 * scale).round() as usize).max(1);
+
+    g.b.begin_element("site");
+
+    g.b.begin_element("regions");
+    let regions = [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ];
+    for (i, region) in regions.iter().enumerate() {
+        g.b.begin_element(region);
+        let share = items / regions.len() + usize::from(i < items % regions.len());
+        for _ in 0..share {
+            g.item();
+        }
+        g.b.end_element().expect("balanced");
+    }
+    g.b.end_element().expect("balanced");
+
+    g.b.begin_element("categories");
+    for _ in 0..categories {
+        g.b.begin_element("category");
+        g.leaf("name", "all sorts");
+        g.description();
+        g.b.end_element().expect("balanced");
+    }
+    g.b.end_element().expect("balanced");
+
+    g.b.begin_element("catgraph");
+    for _ in 0..categories {
+        g.b.begin_element("edge");
+        g.b.end_element().expect("balanced");
+    }
+    g.b.end_element().expect("balanced");
+
+    g.b.begin_element("people");
+    for _ in 0..people {
+        g.person();
+    }
+    g.b.end_element().expect("balanced");
+
+    g.b.begin_element("open_auctions");
+    for _ in 0..open {
+        g.open_auction();
+    }
+    g.b.end_element().expect("balanced");
+
+    g.b.begin_element("closed_auctions");
+    for _ in 0..closed {
+        g.closed_auction();
+    }
+    g.b.end_element().expect("balanced");
+
+    g.b.end_element().expect("balanced");
+    std::mem::take(&mut g.b).finish().expect("single root")
+}
+
+struct Gen {
+    b: TreeBuilder,
+    rng: StdRng,
+}
+
+impl Gen {
+    fn leaf(&mut self, tag: &str, text: &str) {
+        self.b.begin_element(tag);
+        self.b.text(text);
+        self.b.end_element().expect("balanced");
+    }
+
+    fn item(&mut self) {
+        self.b.begin_element("item");
+        self.leaf("location", "United States");
+        self.leaf("quantity", "1");
+        self.leaf("name", "gadget");
+        self.b.begin_element("payment");
+        self.b.end_element().expect("balanced");
+        self.description();
+        self.b.begin_element("shipping");
+        self.b.end_element().expect("balanced");
+        for _ in 0..self.rng.gen_range(1..=3) {
+            self.b.begin_element("incategory");
+            self.b.end_element().expect("balanced");
+        }
+        if self.rng.gen_bool(0.6) {
+            self.b.begin_element("mailbox");
+            for _ in 0..self.rng.gen_range(0..=2) {
+                self.b.begin_element("mail");
+                self.leaf("from", "a@x");
+                self.leaf("to", "b@y");
+                self.leaf("date", "01/01/2000");
+                self.text_block(0);
+                self.b.end_element().expect("balanced");
+            }
+            self.b.end_element().expect("balanced");
+        }
+        self.b.end_element().expect("balanced");
+    }
+
+    fn person(&mut self) {
+        self.b.begin_element("person");
+        self.leaf("name", "Alice Bidder");
+        self.leaf("emailaddress", "mailto:alice@example");
+        if self.rng.gen_bool(0.4) {
+            self.leaf("phone", "+1 555 0100");
+        }
+        if self.rng.gen_bool(0.5) {
+            self.b.begin_element("address");
+            self.leaf("street", "42 Example St");
+            self.leaf("city", "Springfield");
+            self.leaf("country", "United States");
+            if self.rng.gen_bool(0.3) {
+                self.leaf("province", "IL");
+            }
+            self.leaf("zipcode", "62704");
+            self.b.end_element().expect("balanced");
+        }
+        if self.rng.gen_bool(0.3) {
+            self.leaf("homepage", "http://example.org");
+        }
+        if self.rng.gen_bool(0.3) {
+            self.leaf("creditcard", "0000 0000 0000 0000");
+        }
+        if self.rng.gen_bool(0.6) {
+            self.b.begin_element("profile");
+            for _ in 0..self.rng.gen_range(0..=3) {
+                self.b.begin_element("interest");
+                self.b.end_element().expect("balanced");
+            }
+            if self.rng.gen_bool(0.5) {
+                self.leaf("education", "Graduate School");
+            }
+            if self.rng.gen_bool(0.7) {
+                self.leaf("gender", "female");
+            }
+            self.leaf("business", "Yes");
+            if self.rng.gen_bool(0.6) {
+                self.leaf("age", "32");
+            }
+            self.b.end_element().expect("balanced");
+        }
+        if self.rng.gen_bool(0.4) {
+            self.b.begin_element("watches");
+            for _ in 0..self.rng.gen_range(1..=3) {
+                self.b.begin_element("watch");
+                self.b.end_element().expect("balanced");
+            }
+            self.b.end_element().expect("balanced");
+        }
+        self.b.end_element().expect("balanced");
+    }
+
+    fn open_auction(&mut self) {
+        self.b.begin_element("open_auction");
+        self.leaf("initial", "17.50");
+        if self.rng.gen_bool(0.5) {
+            self.leaf("reserve", "35.00");
+        }
+        for _ in 0..self.rng.gen_range(0..=4) {
+            self.b.begin_element("bidder");
+            self.leaf("date", "02/02/2000");
+            self.leaf("time", "12:00:00");
+            self.b.begin_element("personref");
+            self.b.end_element().expect("balanced");
+            self.leaf("increase", "1.50");
+            self.b.end_element().expect("balanced");
+        }
+        self.leaf("current", "21.50");
+        if self.rng.gen_bool(0.3) {
+            self.leaf("privacy", "Yes");
+        }
+        self.b.begin_element("itemref");
+        self.b.end_element().expect("balanced");
+        self.b.begin_element("seller");
+        self.b.end_element().expect("balanced");
+        self.annotation();
+        self.leaf("quantity", "1");
+        self.leaf("type", "Regular");
+        self.b.begin_element("interval");
+        self.leaf("start", "03/03/2000");
+        self.leaf("end", "04/04/2000");
+        self.b.end_element().expect("balanced");
+        self.b.end_element().expect("balanced");
+    }
+
+    fn closed_auction(&mut self) {
+        self.b.begin_element("closed_auction");
+        self.b.begin_element("seller");
+        self.b.end_element().expect("balanced");
+        self.b.begin_element("buyer");
+        self.b.end_element().expect("balanced");
+        self.b.begin_element("itemref");
+        self.b.end_element().expect("balanced");
+        self.leaf("price", "40.00");
+        self.leaf("date", "05/05/2000");
+        self.leaf("quantity", "1");
+        self.leaf("type", "Regular");
+        self.annotation();
+        self.b.end_element().expect("balanced");
+    }
+
+    fn annotation(&mut self) {
+        self.b.begin_element("annotation");
+        self.b.begin_element("author");
+        self.b.end_element().expect("balanced");
+        self.description();
+        self.leaf("happiness", "7");
+        self.b.end_element().expect("balanced");
+    }
+
+    /// `description` is either a flat text block or the recursive parlist.
+    fn description(&mut self) {
+        self.b.begin_element("description");
+        if self.rng.gen_bool(0.35) {
+            self.parlist(0);
+        } else {
+            self.text_block(0);
+        }
+        self.b.end_element().expect("balanced");
+    }
+
+    /// The recursion that gives XMark its long tail of distinct paths.
+    ///
+    /// As in the real corpus, a `listitem` always carries a `text` block
+    /// and only *additionally* nests a `parlist` — so an outer parlist's
+    /// path id strictly contains an inner one's, keeping the labeling
+    /// informative (single-child chains would alias their ids).
+    fn parlist(&mut self, depth: usize) {
+        self.b.begin_element("parlist");
+        for _ in 0..self.rng.gen_range(1..=3) {
+            self.b.begin_element("listitem");
+            self.text_block(depth);
+            // One level of nesting, rare as in real xmlgen output.
+            if depth < 1 && self.rng.gen_bool(0.08) {
+                self.parlist(depth + 1);
+            }
+            self.b.end_element().expect("balanced");
+        }
+        self.b.end_element().expect("balanced");
+    }
+
+    /// `text` with optional nested inline markup.
+    fn text_block(&mut self, depth: usize) {
+        self.b.begin_element("text");
+        self.b.text("an exquisitely crafted item ");
+        if depth < 3 {
+            for markup in ["bold", "keyword", "emph"] {
+                if self.rng.gen_bool(0.25) {
+                    self.b.begin_element(markup);
+                    self.b.text("rare ");
+                    // Nested markup only under a *different* label, so the
+                    // inner element's path id never aliases its parent's.
+                    if markup != "emph" && self.rng.gen_bool(0.12) {
+                        self.b.begin_element("emph");
+                        self.b.text("very rare ");
+                        self.b.end_element().expect("balanced");
+                    }
+                    self.b.end_element().expect("balanced");
+                }
+            }
+        }
+        self.b.end_element().expect("balanced");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_xml::stats::DocumentStats;
+
+    #[test]
+    fn shape_tracks_xmark() {
+        let doc = generate(0.05, 13);
+        let s = DocumentStats::compute(&doc);
+        // Paper Table 1: 74 tags. We model the bulk of the schema.
+        assert!(
+            (55..=76).contains(&s.distinct_tags),
+            "tags {}",
+            s.distinct_tags
+        );
+        // Many distinct paths from the recursion (paper Table 3: 344).
+        assert!(s.distinct_paths >= 120, "paths {}", s.distinct_paths);
+        assert!(s.max_depth >= 7, "depth {}", s.max_depth);
+    }
+
+    #[test]
+    fn recursion_produces_nested_parlists() {
+        let doc = generate(0.05, 17);
+        let parlist = doc.tags().get("parlist").expect("parlist exists");
+        let nested = doc.node_ids().any(|n| {
+            doc.tag(n) == parlist && doc.root_path(n).iter().filter(|&&t| t == parlist).count() > 1
+        });
+        assert!(nested, "expected at least one nested parlist");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(0.01, 3).len(), generate(0.01, 3).len());
+    }
+}

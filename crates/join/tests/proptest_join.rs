@@ -1,0 +1,73 @@
+//! Property tests: structural-join counts agree with the exact evaluator
+//! on random documents and random simple paths, with and without the
+//! path-id filter, and the filter never changes results.
+
+use proptest::prelude::*;
+use xpe_join::JoinProcessor;
+use xpe_pathid::Labeling;
+use xpe_xml::{nav::DocOrder, Document, TreeBuilder};
+use xpe_xpath::{parse_query, Evaluator};
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    tag: u8,
+    children: Vec<TreeSpec>,
+}
+
+fn arb_doc() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (0u8..4).prop_map(|t| TreeSpec {
+        tag: t,
+        children: vec![],
+    });
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        (0u8..4, prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| TreeSpec { tag, children })
+    })
+}
+
+fn build_doc(spec: &TreeSpec) -> Document {
+    let mut b = TreeBuilder::new();
+    fn rec(b: &mut TreeBuilder, s: &TreeSpec) {
+        b.begin_element(&format!("t{}", s.tag));
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end_element().unwrap();
+    }
+    b.begin_element("R");
+    rec(&mut b, spec);
+    b.end_element().unwrap();
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn join_counts_match_exact_evaluator(
+        spec in arb_doc(),
+        steps in prop::collection::vec((any::<bool>(), 0u8..4), 1..4),
+        root_desc in any::<bool>(),
+    ) {
+        let doc = build_doc(&spec);
+        let labeling = Labeling::compute(&doc);
+        let order = DocOrder::new(&doc);
+        let eval = Evaluator::new(&doc, &order);
+        let proc = JoinProcessor::new(&doc, &labeling);
+
+        let mut text = String::from(if root_desc { "//" } else { "/" });
+        text.push_str("t0");
+        for &(child, tag) in &steps {
+            text.push_str(if child { "/" } else { "//" });
+            text.push_str(&format!("t{tag}"));
+        }
+        let query = parse_query(&text).unwrap();
+        let exact = eval.selectivity(&query);
+        let unfiltered = proc.count_path(&query, false).unwrap();
+        let filtered = proc.count_path(&query, true).unwrap();
+        prop_assert_eq!(unfiltered.matches, exact, "{}", text);
+        prop_assert_eq!(filtered.matches, exact, "{} (filtered)", text);
+        // The filter can only reduce scanned input.
+        prop_assert!(filtered.input_scanned <= unfiltered.input_scanned);
+    }
+}

@@ -1,0 +1,254 @@
+//! Variable-width path-id bitsets.
+//!
+//! A path id is "a sequence of bits" whose width equals the number of
+//! distinct root-to-leaf paths in the document (paper §2). Bit *i* counted
+//! from the **left** (1-based, matching the paper's figures) corresponds to
+//! the root-to-leaf path with encoding *i*.
+
+use std::fmt;
+
+/// A fixed-width bitset representing one path id value.
+///
+/// All path ids of one document share the same width; arithmetic between
+/// differently sized ids is a logic error and panics in debug builds.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathIdBits {
+    /// Number of meaningful bits.
+    nbits: u32,
+    /// Storage, most significant (leftmost) path first: bit `i` (1-based,
+    /// from the left) lives in `words[(i-1)/64]` at offset `63-((i-1)%64)`.
+    /// This layout makes the derived lexicographic `Ord` coincide with the
+    /// numeric order of the bit string, which the path-id binary tree
+    /// relies on.
+    words: Box<[u64]>,
+}
+
+impl PathIdBits {
+    /// The all-zero id of the given width.
+    pub fn zero(nbits: u32) -> Self {
+        let n = nbits.div_ceil(64) as usize;
+        PathIdBits {
+            nbits,
+            words: vec![0u64; n.max(1)].into_boxed_slice(),
+        }
+    }
+
+    /// An id with exactly bit `pos` set (1-based from the left).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is 0 or exceeds the width.
+    pub fn single(nbits: u32, pos: u32) -> Self {
+        let mut b = Self::zero(nbits);
+        b.set(pos);
+        b
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn nbits(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Sets bit `pos` (1-based from the left).
+    pub fn set(&mut self, pos: u32) {
+        assert!(pos >= 1 && pos <= self.nbits, "bit {pos} out of range");
+        let idx = (pos - 1) as usize;
+        self.words[idx / 64] |= 1u64 << (63 - (idx % 64));
+    }
+
+    /// Reads bit `pos` (1-based from the left).
+    pub fn get(&self, pos: u32) -> bool {
+        assert!(pos >= 1 && pos <= self.nbits, "bit {pos} out of range");
+        let idx = (pos - 1) as usize;
+        self.words[idx / 64] & (1u64 << (63 - (idx % 64))) != 0
+    }
+
+    /// Bitwise OR (the non-leaf labeling rule: a node's id is the OR of its
+    /// children's ids).
+    pub fn or_assign(&mut self, other: &PathIdBits) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+    }
+
+    /// The paper's *path id containment*: `self` ≠ `other` and
+    /// `self & other == other`.
+    pub fn contains(&self, other: &PathIdBits) -> bool {
+        self != other && self.contains_or_equal(other)
+    }
+
+    /// `self & other == other` (containment or equality).
+    pub fn contains_or_equal(&self, other: &PathIdBits) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Whether any bit is set in both ids (`self & other ≠ 0`).
+    pub fn intersects(&self, other: &PathIdBits) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set bits (how many distinct root-to-leaf paths pass
+    /// through nodes carrying this id).
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterates over set bit positions, 1-based from the left, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = u32> + '_ {
+        let nbits = self.nbits;
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = Vec::new();
+            let mut v = w;
+            while v != 0 {
+                let lz = v.leading_zeros();
+                let pos = wi as u32 * 64 + lz + 1;
+                if pos <= nbits {
+                    bits.push(pos);
+                }
+                v &= !(1u64 << (63 - lz));
+            }
+            bits
+        })
+    }
+
+    /// The first (leftmost) set bit position, if any.
+    pub fn first_one(&self) -> Option<u32> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                let pos = wi as u32 * 64 + w.leading_zeros() + 1;
+                if pos <= self.nbits {
+                    return Some(pos);
+                }
+            }
+        }
+        None
+    }
+
+    /// True if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Size of this id in bytes as the paper accounts for it
+    /// (`⌈width / 8⌉`; e.g. XMark's 344-bit ids take 43 bytes).
+    pub fn size_bytes(&self) -> usize {
+        (self.nbits as usize).div_ceil(8)
+    }
+}
+
+impl fmt::Debug for PathIdBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PathIdBits(")?;
+        for i in 1..=self.nbits {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for PathIdBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 1..=self.nbits {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_str(s: &str) -> PathIdBits {
+        let mut b = PathIdBits::zero(s.len() as u32);
+        for (i, c) in s.chars().enumerate() {
+            if c == '1' {
+                b.set(i as u32 + 1);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn paper_figure1_pids() {
+        // p5 = 1000 (D on path 1), p3 = 0011 = or(p2=0010, p1=0001).
+        let p1 = from_str("0001");
+        let p2 = from_str("0010");
+        let mut p3 = p1.clone();
+        p3.or_assign(&p2);
+        assert_eq!(p3.to_string(), "0011");
+        let p5 = PathIdBits::single(4, 1);
+        assert_eq!(p5.to_string(), "1000");
+    }
+
+    #[test]
+    fn containment_matches_paper_example_2_3() {
+        let p3 = from_str("0011");
+        let p2 = from_str("0010");
+        assert!(p3.contains(&p2));
+        assert!(!p2.contains(&p3));
+        assert!(!p3.contains(&p3), "containment is strict");
+        assert!(p3.contains_or_equal(&p3));
+    }
+
+    #[test]
+    fn ones_iterates_left_to_right() {
+        let b = from_str("1010");
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(b.first_one(), Some(1));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn wide_ids_cross_word_boundaries() {
+        let mut b = PathIdBits::zero(130);
+        b.set(1);
+        b.set(64);
+        b.set(65);
+        b.set(130);
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![1, 64, 65, 130]);
+        assert_eq!(b.count_ones(), 4);
+        assert_eq!(b.size_bytes(), 17);
+        let mut c = PathIdBits::zero(130);
+        c.set(65);
+        assert!(b.contains(&c));
+    }
+
+    #[test]
+    fn ord_is_numeric_on_bitstrings() {
+        // Matches the binary-tree leaf order of the paper's Figure 6.
+        let ids = [
+            "0001", "0010", "0011", "0100", "1000", "1010", "1011", "1100", "1111",
+        ];
+        let mut parsed: Vec<PathIdBits> = ids.iter().map(|s| from_str(s)).collect();
+        parsed.sort();
+        let sorted: Vec<String> = parsed.iter().map(|b| b.to_string()).collect();
+        assert_eq!(sorted, ids);
+    }
+
+    #[test]
+    fn zero_and_empty() {
+        let z = PathIdBits::zero(7);
+        assert!(z.is_zero());
+        assert_eq!(z.first_one(), None);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.size_bytes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut b = PathIdBits::zero(4);
+        b.set(5);
+    }
+}

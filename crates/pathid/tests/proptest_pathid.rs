@@ -1,0 +1,138 @@
+//! Property tests over the path encoding scheme on random documents:
+//! labeling invariants (paper §2) and binary-tree round trips (paper §6).
+
+use proptest::prelude::*;
+use xpe_pathid::{Labeling, PathIdTree};
+use xpe_xml::{Document, TreeBuilder};
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    tag: u8,
+    children: Vec<TreeSpec>,
+}
+
+fn arb_doc() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (0u8..5).prop_map(|t| TreeSpec {
+        tag: t,
+        children: vec![],
+    });
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        (0u8..5, prop::collection::vec(inner, 0..5))
+            .prop_map(|(tag, children)| TreeSpec { tag, children })
+    })
+}
+
+fn build_doc(spec: &TreeSpec) -> Document {
+    let mut b = TreeBuilder::new();
+    fn rec(b: &mut TreeBuilder, s: &TreeSpec) {
+        b.begin_element(&format!("t{}", s.tag));
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end_element().unwrap();
+    }
+    rec(&mut b, spec);
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Leaves carry exactly the bit of their root path; internal nodes the
+    /// OR of their children; parents always contain-or-equal children.
+    #[test]
+    fn labeling_invariants(spec in arb_doc()) {
+        let doc = build_doc(&spec);
+        let lab = Labeling::compute(&doc);
+        prop_assert_eq!(lab.interner.width() as usize, lab.encoding.len());
+        for n in doc.node_ids() {
+            let bits = lab.interner.bits(lab.pid(n));
+            if doc.children(n).is_empty() {
+                prop_assert_eq!(bits.count_ones(), 1);
+                let enc = bits.first_one().unwrap();
+                // The encoded path is this leaf's root path.
+                let path = doc.root_path(n);
+                prop_assert_eq!(lab.encoding.path(enc), &path[..]);
+            } else {
+                let mut or = xpe_pathid::PathIdBits::zero(lab.interner.width());
+                for &c in doc.children(n) {
+                    or.or_assign(lab.interner.bits(lab.pid(c)));
+                }
+                prop_assert_eq!(bits, &or);
+            }
+            if let Some(p) = doc.parent(n) {
+                prop_assert!(lab.interner.contains_or_equal(lab.pid(p), lab.pid(n)));
+            }
+        }
+        // The root's id covers every path.
+        let root_bits = lab.interner.bits(lab.pid(doc.root()));
+        prop_assert_eq!(root_bits.count_ones() as usize, lab.encoding.len());
+    }
+
+    /// Soundness of the path-join pruning test (paper §2 Cases 1–2, §4):
+    /// for every *real* ancestor/descendant or parent/child pair in the
+    /// document, `axis_compatible` must accept the pair's (pid, tag)
+    /// annotations — the join may only ever prune ids that cannot
+    /// contribute. (The converse is deliberately not required: the paper's
+    /// containment lemma is a heuristic and over-approximates on recursive
+    /// or same-tag data, which is what makes this an estimator.)
+    #[test]
+    fn pruning_test_is_sound(spec in arb_doc()) {
+        let doc = build_doc(&spec);
+        let lab = Labeling::compute(&doc);
+        for x in doc.node_ids() {
+            for y in doc.node_ids() {
+                if !doc.is_ancestor(x, y) {
+                    continue;
+                }
+                let (px, py) = (lab.pid(x), lab.pid(y));
+                prop_assert!(
+                    lab.axis_compatible(px, doc.tag(x), py, doc.tag(y), false),
+                    "ancestor pair rejected"
+                );
+                if doc.parent(y) == Some(x) {
+                    prop_assert!(
+                        lab.axis_compatible(px, doc.tag(x), py, doc.tag(y), true),
+                        "parent pair rejected"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Tree ordinals round-trip through bit reconstruction and reverse
+    /// lookup on arbitrary documents.
+    #[test]
+    fn binary_tree_round_trip(spec in arb_doc()) {
+        let doc = build_doc(&spec);
+        let lab = Labeling::compute(&doc);
+        let tree = PathIdTree::new(&lab.interner);
+        prop_assert_eq!(tree.len(), lab.interner.len());
+        let mut seen = std::collections::HashSet::new();
+        for (pid, bits) in lab.interner.iter() {
+            let ord = tree.ord(pid);
+            prop_assert!(ord >= 1 && ord as usize <= tree.len());
+            prop_assert!(seen.insert(ord), "ordinals must be unique");
+            prop_assert_eq!(&tree.bits_of_ord(ord).unwrap(), bits);
+            prop_assert_eq!(tree.ord_of_bits(bits), Some(ord));
+            prop_assert_eq!(tree.pid_of_ord(ord), pid);
+        }
+    }
+
+    /// Ordinals are monotone in the bit-string order (Figure 6 leaf order).
+    #[test]
+    fn ordinals_are_sorted(spec in arb_doc()) {
+        let doc = build_doc(&spec);
+        let lab = Labeling::compute(&doc);
+        let tree = PathIdTree::new(&lab.interner);
+        let mut pairs: Vec<_> = lab
+            .interner
+            .iter()
+            .map(|(pid, bits)| (tree.ord(pid), bits.clone()))
+            .collect();
+        pairs.sort_by_key(|(o, _)| *o);
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 < w[1].1);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Position-histogram baseline.
+//!
+//! The third comparator family the paper discusses (§8): Wu, Patel &
+//! Jagadish, *Estimating Answer Sizes for XML Queries* (EDBT'02). Every
+//! element is labeled with its interval `(start, end)` (pre-order rank and
+//! the largest rank in its subtree); each tag gets a **two-dimensional
+//! position histogram** — a grid over the `(start, end)` plane — and a
+//! *position-histogram join* estimates how many pairs of one tag's nodes
+//! contain another's, assuming positions are uniform within each grid
+//! cell.
+//!
+//! The paper's critique, which this implementation deliberately preserves:
+//! *"Since only containment information between nodes is captured, this
+//! approach cannot distinguish between parent-child and ancestor-descendant
+//! relationships."* [`PositionEstimator::estimate`] therefore treats `/`
+//! and `//` steps identically — the comparison harness shows exactly what
+//! that costs on child-axis workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use xpe_poshist::PositionEstimator;
+//! use xpe_xpath::parse_query;
+//!
+//! let doc = xpe_xml::fixtures::paper_figure1();
+//! let est = PositionEstimator::build(&doc, 8);
+//! // //A//C: 2 descendant pairs in Figure 1.
+//! let pairs = est.estimate(&parse_query("//A//C").unwrap()).unwrap();
+//! assert!(pairs > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use xpe_xml::{Document, NodeId, TagId};
+use xpe_xpath::{Axis, Query};
+
+/// The 2D position histogram of one element tag.
+#[derive(Clone, Debug)]
+pub struct PositionHistogram {
+    /// Grid resolution (cells per axis).
+    grid: usize,
+    /// Document position range (exclusive upper bound).
+    span: u64,
+    /// `cells[(sx, ex)]`: number of elements whose start falls in column
+    /// `sx` and end in row `ex`. Sparse — only the upper triangle can be
+    /// populated (`end ≥ start`).
+    cells: HashMap<(u32, u32), u64>,
+    /// Total elements with this tag.
+    count: u64,
+}
+
+impl PositionHistogram {
+    fn cell_of(&self, pos: u64) -> u32 {
+        ((pos * self.grid as u64) / self.span.max(1)) as u32
+    }
+
+    /// Cell bounds `[lo, hi)` along one axis.
+    fn bounds(&self, cell: u32) -> (f64, f64) {
+        let w = self.span as f64 / self.grid as f64;
+        (cell as f64 * w, (cell + 1) as f64 * w)
+    }
+
+    /// Number of elements summarized.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of non-empty grid cells.
+    pub fn nonzero_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Byte size: 2×2-byte cell coordinates plus a 4-byte count per cell.
+    pub fn size_bytes(&self) -> usize {
+        self.cells.len() * 8
+    }
+}
+
+/// Position histograms for every tag of a document.
+#[derive(Clone, Debug)]
+pub struct PositionEstimator {
+    per_tag: Vec<PositionHistogram>,
+    tags: HashMap<String, TagId>,
+}
+
+impl PositionEstimator {
+    /// Builds `grid`×`grid` histograms for every tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is zero.
+    pub fn build(doc: &Document, grid: usize) -> Self {
+        assert!(grid >= 1, "grid resolution must be at least 1");
+        // Classic interval labeling (the paper's [17]): one counter ticks
+        // at every element entry and exit, so ancestor intervals strictly
+        // contain descendant intervals — no ties.
+        let span = 2 * doc.len() as u64;
+        let mut start = vec![0u64; doc.len()];
+        let mut end = vec![0u64; doc.len()];
+        let mut counter = 0u64;
+        let mut stack: Vec<(NodeId, bool)> = vec![(doc.root(), false)];
+        while let Some((id, exiting)) = stack.pop() {
+            if exiting {
+                end[id.index()] = counter;
+            } else {
+                start[id.index()] = counter;
+                stack.push((id, true));
+                for &c in doc.children(id).iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+            counter += 1;
+        }
+        let mut per_tag: Vec<PositionHistogram> = (0..doc.tags().len())
+            .map(|_| PositionHistogram {
+                grid,
+                span,
+                cells: HashMap::new(),
+                count: 0,
+            })
+            .collect();
+        for id in doc.node_ids() {
+            let h = &mut per_tag[doc.tag(id).index()];
+            let key = (h.cell_of(start[id.index()]), h.cell_of(end[id.index()]));
+            *h.cells.entry(key).or_insert(0) += 1;
+            h.count += 1;
+        }
+        let tags = doc
+            .tags()
+            .iter()
+            .map(|(id, name)| (name.to_owned(), id))
+            .collect();
+        PositionEstimator { per_tag, tags }
+    }
+
+    /// The histogram of one tag, if present.
+    pub fn histogram(&self, tag: &str) -> Option<&PositionHistogram> {
+        self.tags.get(tag).map(|t| &self.per_tag[t.index()])
+    }
+
+    /// Total byte size across tags.
+    pub fn size_bytes(&self) -> usize {
+        self.per_tag.iter().map(PositionHistogram::size_bytes).sum()
+    }
+
+    /// Position-histogram join: expected number of `(a, b)` pairs with `a`
+    /// an ancestor of `b`, i.e. `a.start < b.start ∧ b.end ≤ a.end`,
+    /// assuming uniform positions within cells (EDBT'02 §3).
+    pub fn containment_pairs(&self, anc: &PositionHistogram, desc: &PositionHistogram) -> f64 {
+        let mut total = 0.0;
+        for (&(asx, aex), &ac) in &anc.cells {
+            let (as_lo, as_hi) = anc.bounds(asx);
+            let (ae_lo, ae_hi) = anc.bounds(aex);
+            for (&(bsx, bex), &bc) in &desc.cells {
+                let (bs_lo, bs_hi) = desc.bounds(bsx);
+                let (be_lo, be_hi) = desc.bounds(bex);
+                // P(a.start < b.start) × P(b.end < a.end), uniform within
+                // cells, components treated independently.
+                let p = p_less(as_lo, as_hi, bs_lo, bs_hi) * p_less(be_lo, be_hi, ae_lo, ae_hi);
+                total += ac as f64 * bc as f64 * p;
+            }
+        }
+        total
+    }
+
+    /// Estimates a *simple path* query (the model's scope, like the other
+    /// baselines): chains pairwise containment estimates along the steps,
+    /// treating `/` exactly like `//` — the published model captures only
+    /// containment, not adjacency.
+    pub fn estimate(&self, query: &Query) -> Option<f64> {
+        if query.has_order_constraints() {
+            return None;
+        }
+        let mut steps: Vec<TagId> = Vec::new();
+        let mut cur = query.root();
+        loop {
+            let node = query.node(cur);
+            steps.push(*self.tags.get(&node.tag)?);
+            match node.edges.len() {
+                0 => break,
+                1 => {
+                    // Child or descendant — the model cannot tell.
+                    debug_assert!(matches!(node.edges[0].axis, Axis::Child | Axis::Descendant));
+                    cur = node.edges[0].to;
+                }
+                _ => return None,
+            }
+        }
+        // Root-anchored queries start from one node; `//` from all of the
+        // first tag.
+        let first = &self.per_tag[steps[0].index()];
+        let mut flow = match query.root_axis() {
+            Axis::Child => 1.0f64.min(first.count as f64),
+            _ => first.count as f64,
+        };
+        for win in steps.windows(2) {
+            let a = &self.per_tag[win[0].index()];
+            let b = &self.per_tag[win[1].index()];
+            if a.count == 0 || b.count == 0 {
+                return Some(0.0);
+            }
+            let pairs = self.containment_pairs(a, b);
+            // Expected matches of the next step given `flow` matches of
+            // the previous one: scale the pair count by the fraction of
+            // `a` nodes still in play, clamp by the `b` population.
+            flow = (pairs * flow / a.count as f64).min(b.count as f64);
+        }
+        Some(flow)
+    }
+}
+
+/// `P(X < Y)` for independent `X ~ U[x0, x1)`, `Y ~ U[y0, y1)`.
+fn p_less(x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
+    if x1 <= y0 {
+        return 1.0;
+    }
+    if y1 <= x0 {
+        return 0.0;
+    }
+    // Integrate P(X < y) over the overlap. Piecewise closed form:
+    // split Y's range at x0 and x1.
+    let lx = x1 - x0;
+    let ly = y1 - y0;
+    let mut p = 0.0;
+    // Region y ≤ x0: P(X < y) = 0 — contributes nothing.
+    // Region x0 < y < x1: P(X < y) = (y − x0)/lx.
+    let a = y0.max(x0);
+    let b = y1.min(x1);
+    if b > a {
+        // ∫ (y − x0)/lx dy over [a, b] = ((b−x0)² − (a−x0)²) / (2 lx)
+        p += ((b - x0).powi(2) - (a - x0).powi(2)) / (2.0 * lx);
+    }
+    // Region y ≥ x1: P(X < y) = 1 — contributes its full length.
+    let tail = (y1 - x1.max(y0)).max(0.0);
+    (p + tail) / ly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_xml::parse_document;
+    use xpe_xpath::parse_query;
+
+    #[test]
+    fn p_less_basic_cases() {
+        // Disjoint: X entirely below Y.
+        assert_eq!(p_less(0.0, 1.0, 2.0, 3.0), 1.0);
+        // Disjoint: X entirely above Y.
+        assert_eq!(p_less(2.0, 3.0, 0.0, 1.0), 0.0);
+        // Identical ranges: P = 1/2.
+        assert!((p_less(0.0, 1.0, 0.0, 1.0) - 0.5).abs() < 1e-12);
+        // Y spans twice X's range starting at X's start:
+        // P = (1/2·1/2) + 1/2 = 0.75.
+        assert!((p_less(0.0, 1.0, 0.0, 2.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_less_matches_monte_carlo() {
+        let cases = [
+            (0.0, 2.0, 1.0, 3.0),
+            (1.0, 4.0, 0.0, 2.0),
+            (0.0, 10.0, 2.0, 3.0),
+            (2.0, 3.0, 0.0, 10.0),
+        ];
+        for (x0, x1, y0, y1) in cases {
+            let analytic = p_less(x0, x1, y0, y1);
+            let mut hits = 0u32;
+            let n = 40_000u32;
+            // Deterministic low-discrepancy sampling.
+            for i in 0..n {
+                let fx = (i as f64 * 0.754_877_666_246_69) % 1.0;
+                let fy = (i as f64 * 0.569_840_290_998_053) % 1.0;
+                let x = x0 + fx * (x1 - x0);
+                let y = y0 + fy * (y1 - y0);
+                if x < y {
+                    hits += 1;
+                }
+            }
+            let mc = hits as f64 / n as f64;
+            assert!(
+                (analytic - mc).abs() < 0.02,
+                "({x0},{x1},{y0},{y1}): analytic {analytic} mc {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn fine_grid_counts_descendant_pairs_well() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        // Grid as fine as the token stream: cells are near-points, so the
+        // join approaches the exact pair count.
+        let est = PositionEstimator::build(&doc, 2 * doc.len());
+        let a = est.histogram("A").unwrap();
+        let d = est.histogram("D").unwrap();
+        // Exactly 4 (A, D) ancestor pairs in Figure 1.
+        let pairs = est.containment_pairs(a, d);
+        assert!((pairs - 4.0).abs() < 0.75, "pairs {pairs}");
+    }
+
+    #[test]
+    fn coarse_grid_trades_accuracy_for_space() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let fine = PositionEstimator::build(&doc, 2 * doc.len());
+        let coarse = PositionEstimator::build(&doc, 2);
+        assert!(coarse.size_bytes() <= fine.size_bytes());
+        // Both still produce finite nonnegative estimates.
+        let q = parse_query("//A//D").unwrap();
+        for e in [fine.estimate(&q).unwrap(), coarse.estimate(&q).unwrap()] {
+            assert!(e.is_finite() && e >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cannot_distinguish_child_from_descendant() {
+        // The paper's critique, demonstrated: //A/D has no matches in
+        // Figure 1 (D is always under B), but the position model cannot
+        // tell it apart from //A//D.
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let est = PositionEstimator::build(&doc, 2 * doc.len());
+        let child = est.estimate(&parse_query("//A/D").unwrap()).unwrap();
+        let desc = est.estimate(&parse_query("//A//D").unwrap()).unwrap();
+        assert_eq!(child, desc, "containment-only model");
+        assert!(child > 0.0, "overestimates the empty child query");
+    }
+
+    #[test]
+    fn out_of_model_queries_return_none() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let est = PositionEstimator::build(&doc, 8);
+        assert!(est.estimate(&parse_query("//A[/C]/B").unwrap()).is_none());
+        assert!(est
+            .estimate(&parse_query("//A[/C/folls::B]").unwrap())
+            .is_none());
+        assert!(est.estimate(&parse_query("//Zebra").unwrap()).is_none());
+    }
+
+    #[test]
+    fn root_anchoring_clamps_to_one() {
+        let doc = parse_document("<r><a/><a/></r>").unwrap();
+        let est = PositionEstimator::build(&doc, 4);
+        let anchored = est.estimate(&parse_query("/r/a").unwrap()).unwrap();
+        assert!(anchored <= 2.0 + 1e-9);
+        let free = est.estimate(&parse_query("//a").unwrap()).unwrap();
+        assert_eq!(free, 2.0);
+    }
+}

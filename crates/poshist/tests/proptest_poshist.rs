@@ -1,0 +1,110 @@
+//! Property tests for the position-histogram baseline.
+
+use proptest::prelude::*;
+use xpe_poshist::PositionEstimator;
+use xpe_xml::{Document, TreeBuilder};
+use xpe_xpath::parse_query;
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    tag: u8,
+    children: Vec<TreeSpec>,
+}
+
+fn arb_doc() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (0u8..4).prop_map(|t| TreeSpec {
+        tag: t,
+        children: vec![],
+    });
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        (0u8..4, prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| TreeSpec { tag, children })
+    })
+}
+
+fn build_doc(spec: &TreeSpec) -> Document {
+    let mut b = TreeBuilder::new();
+    fn rec(b: &mut TreeBuilder, s: &TreeSpec) {
+        b.begin_element(&format!("t{}", s.tag));
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end_element().unwrap();
+    }
+    b.begin_element("R");
+    rec(&mut b, spec);
+    b.end_element().unwrap();
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// At point-resolution grids, the containment join counts exact
+    /// ancestor-descendant pairs for every pair of *distinct* tags.
+    /// (Same-tag joins include self-pairs — the count-based model cannot
+    /// exclude a node being joined with itself, an inherent artifact of
+    /// the published approach.)
+    #[test]
+    fn fine_grid_join_is_exact(spec in arb_doc()) {
+        let doc = build_doc(&spec);
+        let est = PositionEstimator::build(&doc, 2 * doc.len());
+        for a_tag in 0..4u8 {
+            for b_tag in 0..4u8 {
+                if a_tag == b_tag {
+                    continue;
+                }
+                let (Some(a), Some(b)) = (
+                    est.histogram(&format!("t{a_tag}")),
+                    est.histogram(&format!("t{b_tag}")),
+                ) else { continue };
+                let estimate = est.containment_pairs(a, b);
+                let exact = doc
+                    .node_ids()
+                    .flat_map(|x| doc.node_ids().map(move |y| (x, y)))
+                    .filter(|&(x, y)| {
+                        doc.tag_name(x) == format!("t{a_tag}")
+                            && doc.tag_name(y) == format!("t{b_tag}")
+                            && doc.is_ancestor(x, y)
+                    })
+                    .count() as f64;
+                prop_assert!(
+                    (estimate - exact).abs() < 0.51 + exact * 0.05,
+                    "t{} anc of t{}: est {} exact {}", a_tag, b_tag, estimate, exact
+                );
+            }
+        }
+    }
+
+    /// Estimates are finite, non-negative and clamped by the target tag's
+    /// population, at any grid resolution.
+    #[test]
+    fn estimates_bounded(spec in arb_doc(), grid in 1usize..64) {
+        let doc = build_doc(&spec);
+        let est = PositionEstimator::build(&doc, grid);
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let q = parse_query(&format!("//t{a}//t{b}")).unwrap();
+                let Some(e) = est.estimate(&q) else { continue };
+                prop_assert!(e.is_finite() && e >= 0.0);
+                let cap = doc
+                    .node_ids()
+                    .filter(|&n| doc.tag_name(n) == format!("t{b}"))
+                    .count() as f64;
+                prop_assert!(e <= cap + 1e-9, "est {} cap {}", e, cap);
+            }
+        }
+    }
+
+    /// Coarser grids never take more space.
+    #[test]
+    fn size_monotone_in_grid(spec in arb_doc()) {
+        let doc = build_doc(&spec);
+        let mut last = usize::MAX;
+        for grid in [64usize, 16, 4, 1] {
+            let est = PositionEstimator::build(&doc, grid);
+            prop_assert!(est.size_bytes() <= last);
+            last = est.size_bytes();
+        }
+    }
+}

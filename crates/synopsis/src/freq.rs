@@ -1,0 +1,147 @@
+//! The pathId-frequency table (paper §3, Figure 2(a)).
+//!
+//! One row per distinct element tag, aggregating every path id the tag
+//! occurs with and its frequency. This is the exact statistic the
+//! p-histogram summarizes and the path join consumes.
+
+use std::collections::HashMap;
+
+use xpe_pathid::{Labeling, Pid};
+use xpe_xml::{Document, TagId};
+
+/// Exact per-tag `(path id, frequency)` lists.
+#[derive(Clone, Debug)]
+pub struct PathIdFrequencyTable {
+    /// `rows[tag.index()]`: pids in first-encounter order with counts.
+    rows: Vec<Vec<(Pid, u64)>>,
+}
+
+impl PathIdFrequencyTable {
+    /// Aggregates the labeling of `doc` into per-tag rows.
+    pub fn build(doc: &Document, labeling: &Labeling) -> Self {
+        let mut maps: Vec<HashMap<Pid, u64>> = vec![HashMap::new(); doc.tags().len()];
+        let mut orders: Vec<Vec<Pid>> = vec![Vec::new(); doc.tags().len()];
+        for n in doc.node_ids() {
+            let tag = doc.tag(n).index();
+            let pid = labeling.pid(n);
+            let entry = maps[tag].entry(pid).or_insert_with(|| {
+                orders[tag].push(pid);
+                0
+            });
+            *entry += 1;
+        }
+        let rows = orders
+            .into_iter()
+            .zip(maps)
+            .map(|(order, map)| {
+                order
+                    .into_iter()
+                    .map(|pid| (pid, map[&pid]))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        PathIdFrequencyTable { rows }
+    }
+
+    /// The `(pid, frequency)` row of `tag`.
+    pub fn row(&self, tag: TagId) -> &[(Pid, u64)] {
+        self.rows.get(tag.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of tags (row count).
+    pub fn tag_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of elements carrying `tag`.
+    pub fn total_frequency(&self, tag: TagId) -> u64 {
+        self.row(tag).iter().map(|&(_, f)| f).sum()
+    }
+
+    /// The exact frequency of `(tag, pid)`, 0 when the pair never occurs.
+    pub fn frequency(&self, tag: TagId, pid: Pid) -> u64 {
+        self.row(tag)
+            .iter()
+            .find(|&&(p, _)| p == pid)
+            .map(|&(_, f)| f)
+            .unwrap_or(0)
+    }
+
+    /// Total number of `(tag, pid)` entries across all rows.
+    pub fn entry_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2a_rows() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let table = PathIdFrequencyTable::build(&doc, &lab);
+        let tags = doc.tags();
+
+        // D: {(p5, 4)} — one pid, frequency 4.
+        let d_row = table.row(tags.get("D").unwrap());
+        assert_eq!(d_row.len(), 1);
+        assert_eq!(d_row[0].1, 4);
+        assert_eq!(lab.interner.bits(d_row[0].0).to_string(), "1000");
+
+        // B: {(p8, 1), (p5, 3)}.
+        let b_row: Vec<(String, u64)> = table
+            .row(tags.get("B").unwrap())
+            .iter()
+            .map(|&(p, f)| (lab.interner.bits(p).to_string(), f))
+            .collect();
+        assert_eq!(b_row.len(), 2);
+        assert!(b_row.contains(&("1100".to_owned(), 1)));
+        assert!(b_row.contains(&("1000".to_owned(), 3)));
+
+        // A: three pids, frequency 1 each.
+        let a_row = table.row(tags.get("A").unwrap());
+        assert_eq!(a_row.len(), 3);
+        assert!(a_row.iter().all(|&(_, f)| f == 1));
+
+        // E: {(p4, 1), (p2, 2)}.
+        let e_row: Vec<(String, u64)> = table
+            .row(tags.get("E").unwrap())
+            .iter()
+            .map(|&(p, f)| (lab.interner.bits(p).to_string(), f))
+            .collect();
+        assert!(e_row.contains(&("0100".to_owned(), 1)));
+        assert!(e_row.contains(&("0010".to_owned(), 2)));
+
+        // Root: {(p9, 1)}.
+        assert_eq!(table.total_frequency(tags.get("Root").unwrap()), 1);
+    }
+
+    #[test]
+    fn totals_cover_every_element() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let table = PathIdFrequencyTable::build(&doc, &lab);
+        let total: u64 = doc
+            .tags()
+            .iter()
+            .map(|(t, _)| table.total_frequency(t))
+            .sum();
+        assert_eq!(total, doc.len() as u64);
+    }
+
+    #[test]
+    fn frequency_lookup() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let table = PathIdFrequencyTable::build(&doc, &lab);
+        let tags = doc.tags();
+        let d = tags.get("D").unwrap();
+        let (pid, f) = table.row(d)[0];
+        assert_eq!(table.frequency(d, pid), f);
+        // A pid D never carries reports zero.
+        let root_pid = lab.pid(doc.root());
+        assert_eq!(table.frequency(d, root_pid), 0);
+    }
+}

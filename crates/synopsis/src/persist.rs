@@ -1,0 +1,210 @@
+//! Summary persistence.
+//!
+//! A summary is built once (over a possibly multi-million-element
+//! document) and consulted forever after; [`Summary::to_bytes`] /
+//! [`Summary::from_bytes`] let applications ship it without the document.
+//! The format is the versioned little-endian encoding of
+//! [`xpe_xml::wire`]; the path-id binary tree is rebuilt from the interned
+//! ids on load (it is derived data), and build timings are not persisted.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use xpe_pathid::{EncodingTable, PathIdTree, PidInterner};
+use xpe_xml::wire::{self, Reader, WireError};
+use xpe_xml::TagInterner;
+
+use crate::ohistogram::OHistogramSet;
+use crate::phistogram::PHistogramSet;
+use crate::summary::{BuildTimings, Summary, SummaryConfig};
+
+/// `"XPES"` — the serialized summary magic.
+const MAGIC: u32 = 0x5345_5058;
+/// Bump on any incompatible format change.
+const VERSION: u32 = 1;
+
+/// Errors loading a serialized summary.
+#[derive(Debug)]
+pub enum LoadError {
+    /// I/O failure reading the source.
+    Io(io::Error),
+    /// Structural decode failure.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "I/O error: {e}"),
+            LoadError::Wire(e) => write!(f, "decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<WireError> for LoadError {
+    fn from(e: WireError) -> Self {
+        LoadError::Wire(e)
+    }
+}
+
+impl Summary {
+    /// Serializes the summary.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4096);
+        wire::put_u32(&mut buf, MAGIC);
+        wire::put_u32(&mut buf, VERSION);
+        self.tags.encode(&mut buf);
+        self.encoding.encode(&mut buf);
+        self.pids.encode(&mut buf);
+        wire::put_f64(&mut buf, self.config.p_variance);
+        wire::put_f64(&mut buf, self.config.o_variance);
+        self.phist.encode(&mut buf);
+        self.ohist.encode(&mut buf);
+        buf
+    }
+
+    /// Deserializes a summary produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != MAGIC {
+            return Err(WireError::BadHeader("not an xpe summary"));
+        }
+        if r.u32()? != VERSION {
+            return Err(WireError::BadHeader("unsupported summary version"));
+        }
+        let tags = TagInterner::decode(&mut r)?;
+        let encoding = EncodingTable::decode(&mut r)?;
+        let pids = PidInterner::decode(&mut r)?;
+        let config = SummaryConfig {
+            p_variance: r.f64()?,
+            o_variance: r.f64()?,
+        };
+        let phist = PHistogramSet::decode(&mut r)?;
+        let ohist = OHistogramSet::decode(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(WireError::BadHeader("trailing bytes"));
+        }
+        let pid_tree = PathIdTree::new(&pids);
+        Ok(Summary {
+            tags,
+            encoding,
+            pids,
+            pid_tree,
+            phist,
+            ohist,
+            config,
+            timings: BuildTimings::default(),
+        })
+    }
+
+    /// Writes the serialized summary to `w`.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(&self.to_bytes())
+    }
+
+    /// Writes the serialized summary to a file.
+    pub fn save_to_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a summary from `r`.
+    pub fn load<R: Read>(mut r: R) -> Result<Self, LoadError> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        Ok(Self::from_bytes(&bytes)?)
+    }
+
+    /// Reads a summary from a file.
+    pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<Self, LoadError> {
+        Ok(Self::from_bytes(&std::fs::read(path)?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::SummaryConfig;
+
+    fn summary() -> Summary {
+        Summary::build(
+            &xpe_xml::fixtures::paper_figure1(),
+            SummaryConfig {
+                p_variance: 1.0,
+                o_variance: 2.0,
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_observable() {
+        let s = summary();
+        let bytes = s.to_bytes();
+        let s2 = Summary::from_bytes(&bytes).unwrap();
+
+        assert_eq!(s2.tags.len(), s.tags.len());
+        assert_eq!(s2.encoding.len(), s.encoding.len());
+        assert_eq!(s2.pids.len(), s.pids.len());
+        assert_eq!(s2.config, s.config);
+        assert_eq!(s2.sizes().p_histograms, s.sizes().p_histograms);
+        assert_eq!(s2.sizes().o_histograms, s.sizes().o_histograms);
+        assert_eq!(s2.pid_tree.len(), s.pid_tree.len());
+
+        // Histogram lookups agree for every (tag, pid).
+        for (tag, _) in s.tags.iter() {
+            let h1 = s.phist.histogram(tag);
+            let h2 = s2.phist.histogram(tag);
+            for (pid, f1) in h1.entries() {
+                assert_eq!(h2.frequency(pid), Some(f1));
+            }
+        }
+        // Pid bit sequences preserved with their handles.
+        for (pid, bits) in s.pids.iter() {
+            assert_eq!(s2.pids.bits(pid), bits);
+        }
+    }
+
+    #[test]
+    fn save_load_via_buffer() {
+        let s = summary();
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let s2 = Summary::load(&buf[..]).unwrap();
+        assert_eq!(s2.pids.len(), s.pids.len());
+    }
+
+    #[test]
+    fn corrupted_inputs_rejected() {
+        let s = summary();
+        let bytes = s.to_bytes();
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            Summary::from_bytes(&bad),
+            Err(WireError::BadHeader(_))
+        ));
+        // Wrong version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            Summary::from_bytes(&bad),
+            Err(WireError::BadHeader(_))
+        ));
+        // Truncation anywhere must not panic.
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(Summary::from_bytes(&bytes[..cut]).is_err());
+        }
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(Summary::from_bytes(&bad).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests of the histogram invariants the paper's Algorithms 1–2
+//! promise: intra-bucket deviation bounded by the threshold, complete
+//! coverage, and losslessness at variance 0.
+
+use proptest::prelude::*;
+
+use xpe_pathid::{Labeling, Pid};
+use xpe_synopsis::{
+    OHistogramSet, PHistogram, PHistogramSet, PathIdFrequencyTable, PathOrderTable, Region,
+};
+use xpe_xml::{Document, TreeBuilder};
+
+fn arb_row() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..64, 0..24)
+}
+
+fn row_of(freqs: &[u64]) -> Vec<(Pid, u64)> {
+    freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (Pid::from_index(i), f))
+        .collect()
+}
+
+fn deviation(freqs: &[f64]) -> f64 {
+    let k = freqs.len() as f64;
+    let mean = freqs.iter().sum::<f64>() / k;
+    (freqs.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>() / k).sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every bucket built at threshold v has deviation ≤ v, covers every
+    /// pid exactly once, and stores the true bucket average.
+    #[test]
+    fn p_histogram_invariants(freqs in arb_row(), v in 0.0f64..8.0) {
+        let row = row_of(&freqs);
+        let h = PHistogram::build(&row, v);
+        let mut seen = std::collections::HashSet::new();
+        for b in h.buckets() {
+            prop_assert!(!b.pids.is_empty());
+            let bucket_freqs: Vec<f64> = b
+                .pids
+                .iter()
+                .map(|p| freqs[p.index()] as f64)
+                .collect();
+            prop_assert!(deviation(&bucket_freqs) <= v + 1e-9);
+            let mean = bucket_freqs.iter().sum::<f64>() / bucket_freqs.len() as f64;
+            prop_assert!((b.avg - mean).abs() < 1e-9);
+            for p in &b.pids {
+                prop_assert!(seen.insert(*p), "pid in two buckets");
+            }
+        }
+        prop_assert_eq!(seen.len(), freqs.len());
+    }
+
+    /// Variance 0 is lossless; the average absolute per-pid error never
+    /// increases as the threshold tightens from v to 0.
+    #[test]
+    fn p_histogram_lossless_at_zero(freqs in arb_row(), v in 0.0f64..8.0) {
+        let row = row_of(&freqs);
+        let exact = PHistogram::build(&row, 0.0);
+        let loose = PHistogram::build(&row, v);
+        for &(p, f) in &row {
+            prop_assert_eq!(exact.frequency(p), Some(f as f64));
+            prop_assert!(loose.frequency(p).is_some());
+        }
+        prop_assert!(loose.size_bytes() <= exact.size_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-document invariants.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    tag: u8,
+    children: Vec<TreeSpec>,
+}
+
+fn arb_doc() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (0u8..4).prop_map(|t| TreeSpec {
+        tag: t,
+        children: vec![],
+    });
+    leaf.prop_recursive(3, 40, 5, |inner| {
+        (0u8..4, prop::collection::vec(inner, 0..5))
+            .prop_map(|(tag, children)| TreeSpec { tag, children })
+    })
+}
+
+fn build_doc(spec: &TreeSpec) -> Document {
+    let mut b = TreeBuilder::new();
+    fn rec(b: &mut TreeBuilder, s: &TreeSpec) {
+        b.begin_element(&format!("t{}", s.tag));
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end_element().unwrap();
+    }
+    b.begin_element("R");
+    rec(&mut b, spec);
+    b.end_element().unwrap();
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// At o-variance 0, every non-empty path-order cell reads back exactly
+    /// through the o-histogram, for both regions.
+    #[test]
+    fn o_histogram_lossless_at_zero(spec in arb_doc()) {
+        let doc = build_doc(&spec);
+        let lab = Labeling::compute(&doc);
+        let freq = PathIdFrequencyTable::build(&doc, &lab);
+        let order = PathOrderTable::build(&doc, &lab);
+        let phist = PHistogramSet::build(&freq, 0.0);
+        let ohist = OHistogramSet::build(&order, &phist, doc.tags(), 0.0);
+        for (tag, _) in doc.tags().iter() {
+            for (pid, y, cell) in order.cells_of(tag) {
+                if cell.before > 0 {
+                    prop_assert_eq!(
+                        ohist.count(tag, pid, y, Region::Before),
+                        cell.before as f64
+                    );
+                }
+                if cell.after > 0 {
+                    prop_assert_eq!(
+                        ohist.count(tag, pid, y, Region::After),
+                        cell.after as f64
+                    );
+                }
+            }
+        }
+    }
+
+    /// Histogram memory never grows as the variance loosens.
+    #[test]
+    fn sizes_monotone_in_variance(spec in arb_doc()) {
+        let doc = build_doc(&spec);
+        let lab = Labeling::compute(&doc);
+        let freq = PathIdFrequencyTable::build(&doc, &lab);
+        let order = PathOrderTable::build(&doc, &lab);
+        let mut last_p = usize::MAX;
+        let mut last_o = usize::MAX;
+        for v in [0.0, 1.0, 4.0, 16.0] {
+            let p = PHistogramSet::build(&freq, v);
+            let o = OHistogramSet::build(&order, &p, doc.tags(), v);
+            prop_assert!(p.size_bytes() <= last_p);
+            prop_assert!(o.size_bytes() <= last_o);
+            last_p = p.size_bytes();
+            last_o = o.size_bytes();
+        }
+    }
+
+    /// The single-cell ablation variant is lossless and at least as large
+    /// as the box-grown histogram.
+    #[test]
+    fn single_cell_variant_lossless_and_larger(spec in arb_doc()) {
+        let doc = build_doc(&spec);
+        let lab = Labeling::compute(&doc);
+        let freq = PathIdFrequencyTable::build(&doc, &lab);
+        let order = PathOrderTable::build(&doc, &lab);
+        let phist = PHistogramSet::build(&freq, 0.0);
+        let grown = OHistogramSet::build(&order, &phist, doc.tags(), 0.0);
+        let cells = OHistogramSet::build_single_cell(&order, &phist, doc.tags());
+        prop_assert!(cells.size_bytes() >= grown.size_bytes());
+        for (tag, _) in doc.tags().iter() {
+            for (pid, y, cell) in order.cells_of(tag) {
+                if cell.before > 0 {
+                    prop_assert_eq!(
+                        cells.count(tag, pid, y, Region::Before),
+                        cell.before as f64
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared test/example fixture: the paper's running example.
+
+use crate::parse::parse_document;
+use crate::tree::Document;
+
+/// The XML instance of the paper's Figure 1(a), reconstructed from the
+/// published path-id tables.
+///
+/// Structure (document order):
+///
+/// ```text
+/// Root
+/// ├── A(p8=1100)  B(p8){ D, E }
+/// ├── A(p7=1011)  B(p5){ D },  C(p3){ E, F },  B(p5){ D }
+/// └── A(p6=1010)  C(p2){ E },  B(p5){ D }
+/// ```
+///
+/// This yields exactly the paper's tables: four distinct root-to-leaf paths
+/// (1 = Root/A/B/D, 2 = Root/A/B/E, 3 = Root/A/C/E, 4 = Root/A/C/F), the
+/// nine distinct path ids of Figure 1(c), the pathId-frequency table of
+/// Figure 2(a) (e.g. `B: {(p8,1), (p5,3)}`, `D: {(p5,4)}`), and the
+/// path-order table of Figure 2(b) (one `B(p5)` before `C`, two after).
+/// Estimator tests reproduce the paper's worked Examples 4.1–5.3 on it.
+pub fn paper_figure1() -> Document {
+    parse_document(
+        "<Root>\
+           <A><B><D/><E/></B></A>\
+           <A><B><D/></B><C><E/><F/></C><B><D/></B></A>\
+           <A><C><E/></C><B><D/></B></A>\
+         </Root>",
+    )
+    .expect("fixture is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let doc = paper_figure1();
+        assert_eq!(doc.len(), 18);
+        assert_eq!(doc.tags().len(), 7);
+        assert_eq!(doc.children(doc.root()).len(), 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! Ordered XML tree substrate for the XPath estimation system.
+//!
+//! The ICDE'06 estimation framework operates on XML modelled as an *ordered
+//! tree pattern*: element nodes carry a tag, children are totally ordered,
+//! and document order is significant (the order-based XPath axes
+//! `preceding(-sibling)` / `following(-sibling)` are defined over it).
+//!
+//! This crate provides:
+//!
+//! * [`Document`] — an arena-backed ordered element tree with interned tags,
+//!   built either through [`TreeBuilder`] or by parsing XML text with
+//!   [`parse`]/[`parse_document`].
+//! * [`TagInterner`] / [`TagId`] — compact tag identifiers shared by every
+//!   downstream table and histogram.
+//! * [`nav`] — navigation and document-order utilities (descendant
+//!   iteration, pre/post order numbering, sibling and preceding/following
+//!   relationships).
+//! * [`stats`] — structural statistics used by the experiment harness to
+//!   reproduce Table 1 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use xpe_xml::{parse_document, nav::DocOrder};
+//!
+//! let doc = parse_document("<a><b/><c><b/></c></a>").unwrap();
+//! assert_eq!(doc.len(), 4);
+//! let order = DocOrder::new(&doc);
+//! let root = doc.root();
+//! let kids = doc.children(root);
+//! assert!(order.pre(kids[0]) < order.pre(kids[1]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parse;
+mod serialize;
+mod tag;
+mod tree;
+
+pub mod fixtures;
+pub mod nav;
+pub mod stats;
+pub mod wire;
+
+pub use parse::{parse, parse_document, ParseError, ParseErrorKind, MAX_DEPTH};
+pub use serialize::{to_string, to_string_pretty};
+pub use tag::{TagId, TagInterner};
+pub use tree::{Document, Node, NodeId, TreeBuilder, TreeError};

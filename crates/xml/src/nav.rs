@@ -1,0 +1,209 @@
+//! Navigation and document-order utilities.
+//!
+//! The order-based XPath axes are defined over *document order* — the
+//! pre-order sequence of elements. [`DocOrder`] precomputes pre/post
+//! numbers so that ancestor tests and preceding/following classification are
+//! O(1), which the exact evaluator (the experiments' ground-truth oracle)
+//! leans on heavily.
+
+use crate::tree::{Document, NodeId};
+
+/// Pre/post-order numbering of a document.
+///
+/// For two distinct nodes `x`, `y`:
+/// * `x` is an ancestor of `y`  iff `pre(x) < pre(y) && post(x) > post(y)`;
+/// * `x` precedes `y` in document order iff `pre(x) < pre(y)`;
+/// * `y` is in `x`'s *following* axis iff `pre(y) > pre(x) && post(y) > post(x)`
+///   (after `x`, not a descendant);
+/// * `y` is in `x`'s *preceding* axis iff `pre(y) < pre(x) && post(y) < post(x)`.
+#[derive(Clone, Debug)]
+pub struct DocOrder {
+    pre: Vec<u32>,
+    post: Vec<u32>,
+}
+
+impl DocOrder {
+    /// Computes the numbering with one iterative traversal.
+    pub fn new(doc: &Document) -> Self {
+        let n = doc.len();
+        let mut pre = vec![0u32; n];
+        let mut post = vec![0u32; n];
+        let mut pre_counter = 0u32;
+        let mut post_counter = 0u32;
+        // Iterative DFS carrying an "enter or exit" marker.
+        let mut stack: Vec<(NodeId, bool)> = vec![(doc.root(), false)];
+        while let Some((id, exiting)) = stack.pop() {
+            if exiting {
+                post[id.index()] = post_counter;
+                post_counter += 1;
+            } else {
+                pre[id.index()] = pre_counter;
+                pre_counter += 1;
+                stack.push((id, true));
+                for &c in doc.children(id).iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        DocOrder { pre, post }
+    }
+
+    /// Pre-order (document-order) rank of `id`, starting at 0 for the root.
+    #[inline]
+    pub fn pre(&self, id: NodeId) -> u32 {
+        self.pre[id.index()]
+    }
+
+    /// Post-order rank of `id`.
+    #[inline]
+    pub fn post(&self, id: NodeId) -> u32 {
+        self.post[id.index()]
+    }
+
+    /// True when `anc` is a proper ancestor of `desc`.
+    #[inline]
+    pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
+        self.pre(anc) < self.pre(desc) && self.post(anc) > self.post(desc)
+    }
+
+    /// True when `b` is on `a`'s `following` axis: after `a` in document
+    /// order and not a descendant of `a`.
+    #[inline]
+    pub fn is_following(&self, a: NodeId, b: NodeId) -> bool {
+        self.pre(b) > self.pre(a) && self.post(b) > self.post(a)
+    }
+
+    /// True when `b` is on `a`'s `preceding` axis: before `a` in document
+    /// order and not an ancestor of `a`.
+    #[inline]
+    pub fn is_preceding(&self, a: NodeId, b: NodeId) -> bool {
+        self.pre(b) < self.pre(a) && self.post(b) < self.post(a)
+    }
+}
+
+/// Iterates over the descendants of `id` (excluding `id`) in document order.
+pub fn descendants(doc: &Document, id: NodeId) -> Descendants<'_> {
+    Descendants {
+        doc,
+        stack: doc.children(id).iter().rev().copied().collect(),
+    }
+}
+
+/// Iterator returned by [`descendants`].
+pub struct Descendants<'d> {
+    doc: &'d Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        self.stack
+            .extend(self.doc.children(id).iter().rev().copied());
+        Some(id)
+    }
+}
+
+/// Returns `id`'s index within its parent's child list, or `None` for the
+/// root.
+pub fn sibling_position(doc: &Document, id: NodeId) -> Option<usize> {
+    let parent = doc.parent(id)?;
+    doc.children(parent).iter().position(|&c| c == id)
+}
+
+/// The siblings strictly after `id`, in document order.
+pub fn following_siblings(doc: &Document, id: NodeId) -> &[NodeId] {
+    match (doc.parent(id), sibling_position(doc, id)) {
+        (Some(p), Some(i)) => &doc.children(p)[i + 1..],
+        _ => &[],
+    }
+}
+
+/// The siblings strictly before `id`, in document order.
+pub fn preceding_siblings(doc: &Document, id: NodeId) -> &[NodeId] {
+    match (doc.parent(id), sibling_position(doc, id)) {
+        (Some(p), Some(i)) => &doc.children(p)[..i],
+        _ => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn doc() -> Document {
+        parse("<r><a><b/><c/></a><d><e/></d></r>").unwrap()
+    }
+
+    #[test]
+    fn pre_order_matches_creation_order() {
+        let d = doc();
+        let order = DocOrder::new(&d);
+        for id in d.node_ids() {
+            assert_eq!(order.pre(id) as usize, id.index());
+        }
+    }
+
+    #[test]
+    fn ancestor_via_prepost_matches_tree_walk() {
+        let d = doc();
+        let order = DocOrder::new(&d);
+        for x in d.node_ids() {
+            for y in d.node_ids() {
+                assert_eq!(
+                    order.is_ancestor(x, y),
+                    d.is_ancestor(x, y),
+                    "x={x:?} y={y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn following_and_preceding_partition() {
+        let d = doc();
+        let order = DocOrder::new(&d);
+        for x in d.node_ids() {
+            for y in d.node_ids() {
+                if x == y {
+                    continue;
+                }
+                // Exactly one of: ancestor, descendant, preceding, following.
+                let classes = [
+                    order.is_ancestor(x, y),
+                    order.is_ancestor(y, x),
+                    order.is_following(x, y),
+                    order.is_preceding(x, y),
+                ];
+                assert_eq!(classes.iter().filter(|&&b| b).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let d = doc();
+        let descs: Vec<usize> = descendants(&d, d.root()).map(|n| n.index()).collect();
+        assert_eq!(descs, vec![1, 2, 3, 4, 5]);
+        let a = d.children(d.root())[0];
+        let under_a: Vec<usize> = descendants(&d, a).map(|n| n.index()).collect();
+        assert_eq!(under_a, vec![2, 3]);
+    }
+
+    #[test]
+    fn sibling_slices() {
+        let d = doc();
+        let a = d.children(d.root())[0];
+        let b = d.children(a)[0];
+        let c = d.children(a)[1];
+        assert_eq!(following_siblings(&d, b), &[c]);
+        assert_eq!(preceding_siblings(&d, c), &[b]);
+        assert!(following_siblings(&d, d.root()).is_empty());
+        assert!(preceding_siblings(&d, d.root()).is_empty());
+        assert_eq!(sibling_position(&d, c), Some(1));
+        assert_eq!(sibling_position(&d, d.root()), None);
+    }
+}

@@ -1,0 +1,550 @@
+//! A small, dependency-free XML parser.
+//!
+//! Handles the subset of XML that the corpora in the paper (Shakespeare
+//! plays, DBLP, XMark) actually use: elements, attributes, character data,
+//! the five predefined entities plus numeric character references, CDATA
+//! sections, comments, processing instructions and a document type
+//! declaration (skipped). Namespaces are treated lexically (prefixes stay
+//! part of the tag name), matching how the estimation tables key on raw tag
+//! strings.
+
+use std::fmt;
+
+use crate::tree::{Document, TreeBuilder, TreeError};
+
+/// Maximum element nesting depth the parser accepts. Real corpora stay in
+/// the tens; the cap only exists to bound parser recursion (one
+/// `element`/`content` frame pair per level).
+pub const MAX_DEPTH: usize = 256;
+
+/// Position-annotated parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input at which the failure was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The category of a [`ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A literal character other than the one required was found.
+    Expected(char),
+    /// A tag, attribute or entity name was malformed or missing.
+    BadName,
+    /// An end tag did not match the open element.
+    MismatchedTag {
+        /// Tag that was open.
+        open: String,
+        /// Tag found in the end tag.
+        found: String,
+    },
+    /// `&...;` did not name a supported entity.
+    BadEntity(String),
+    /// Structural violation (unbalanced, multiple roots, empty document).
+    Tree(TreeError),
+    /// Element nesting exceeded [`MAX_DEPTH`] (the parser is recursive;
+    /// the limit keeps hostile inputs from exhausting the stack).
+    TooDeep,
+    /// Content found after the root element closed.
+    TrailingContent,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: ", self.offset)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseErrorKind::Expected(c) => write!(f, "expected {c:?}"),
+            ParseErrorKind::BadName => write!(f, "malformed name"),
+            ParseErrorKind::MismatchedTag { open, found } => {
+                write!(f, "end tag </{found}> does not match open <{open}>")
+            }
+            ParseErrorKind::BadEntity(e) => write!(f, "unsupported entity &{e};"),
+            ParseErrorKind::Tree(e) => write!(f, "{e}"),
+            ParseErrorKind::TooDeep => {
+                write!(f, "element nesting exceeds {MAX_DEPTH} levels")
+            }
+            ParseErrorKind::TrailingContent => write!(f, "content after root element"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an XML document into a [`Document`].
+///
+/// Convenience alias of [`parse_document`].
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    parse_document(input)
+}
+
+/// Parses an XML document into a [`Document`].
+///
+/// # Example
+///
+/// ```
+/// let doc = xpe_xml::parse_document(r#"<?xml version="1.0"?>
+///   <PLAY><TITLE>Hamlet</TITLE><ACT/></PLAY>"#).unwrap();
+/// assert_eq!(doc.tag_name(doc.root()), "PLAY");
+/// ```
+pub fn parse_document(input: &str) -> Result<Document, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        builder: TreeBuilder::new(),
+        open: Vec::new(),
+    };
+    p.document()?;
+    let offset = p.pos;
+    p.builder.finish().map_err(|e| ParseError {
+        offset,
+        kind: ParseErrorKind::Tree(e),
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    builder: TreeBuilder,
+    open: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            kind,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else if self.peek().is_none() {
+            Err(self.err(ParseErrorKind::UnexpectedEof))
+        } else {
+            Err(self.err(ParseErrorKind::Expected(c as char)))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<(), ParseError> {
+        match find_sub(&self.bytes[self.pos..], end.as_bytes()) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => {
+                self.pos = self.bytes.len();
+                Err(self.err(ParseErrorKind::UnexpectedEof))
+            }
+        }
+    }
+
+    fn document(&mut self) -> Result<(), ParseError> {
+        self.prolog()?;
+        self.element()?;
+        // Misc after the root: whitespace, comments, PIs only.
+        loop {
+            self.skip_ws();
+            if self.pos >= self.bytes.len() {
+                return Ok(());
+            }
+            if self.starts_with("<!--") {
+                self.bump(4);
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.bump(2);
+                self.skip_until("?>")?;
+            } else {
+                return Err(self.err(ParseErrorKind::TrailingContent));
+            }
+        }
+    }
+
+    fn prolog(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.bump(2);
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.bump(4);
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                self.doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips a DOCTYPE declaration, including a bracketed internal subset.
+    fn doctype(&mut self) -> Result<(), ParseError> {
+        self.bump("<!DOCTYPE".len());
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some(b'[') => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    depth = depth.saturating_sub(1);
+                    self.pos += 1;
+                }
+                Some(b'>') if depth == 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok =
+                c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') || c >= 0x80;
+            if ok {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err(ParseErrorKind::BadName));
+        }
+        // Names must not start with a digit, '-' or '.'.
+        let first = self.bytes[start];
+        if first.is_ascii_digit() || first == b'-' || first == b'.' {
+            return Err(ParseError {
+                offset: start,
+                kind: ParseErrorKind::BadName,
+            });
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self) -> Result<(), ParseError> {
+        if self.open.len() >= MAX_DEPTH {
+            return Err(self.err(ParseErrorKind::TooDeep));
+        }
+        self.expect(b'<')?;
+        let tag = self.name()?;
+        self.builder.begin_element(&tag);
+        self.open.push(tag);
+        self.attributes()?;
+        self.skip_ws();
+        if self.starts_with("/>") {
+            self.bump(2);
+            self.close_current()?;
+            return Ok(());
+        }
+        self.expect(b'>')?;
+        self.content()
+    }
+
+    fn attributes(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') | None => return Ok(()),
+                _ => {}
+            }
+            self.name()?;
+            self.skip_ws();
+            self.expect(b'=')?;
+            self.skip_ws();
+            let quote = match self.peek() {
+                Some(q @ (b'"' | b'\'')) => q,
+                Some(_) => return Err(self.err(ParseErrorKind::Expected('"'))),
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            };
+            self.pos += 1;
+            // Attribute values are validated but not stored: the estimation
+            // system summarises element structure only.
+            while let Some(c) = self.peek() {
+                if c == quote {
+                    break;
+                }
+                self.pos += 1;
+            }
+            self.expect(quote)?;
+        }
+    }
+
+    fn content(&mut self) -> Result<(), ParseError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some(b'<') => {
+                    if !text.is_empty() {
+                        self.builder.text(&text);
+                        text.clear();
+                    }
+                    if self.starts_with("</") {
+                        self.bump(2);
+                        let tag = self.name()?;
+                        self.skip_ws();
+                        self.expect(b'>')?;
+                        let open = self.open.last().cloned().unwrap_or_default();
+                        if open != tag {
+                            return Err(
+                                self.err(ParseErrorKind::MismatchedTag { open, found: tag })
+                            );
+                        }
+                        self.close_current()?;
+                        return Ok(());
+                    } else if self.starts_with("<!--") {
+                        self.bump(4);
+                        self.skip_until("-->")?;
+                    } else if self.starts_with("<![CDATA[") {
+                        self.bump(9);
+                        let start = self.pos;
+                        match find_sub(&self.bytes[self.pos..], b"]]>") {
+                            Some(i) => {
+                                self.builder
+                                    .text(&String::from_utf8_lossy(&self.bytes[start..start + i]));
+                                self.pos = start + i + 3;
+                            }
+                            None => {
+                                self.pos = self.bytes.len();
+                                return Err(self.err(ParseErrorKind::UnexpectedEof));
+                            }
+                        }
+                    } else if self.starts_with("<?") {
+                        self.bump(2);
+                        self.skip_until("?>")?;
+                    } else {
+                        self.element()?;
+                    }
+                }
+                Some(b'&') => {
+                    text.push(self.entity()?);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' || c == b'&' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    text.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                }
+            }
+        }
+    }
+
+    fn entity(&mut self) -> Result<char, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b';' {
+                break;
+            }
+            if !c.is_ascii_alphanumeric() && c != b'#' && c != b'x' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.expect(b';')?;
+        match name.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "apos" => Ok('\''),
+            "quot" => Ok('"'),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                u32::from_str_radix(&name[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| self.err(ParseErrorKind::BadEntity(name.clone())))
+            }
+            _ if name.starts_with('#') => name[1..]
+                .parse::<u32>()
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| self.err(ParseErrorKind::BadEntity(name.clone()))),
+            _ => Err(self.err(ParseErrorKind::BadEntity(name))),
+        }
+    }
+
+    fn close_current(&mut self) -> Result<(), ParseError> {
+        self.open.pop();
+        self.builder
+            .end_element()
+            .map_err(|e| self.err(ParseErrorKind::Tree(e)))
+    }
+}
+
+fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal() {
+        let doc = parse("<a/>").unwrap();
+        assert_eq!(doc.len(), 1);
+        assert_eq!(doc.tag_name(doc.root()), "a");
+    }
+
+    #[test]
+    fn parses_nested_with_text() {
+        let doc = parse("<a>hi<b>there</b> again</a>").unwrap();
+        assert_eq!(doc.len(), 2);
+        assert_eq!(doc.node(doc.root()).text, "hi again");
+        let b = doc.children(doc.root())[0];
+        assert_eq!(doc.node(b).text, "there");
+    }
+
+    #[test]
+    fn parses_attributes_without_storing() {
+        let doc = parse(r#"<item id="5" cat='a"b'><name x=""/></item>"#).unwrap();
+        assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn parses_prolog_doctype_comments_pis() {
+        let input = r#"<?xml version="1.0" encoding="UTF-8"?>
+<!DOCTYPE PLAY [ <!ELEMENT PLAY (ACT*)> ]>
+<!-- shakespeare -->
+<PLAY><?pi data?><!-- inner --><ACT/></PLAY>
+<!-- trailing -->"#;
+        let doc = parse(input).unwrap();
+        assert_eq!(doc.len(), 2);
+    }
+
+    #[test]
+    fn entities_and_cdata() {
+        let doc = parse("<a>&lt;x&gt; &amp; <![CDATA[<raw> & stuff]]> &#65;&#x42;</a>").unwrap();
+        assert_eq!(doc.node(doc.root()).text, "<x> & <raw> & stuff AB");
+    }
+
+    #[test]
+    fn mismatched_tag_rejected() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let e = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            parse("<a><b>").unwrap_err().kind,
+            ParseErrorKind::UnexpectedEof
+        ));
+        assert!(matches!(
+            parse("<a").unwrap_err().kind,
+            ParseErrorKind::UnexpectedEof
+        ));
+        assert!(matches!(
+            parse("<a><![CDATA[oops").unwrap_err().kind,
+            ParseErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn bad_entity_rejected() {
+        let e = parse("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::BadEntity(n) if n == "nope"));
+    }
+
+    #[test]
+    fn bad_name_rejected() {
+        assert!(matches!(
+            parse("<1a/>").unwrap_err().kind,
+            ParseErrorKind::BadName
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("   \n  ").is_err());
+    }
+
+    #[test]
+    fn namespaced_tags_kept_lexically() {
+        let doc = parse("<ns:a><ns:b/></ns:a>").unwrap();
+        assert_eq!(doc.tag_name(doc.root()), "ns:a");
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        // Run with a generous stack: the bounded recursion is fine on the
+        // main thread but debug-build frames are fat for test threads.
+        std::thread::Builder::new()
+            .stack_size(16 * 1024 * 1024)
+            .spawn(|| {
+                let mut deep = String::new();
+                for _ in 0..MAX_DEPTH + 1 {
+                    deep.push_str("<a>");
+                }
+                for _ in 0..MAX_DEPTH + 1 {
+                    deep.push_str("</a>");
+                }
+                assert!(matches!(
+                    parse(&deep).unwrap_err().kind,
+                    ParseErrorKind::TooDeep
+                ));
+                // Just inside the limit parses fine.
+                let mut ok = String::new();
+                for _ in 0..MAX_DEPTH {
+                    ok.push_str("<a>");
+                }
+                for _ in 0..MAX_DEPTH {
+                    ok.push_str("</a>");
+                }
+                assert_eq!(parse(&ok).unwrap().len(), MAX_DEPTH);
+            })
+            .expect("spawn")
+            .join()
+            .expect("no panic");
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let e = parse("<a>&bad;</a>").unwrap_err();
+        assert!(e.offset > 0);
+        let msg = e.to_string();
+        assert!(msg.contains("byte"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Structural statistics over documents.
+//!
+//! Reproduces the dataset characteristics the paper reports in Table 1
+//! (document size, number of distinct element tags, number of elements) plus
+//! a few extra shape metrics the dataset generators are calibrated against.
+
+use std::collections::HashSet;
+
+use crate::serialize::to_string;
+use crate::tree::Document;
+
+/// Summary of a document's structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DocumentStats {
+    /// Serialized size in bytes (compact serialization).
+    pub serialized_bytes: usize,
+    /// Number of distinct element tags.
+    pub distinct_tags: usize,
+    /// Total number of element nodes.
+    pub elements: usize,
+    /// Number of distinct root-to-leaf label paths.
+    pub distinct_paths: usize,
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Mean number of children over non-leaf elements.
+    pub avg_fanout: f64,
+}
+
+impl DocumentStats {
+    /// Computes all statistics in two linear passes (one of which
+    /// serializes the document to measure its size).
+    pub fn compute(doc: &Document) -> Self {
+        let serialized_bytes = to_string(doc).len();
+        Self::compute_with_size(doc, serialized_bytes)
+    }
+
+    /// Computes statistics with an externally supplied serialized size,
+    /// avoiding the serialization pass (used by the harness on large
+    /// generated documents where the size is already known).
+    pub fn compute_with_size(doc: &Document, serialized_bytes: usize) -> Self {
+        let mut max_depth = 0usize;
+        let mut internal = 0usize;
+        let mut child_edges = 0usize;
+        let mut depths = vec![0u32; doc.len()];
+        let mut leaf_paths: HashSet<Vec<u32>> = HashSet::new();
+
+        for id in doc.node_ids() {
+            let depth = match doc.parent(id) {
+                Some(p) => depths[p.index()] + 1,
+                None => 0,
+            };
+            depths[id.index()] = depth;
+            max_depth = max_depth.max(depth as usize);
+            let kids = doc.children(id).len();
+            if kids > 0 {
+                internal += 1;
+                child_edges += kids;
+            } else {
+                let path: Vec<u32> = doc
+                    .root_path(id)
+                    .into_iter()
+                    .map(|t| t.index() as u32)
+                    .collect();
+                leaf_paths.insert(path);
+            }
+        }
+
+        DocumentStats {
+            serialized_bytes,
+            distinct_tags: doc.tags().len(),
+            elements: doc.len(),
+            distinct_paths: leaf_paths.len(),
+            max_depth,
+            avg_fanout: if internal == 0 {
+                0.0
+            } else {
+                child_edges as f64 / internal as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn stats_of_paper_figure1_shape() {
+        // Same structure as the paper's Figure 1(a).
+        let doc = parse(
+            "<Root>\
+               <A><B><D/></B><C><E/><F/></C></A>\
+               <A><B><D/><E/></B><C><E/></C><B><D/></B></A>\
+               <A><B><D/></B></A>\
+             </Root>",
+        )
+        .unwrap();
+        let s = DocumentStats::compute(&doc);
+        assert_eq!(s.elements, 18);
+        assert_eq!(s.distinct_tags, 7); // Root A B C D E F
+        assert_eq!(s.distinct_paths, 4); // the paper's four encodings
+        assert_eq!(s.max_depth, 3);
+    }
+
+    #[test]
+    fn single_node_stats() {
+        let doc = parse("<only/>").unwrap();
+        let s = DocumentStats::compute(&doc);
+        assert_eq!(s.elements, 1);
+        assert_eq!(s.distinct_tags, 1);
+        assert_eq!(s.distinct_paths, 1);
+        assert_eq!(s.max_depth, 0);
+        assert_eq!(s.avg_fanout, 0.0);
+    }
+
+    #[test]
+    fn fanout_counts_only_internal_nodes() {
+        let doc = parse("<r><a/><a/><a/><a/></r>").unwrap();
+        let s = DocumentStats::compute(&doc);
+        assert_eq!(s.avg_fanout, 4.0);
+    }
+
+    #[test]
+    fn recursive_tags_yield_distinct_paths() {
+        let doc = parse("<l><l><l/></l><l/></l>").unwrap();
+        let s = DocumentStats::compute(&doc);
+        // Leaf paths: l/l/l and l/l — two distinct.
+        assert_eq!(s.distinct_paths, 2);
+        assert_eq!(s.distinct_tags, 1);
+    }
+}

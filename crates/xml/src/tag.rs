@@ -1,0 +1,181 @@
+//! Tag interning.
+//!
+//! Every table in the estimation system (pathId-frequency table, path-order
+//! table, histograms) is keyed by element tag. Interning tags once per
+//! document keeps those keys at four bytes and makes tag comparison a
+//! word-compare instead of a string-compare on the hot path-join path.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact identifier for an element tag, valid within the
+/// [`TagInterner`] that produced it.
+///
+/// Ids are assigned densely from zero in first-interned order, so they can
+/// index `Vec`-based per-tag tables directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TagId(pub(crate) u32);
+
+impl TagId {
+    /// Returns the id as a dense `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TagId` from a dense index previously obtained through
+    /// [`TagId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        TagId(u32::try_from(index).expect("tag index overflows u32"))
+    }
+}
+
+impl fmt::Debug for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TagId({})", self.0)
+    }
+}
+
+/// Bidirectional map between tag names and [`TagId`]s.
+///
+/// The interner is append-only: tags are never removed, so any `TagId` it
+/// hands out stays valid for its lifetime.
+#[derive(Default, Clone)]
+pub struct TagInterner {
+    names: Vec<Box<str>>,
+    ids: HashMap<Box<str>, TagId>,
+}
+
+impl TagInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> TagId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = TagId(u32::try_from(self.names.len()).expect("too many distinct tags"));
+        self.names.push(name.into());
+        self.ids.insert(name.into(), id);
+        id
+    }
+
+    /// Looks up the id of `name` without interning it.
+    pub fn get(&self, name: &str) -> Option<TagId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Returns the name for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was produced by a different interner and is out of
+    /// range for this one.
+    pub fn name(&self, id: TagId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct tags interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no tag has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TagId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TagId(i as u32), n.as_ref()))
+    }
+
+    /// Serializes the interner (summary persistence).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        crate::wire::put_u32(buf, self.names.len() as u32);
+        for name in &self.names {
+            crate::wire::put_str(buf, name);
+        }
+    }
+
+    /// Deserializes an interner encoded by [`encode`](Self::encode). Ids
+    /// are preserved (insertion order is stored).
+    pub fn decode(r: &mut crate::wire::Reader<'_>) -> Result<Self, crate::wire::WireError> {
+        let n = r.u32()? as usize;
+        let mut t = TagInterner::new();
+        for _ in 0..n {
+            let name = r.str()?;
+            t.intern(&name);
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Debug for TagInterner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.names.iter().enumerate())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = TagInterner::new();
+        let a = t.intern("ACT");
+        let b = t.intern("SCENE");
+        assert_eq!(t.intern("ACT"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut t = TagInterner::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            let id = t.intern(name);
+            assert_eq!(id.index(), i);
+            assert_eq!(TagId::from_index(i), id);
+        }
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut t = TagInterner::new();
+        let id = t.intern("SPEECH");
+        assert_eq!(t.name(id), "SPEECH");
+        assert_eq!(t.get("SPEECH"), Some(id));
+        assert_eq!(t.get("missing"), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut t = TagInterner::new();
+        t.intern("x");
+        t.intern("y");
+        let collected: Vec<_> = t.iter().map(|(id, n)| (id.index(), n.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let t = TagInterner::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

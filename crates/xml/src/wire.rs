@@ -1,0 +1,153 @@
+//! Minimal little-endian wire format used by summary persistence.
+//!
+//! A summary is built once per document (possibly over millions of
+//! elements) but consulted by every query compilation, so being able to
+//! save and reload it matters in practice. The format is deliberately
+//! simple — fixed-width little-endian scalars, length-prefixed strings —
+//! and versioned by the top-level [`crate::TagInterner`]/summary encoders;
+//! no external serialization dependency is needed.
+
+use std::fmt;
+
+/// Appends a `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64`.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, u32::try_from(s.len()).expect("string too long"));
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the expected field.
+    Truncated,
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A header or version check failed.
+    BadHeader(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::BadHeader(what) => write!(f, "bad header: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Sequential reader over an encoded buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -1.5);
+        put_str(&mut buf, "héllo");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), -1.5);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        let mut r = Reader::new(&buf[..2]);
+        assert_eq!(r.u32(), Err(WireError::Truncated));
+        // String length pointing past the end.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 100);
+        buf.extend_from_slice(b"short");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.str(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.str(), Err(WireError::BadUtf8));
+    }
+}

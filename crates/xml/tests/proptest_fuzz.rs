@@ -1,0 +1,48 @@
+//! Fuzz-style property tests: the parser must never panic, whatever the
+//! input, and must accept exactly what it can round-trip.
+
+use proptest::prelude::*;
+use xpe_xml::{parse, to_string};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup: parse returns Ok or Err, never panics.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in ".{0,256}") {
+        let _ = parse(&input);
+    }
+
+    /// XML-ish soup: strings built from XML punctuation fragments hit the
+    /// parser's interesting branches without panicking.
+    #[test]
+    fn parser_total_on_xmlish_input(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<a>".to_owned()),
+                Just("</a>".to_owned()),
+                Just("<a/>".to_owned()),
+                Just("<!--x-->".to_owned()),
+                Just("<![CDATA[y]]>".to_owned()),
+                Just("<?pi?>".to_owned()),
+                Just("&amp;".to_owned()),
+                Just("&#65;".to_owned()),
+                Just("&bogus;".to_owned()),
+                Just("text".to_owned()),
+                Just("<".to_owned()),
+                Just(">".to_owned()),
+                Just("\"".to_owned()),
+                Just("<a b='c'>".to_owned()),
+                Just("<!DOCTYPE x [<!ELEMENT y>]>".to_owned()),
+            ],
+            0..24,
+        )
+    ) {
+        let input: String = parts.concat();
+        if let Ok(doc) = parse(&input) {
+            // Anything accepted must survive a serialize→parse round trip.
+            let re = parse(&to_string(&doc)).expect("round trip of accepted input");
+            prop_assert_eq!(re.len(), doc.len());
+        }
+    }
+}

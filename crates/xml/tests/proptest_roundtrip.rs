@@ -1,0 +1,96 @@
+//! Property tests: random documents survive serialize→parse round trips and
+//! the document-order invariants hold on arbitrary trees.
+
+use proptest::prelude::*;
+use xpe_xml::{nav::DocOrder, parse, to_string, Document, TreeBuilder};
+
+/// Strategy producing a random ordered tree as nested (tag, children) pairs.
+fn arb_tree() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (0u8..6).prop_map(|t| TreeSpec {
+        tag: t,
+        text: None,
+        children: vec![],
+    });
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        (
+            0u8..6,
+            proptest::option::of("[ -~&&[^<&>]]{0,8}"),
+            prop::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(tag, text, children)| TreeSpec {
+                tag,
+                text,
+                children,
+            })
+    })
+}
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    tag: u8,
+    text: Option<String>,
+    children: Vec<TreeSpec>,
+}
+
+fn build(spec: &TreeSpec) -> Document {
+    let mut b = TreeBuilder::new();
+    fn rec(b: &mut TreeBuilder, s: &TreeSpec) {
+        b.begin_element(&format!("t{}", s.tag));
+        if let Some(t) = &s.text {
+            b.text(t);
+        }
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end_element().expect("balanced by construction");
+    }
+    rec(&mut b, spec);
+    b.finish().expect("single root by construction")
+}
+
+proptest! {
+    #[test]
+    fn serialize_parse_round_trip(spec in arb_tree()) {
+        let doc = build(&spec);
+        let ser = to_string(&doc);
+        let reparsed = parse(&ser).unwrap();
+        prop_assert_eq!(doc.len(), reparsed.len());
+        // Structural equality: tags along pre-order, parent indices, text.
+        for id in doc.node_ids() {
+            prop_assert_eq!(doc.tag_name(id), reparsed.tag_name(id));
+            prop_assert_eq!(
+                doc.parent(id).map(|p| p.index()),
+                reparsed.parent(id).map(|p| p.index())
+            );
+        }
+        // Serialization is a fixpoint after one round.
+        prop_assert_eq!(to_string(&reparsed), ser);
+    }
+
+    #[test]
+    fn node_classification_is_a_partition(spec in arb_tree()) {
+        let doc = build(&spec);
+        let order = DocOrder::new(&doc);
+        for x in doc.node_ids() {
+            for y in doc.node_ids() {
+                if x == y { continue; }
+                let n = [
+                    order.is_ancestor(x, y),
+                    order.is_ancestor(y, x),
+                    order.is_following(x, y),
+                    order.is_preceding(x, y),
+                ].iter().filter(|&&b| b).count();
+                prop_assert_eq!(n, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pre_order_equals_creation_order(spec in arb_tree()) {
+        let doc = build(&spec);
+        let order = DocOrder::new(&doc);
+        for id in doc.node_ids() {
+            prop_assert_eq!(order.pre(id) as usize, id.index());
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Fuzz-style property tests for the query parser: totality on arbitrary
+//! input, and accept→display→parse stability.
+
+use proptest::prelude::*;
+use xpe_xpath::parse_query;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The query parser never panics.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in ".{0,128}") {
+        let _ = parse_query(&input);
+    }
+
+    /// Query-ish soup: accepted queries re-parse from their display form.
+    #[test]
+    fn accepted_queries_redisplay(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("/".to_owned()),
+                Just("//".to_owned()),
+                Just("a".to_owned()),
+                Just("b".to_owned()),
+                Just("c".to_owned()),
+                Just("$".to_owned()),
+                Just("[".to_owned()),
+                Just("]".to_owned()),
+                Just("folls::".to_owned()),
+                Just("pres::".to_owned()),
+                Just("foll::".to_owned()),
+                Just("prec::".to_owned()),
+                Just("[/b]".to_owned()),
+                Just("[/b/folls::c]".to_owned()),
+            ],
+            1..16,
+        )
+    ) {
+        let input: String = parts.concat();
+        if let Ok(q) = parse_query(&input) {
+            let rendered = q.to_string();
+            let q2 = parse_query(&rendered)
+                .unwrap_or_else(|e| panic!("display {rendered:?} unparseable: {e}"));
+            prop_assert_eq!(q.len(), q2.len(), "{}", rendered);
+            prop_assert_eq!(
+                &q.node(q.target()).tag,
+                &q2.node(q2.target()).tag,
+                "{}", rendered
+            );
+        }
+    }
+}

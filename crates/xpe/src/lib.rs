@@ -1,0 +1,70 @@
+//! **xpe** — an estimation system for XPath expressions.
+//!
+//! A complete, from-scratch Rust reproduction of Li, Lee, Hsu & Cong,
+//! *An Estimation System for XPath Expressions* (ICDE 2006): selectivity
+//! estimation for XPath twig queries **with and without order-based axes**
+//! (`following-sibling`, `preceding-sibling`, `following`, `preceding`),
+//! backed by a path-encoding labeling scheme, variance-bounded p- and
+//! o-histograms, and a compressed path-id binary tree.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`xml`] | `xpe-xml` | ordered tree model, parser, serializer, stats |
+//! | [`xpath`] | `xpe-xpath` | query AST/parser + exact evaluator (oracle) |
+//! | [`pathid`] | `xpe-pathid` | encoding table, path ids, binary tree |
+//! | [`synopsis`] | `xpe-synopsis` | frequency/order tables, p-/o-histograms |
+//! | [`estimator`] | `xpe-core` | path join + estimation formulas (§4–§5) |
+//! | [`xsketch`] | `xpe-xsketch` | XSketch comparator (SIGMOD'02) |
+//! | [`markov`] | `xpe-markov` | k-order Markov path-table comparator |
+//! | [`poshist`] | `xpe-poshist` | position-histogram comparator (EDBT'02) |
+//! | [`join`] | `xpe-join` | pid-filtered structural joins (XSym'05 substrate) |
+//! | [`datagen`] | `xpe-datagen` | SSPlays/DBLP/XMark generators, workloads |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use xpe::prelude::*;
+//!
+//! // 1. Parse (or generate) an XML document.
+//! let doc = xpe::xml::parse_document(
+//!     "<lib><book><chap/><chap/></book><book><chap/></book></lib>").unwrap();
+//!
+//! // 2. Build the summary — this is all the estimator ever sees.
+//! let summary = Summary::build(&doc, SummaryConfig::default());
+//!
+//! // 3. Estimate.
+//! let est = Estimator::new(&summary);
+//! assert_eq!(est.estimate_str("//book/chap").unwrap(), 3.0);
+//!
+//! // 4. Compare against the exact answer.
+//! let order = DocOrder::new(&doc);
+//! let q = parse_query("//book/chap").unwrap();
+//! assert_eq!(selectivity(&doc, &order, &q), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use xpe_core as estimator;
+pub use xpe_datagen as datagen;
+pub use xpe_join as join;
+pub use xpe_markov as markov;
+pub use xpe_pathid as pathid;
+pub use xpe_poshist as poshist;
+pub use xpe_synopsis as synopsis;
+pub use xpe_xml as xml;
+pub use xpe_xpath as xpath;
+pub use xpe_xsketch as xsketch;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use xpe_core::{mean_relative_error, relative_error, Estimator};
+    pub use xpe_datagen::{Dataset, DatasetSpec, WorkloadConfig};
+    pub use xpe_pathid::Labeling;
+    pub use xpe_synopsis::{Summary, SummaryConfig};
+    pub use xpe_xml::{nav::DocOrder, parse_document, Document, TreeBuilder};
+    pub use xpe_xpath::{parse_query, selectivity, Evaluator, Query};
+    pub use xpe_xsketch::XSketch;
+}

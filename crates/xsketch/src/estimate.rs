@@ -1,0 +1,224 @@
+//! Selectivity estimation over an XSketch synopsis.
+//!
+//! Simple and branch twig queries only (no order axes — XSketch predates
+//! them, which is exactly the gap the ICDE'06 paper fills). The estimate
+//! walks the synopsis graph along the query's root→target path,
+//! multiplying per-edge average child counts, and discounts branching
+//! predicates with independence factors, as in the original XSketch
+//! estimation framework.
+
+use std::collections::HashMap;
+
+use xpe_xml::TagInterner;
+use xpe_xpath::{Axis, Query, QueryNodeId};
+
+use crate::graph::{SNodeId, XSketchGraph};
+
+/// Maximum synopsis-path length explored when expanding a `//` step.
+const DESCENDANT_DEPTH: usize = 12;
+
+pub(crate) struct SketchEstimator<'g> {
+    graph: &'g XSketchGraph,
+    tags: &'g TagInterner,
+}
+
+impl<'g> SketchEstimator<'g> {
+    pub fn new(graph: &'g XSketchGraph, tags: &'g TagInterner) -> Self {
+        SketchEstimator { graph, tags }
+    }
+
+    /// Estimated selectivity of the query's target node.
+    pub fn estimate(&self, query: &Query) -> f64 {
+        // Seed: candidate partitions for the query root.
+        let Some(root_tag) = self.tags.get(&query.node(query.root()).tag) else {
+            return 0.0;
+        };
+        let mut reach: HashMap<SNodeId, f64> = HashMap::new();
+        match query.root_axis() {
+            Axis::Child => {
+                for &r in &self.graph.roots {
+                    if self.graph.nodes[r as usize].label == root_tag {
+                        reach.insert(r, self.graph.nodes[r as usize].count as f64);
+                    }
+                }
+            }
+            _ => {
+                for &v in &self.graph.by_label[root_tag.index()] {
+                    reach.insert(v, self.graph.nodes[v as usize].count as f64);
+                }
+            }
+        }
+        self.node_estimate(query, query.root(), &reach)
+    }
+
+    /// Given `reach` — expected matches of `q` per partition — returns the
+    /// estimate of the target inside `q`'s subtree, or of `q` itself.
+    fn node_estimate(&self, query: &Query, q: QueryNodeId, reach: &HashMap<SNodeId, f64>) -> f64 {
+        // Discount by every branch predicate's satisfaction probability.
+        let mut reach = reach.clone();
+        let path_edge = self.edge_towards_target(query, q);
+        for (i, edge) in query.node(q).edges.iter().enumerate() {
+            if Some(i) == path_edge {
+                continue;
+            }
+            for (&v, m) in reach.iter_mut() {
+                let frac = self.satisfaction_fraction(query, edge.to, edge.axis, v);
+                *m *= frac;
+            }
+        }
+        let Some(pe) = path_edge else {
+            // `q` is the target.
+            let total: f64 = reach.values().sum();
+            let cap: u64 = reach
+                .keys()
+                .map(|&v| self.graph.nodes[v as usize].count)
+                .sum();
+            return total.min(cap as f64);
+        };
+        let edge = query.node(q).edges[pe];
+        let next = self.advance(&reach, edge.axis, &query.node(edge.to).tag);
+        self.node_estimate(query, edge.to, &next)
+    }
+
+    /// The edge of `q` leading toward the target, if the target is below `q`.
+    fn edge_towards_target(&self, query: &Query, q: QueryNodeId) -> Option<usize> {
+        if q == query.target() {
+            return None;
+        }
+        let path = query.path_to(query.target());
+        let pos = path.iter().position(|&n| n == q)?;
+        let next = path[pos + 1];
+        query.node(q).edges.iter().position(|e| e.to == next)
+    }
+
+    /// Pushes per-partition match counts across one query edge.
+    fn advance(
+        &self,
+        reach: &HashMap<SNodeId, f64>,
+        axis: Axis,
+        tag: &str,
+    ) -> HashMap<SNodeId, f64> {
+        let Some(tag) = self.tags.get(tag) else {
+            return HashMap::new();
+        };
+        let mut out: HashMap<SNodeId, f64> = HashMap::new();
+        match axis {
+            Axis::Child => {
+                for (&v, &m) in reach {
+                    let n_v = self.graph.nodes[v as usize].count as f64;
+                    for &(c, pairs) in &self.graph.out[v as usize] {
+                        if self.graph.nodes[c as usize].label == tag {
+                            *out.entry(c).or_insert(0.0) += m * pairs as f64 / n_v;
+                        }
+                    }
+                }
+            }
+            Axis::Descendant => {
+                // Expand along synopsis paths up to a depth bound,
+                // accumulating expected counts at matching partitions.
+                let mut frontier: HashMap<SNodeId, f64> = reach.clone();
+                for _ in 0..DESCENDANT_DEPTH {
+                    let mut next: HashMap<SNodeId, f64> = HashMap::new();
+                    for (&v, &m) in &frontier {
+                        if m < 1e-12 {
+                            continue;
+                        }
+                        let n_v = self.graph.nodes[v as usize].count as f64;
+                        for &(c, pairs) in &self.graph.out[v as usize] {
+                            let flow = m * pairs as f64 / n_v;
+                            *next.entry(c).or_insert(0.0) += flow;
+                            if self.graph.nodes[c as usize].label == tag {
+                                *out.entry(c).or_insert(0.0) += flow;
+                            }
+                        }
+                    }
+                    if next.is_empty() {
+                        break;
+                    }
+                    frontier = next;
+                }
+            }
+            _ => unreachable!("XSketch handles structural axes only"),
+        }
+        // Cap per partition: cannot exceed the partition population.
+        for (&v, m) in out.iter_mut() {
+            let cap = self.graph.nodes[v as usize].count as f64;
+            if *m > cap {
+                *m = cap;
+            }
+        }
+        out
+    }
+
+    /// Probability that an element of partition `v` satisfies the branch
+    /// rooted at query node `b` via `axis` (independence assumption).
+    fn satisfaction_fraction(&self, query: &Query, b: QueryNodeId, axis: Axis, v: SNodeId) -> f64 {
+        let mut seed = HashMap::new();
+        seed.insert(v, self.graph.nodes[v as usize].count as f64);
+        let reached = self.advance(&seed, axis, &query.node(b).tag);
+        // Recursively discount the branch's own predicates.
+        let mut total = 0.0;
+        for (&c, &m) in &reached {
+            let mut m = m;
+            for e in &query.node(b).edges {
+                let frac = self.satisfaction_fraction(query, e.to, e.axis, c);
+                m *= frac;
+            }
+            total += m;
+        }
+        let n_v = self.graph.nodes[v as usize].count as f64;
+        (total / n_v).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::XSketch;
+    use xpe_xpath::parse_query;
+
+    #[test]
+    fn label_split_estimates_simple_paths() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let sketch = XSketch::build(&doc, usize::MAX);
+        // Exact tag counts.
+        assert_eq!(sketch.estimate(&parse_query("//A").unwrap()), 3.0);
+        assert_eq!(sketch.estimate(&parse_query("//D").unwrap()), 4.0);
+        // Path //B/D: every D is under a B — estimate near 4.
+        let est = sketch.estimate(&parse_query("//B/D").unwrap());
+        assert!((est - 4.0).abs() < 0.5, "est {est}");
+    }
+
+    #[test]
+    fn unknown_tag_estimates_zero() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let sketch = XSketch::build(&doc, usize::MAX);
+        assert_eq!(sketch.estimate(&parse_query("//Zebra").unwrap()), 0.0);
+        assert_eq!(sketch.estimate(&parse_query("//A/Zebra").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn branch_predicates_discount() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let sketch = XSketch::build(&doc, usize::MAX);
+        let plain = sketch.estimate(&parse_query("//$A/B").unwrap());
+        let branched = sketch.estimate(&parse_query("//$A[/C/F]/B").unwrap());
+        assert!(branched <= plain + 1e-9);
+        assert!(branched > 0.0);
+    }
+
+    #[test]
+    fn root_axis_restricts_to_root_partition() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let sketch = XSketch::build(&doc, usize::MAX);
+        assert_eq!(sketch.estimate(&parse_query("/Root").unwrap()), 1.0);
+        assert_eq!(sketch.estimate(&parse_query("/A").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn descendant_axis_expands() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let sketch = XSketch::build(&doc, usize::MAX);
+        let est = sketch.estimate(&parse_query("//Root//E").unwrap());
+        assert!((est - 3.0).abs() < 0.5, "est {est}");
+    }
+}

@@ -1,0 +1,286 @@
+//! The XSketch synopsis graph.
+//!
+//! Reimplementation of the comparator from Polyzotis & Garofalakis,
+//! *Statistical Synopses for Graph-Structured XML Databases* (SIGMOD'02),
+//! in the tree-structured form the ICDE'06 paper benchmarks against:
+//!
+//! * the synopsis is a graph whose nodes are *partitions* of elements
+//!   sharing a label, annotated with element counts; edges carry
+//!   parent-child pair counts;
+//! * construction starts from the **label-split graph** (one node per
+//!   label) and greedily refines: the node whose incident edges are least
+//!   *stable* (per-parent child counts vary most) is split by its elements'
+//!   parent partitions, until a byte budget is exhausted;
+//! * estimation multiplies per-edge average child counts along synopsis
+//!   paths, with independence factors for branch predicates.
+
+use std::collections::HashMap;
+
+use xpe_xml::{Document, TagId};
+
+/// Index of a synopsis node (partition).
+pub(crate) type SNodeId = u32;
+
+/// One partition of same-label elements.
+#[derive(Clone, Debug)]
+pub struct SNode {
+    /// Label shared by every element in the partition.
+    pub label: TagId,
+    /// Number of elements.
+    pub count: u64,
+}
+
+/// The XSketch synopsis of one document.
+#[derive(Clone, Debug)]
+pub struct XSketchGraph {
+    pub(crate) nodes: Vec<SNode>,
+    /// Parent-child pair counts between partitions.
+    pub(crate) edges: HashMap<(SNodeId, SNodeId), u64>,
+    /// Outgoing adjacency: child partitions (with pair counts) per node.
+    pub(crate) out: Vec<Vec<(SNodeId, u64)>>,
+    /// Partitions containing document roots.
+    pub(crate) roots: Vec<SNodeId>,
+    /// Partitions per label.
+    pub(crate) by_label: Vec<Vec<SNodeId>>,
+}
+
+impl XSketchGraph {
+    /// Number of partitions.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of synopsis edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Byte size under the same style of accounting as the proposed
+    /// method's summaries: 8 bytes per node (label + count) and 12 per
+    /// edge (two references + pair count).
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.len() * 8 + self.edges.len() * 12
+    }
+
+    /// Rebuilds the adjacency and label indexes from `nodes`/`edges`.
+    pub(crate) fn reindex(&mut self, label_count: usize) {
+        self.out = vec![Vec::new(); self.nodes.len()];
+        for (&(u, v), &c) in &self.edges {
+            self.out[u as usize].push((v, c));
+        }
+        for adj in &mut self.out {
+            adj.sort_unstable();
+        }
+        self.by_label = vec![Vec::new(); label_count];
+        for (i, n) in self.nodes.iter().enumerate() {
+            self.by_label[n.label.index()].push(i as SNodeId);
+        }
+    }
+}
+
+/// Mutable construction state: the synopsis plus the element→partition
+/// assignment needed to evaluate and apply splits.
+pub(crate) struct BuilderState<'d> {
+    pub doc: &'d Document,
+    pub assign: Vec<SNodeId>,
+    pub graph: XSketchGraph,
+}
+
+impl<'d> BuilderState<'d> {
+    /// The label-split graph: one partition per tag.
+    pub fn label_split(doc: &'d Document) -> Self {
+        let label_count = doc.tags().len();
+        let mut nodes: Vec<SNode> = (0..label_count)
+            .map(|i| SNode {
+                label: TagId::from_index(i),
+                count: 0,
+            })
+            .collect();
+        let mut assign = vec![0 as SNodeId; doc.len()];
+        for id in doc.node_ids() {
+            let t = doc.tag(id).index();
+            nodes[t].count += 1;
+            assign[id.index()] = t as SNodeId;
+        }
+        let mut edges: HashMap<(SNodeId, SNodeId), u64> = HashMap::new();
+        for id in doc.node_ids() {
+            if let Some(p) = doc.parent(id) {
+                *edges
+                    .entry((assign[p.index()], assign[id.index()]))
+                    .or_insert(0) += 1;
+            }
+        }
+        // Drop zero-count partitions (labels always occur, so none here,
+        // but keep the invariant explicit for splits later).
+        let roots = vec![assign[doc.root().index()]];
+        let mut graph = XSketchGraph {
+            nodes,
+            edges,
+            out: Vec::new(),
+            roots,
+            by_label: Vec::new(),
+        };
+        graph.reindex(label_count);
+        BuilderState { doc, assign, graph }
+    }
+
+    /// Instability score of a partition: how much the number of children a
+    /// parent element has in each child partition varies across the
+    /// parents. Stable (uniform) edges estimate exactly; unstable ones are
+    /// where XSketch's refinement spends its budget.
+    pub fn instability(&self, v: SNodeId) -> f64 {
+        // Gather per-element child counts into each child partition.
+        let mut members: Vec<u32> = Vec::new();
+        for id in self.doc.node_ids() {
+            if self.assign[id.index()] == v {
+                members.push(id.index() as u32);
+            }
+        }
+        if members.len() < 2 {
+            return 0.0;
+        }
+        let mut score = 0.0;
+        let mut per_child: HashMap<SNodeId, Vec<u64>> = HashMap::new();
+        for (mi, &m) in members.iter().enumerate() {
+            let mut counts: HashMap<SNodeId, u64> = HashMap::new();
+            for &c in self.doc.children(xpe_xml::NodeId::from_index(m as usize)) {
+                *counts.entry(self.assign[c.index()]).or_insert(0) += 1;
+            }
+            for (cp, n) in counts {
+                let vec = per_child
+                    .entry(cp)
+                    .or_insert_with(|| vec![0; members.len()]);
+                vec[mi] = n;
+            }
+        }
+        for counts in per_child.values() {
+            let k = counts.len() as f64;
+            let sum: u64 = counts.iter().sum();
+            let mean = sum as f64 / k;
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+                .sum::<f64>()
+                / k;
+            score += var;
+        }
+        score
+    }
+
+    /// Splits partition `v` by the partition of each element's parent.
+    /// Returns `false` when the split is trivial (single parent partition).
+    pub fn split_by_parent(&mut self, v: SNodeId) -> bool {
+        let mut groups: HashMap<Option<SNodeId>, Vec<u32>> = HashMap::new();
+        for id in self.doc.node_ids() {
+            if self.assign[id.index()] == v {
+                let key = self.doc.parent(id).map(|p| self.assign[p.index()]);
+                groups.entry(key).or_default().push(id.index() as u32);
+            }
+        }
+        if groups.len() < 2 {
+            return false;
+        }
+        let label = self.graph.nodes[v as usize].label;
+        let mut keys: Vec<Option<SNodeId>> = groups.keys().copied().collect();
+        keys.sort_unstable();
+        // First group keeps id `v`; the rest become fresh partitions.
+        for (gi, key) in keys.iter().enumerate() {
+            let members = &groups[key];
+            let target = if gi == 0 {
+                v
+            } else {
+                self.graph.nodes.push(SNode { label, count: 0 });
+                (self.graph.nodes.len() - 1) as SNodeId
+            };
+            self.graph.nodes[target as usize].count = members.len() as u64;
+            for &m in members {
+                self.assign[m as usize] = target;
+            }
+        }
+        self.recount();
+        true
+    }
+
+    /// Recomputes edges and root partitions from the assignment.
+    fn recount(&mut self) {
+        let mut edges: HashMap<(SNodeId, SNodeId), u64> = HashMap::new();
+        for id in self.doc.node_ids() {
+            if let Some(p) = self.doc.parent(id) {
+                *edges
+                    .entry((self.assign[p.index()], self.assign[id.index()]))
+                    .or_insert(0) += 1;
+            }
+        }
+        self.graph.edges = edges;
+        self.graph.roots = vec![self.assign[self.doc.root().index()]];
+        self.graph.reindex(self.doc.tags().len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_split_counts() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let st = BuilderState::label_split(&doc);
+        let g = &st.graph;
+        assert_eq!(g.node_count(), 7);
+        // Counts match the tag frequencies: A=3, B=4, D=4, …
+        let count_of = |name: &str| {
+            let t = doc.tags().get(name).unwrap();
+            g.by_label[t.index()]
+                .iter()
+                .map(|&v| g.nodes[v as usize].count)
+                .sum::<u64>()
+        };
+        assert_eq!(count_of("A"), 3);
+        assert_eq!(count_of("B"), 4);
+        assert_eq!(count_of("D"), 4);
+        assert_eq!(count_of("Root"), 1);
+        // Edge Root→A carries 3 pairs.
+        let root = doc.tags().get("Root").unwrap().index() as SNodeId;
+        let a = doc.tags().get("A").unwrap().index() as SNodeId;
+        assert_eq!(g.edges[&(root, a)], 3);
+    }
+
+    #[test]
+    fn split_refines_partitions() {
+        // Two kinds of B: under A vs under X — splitting B by parent
+        // separates them.
+        let doc = xpe_xml::parse_document("<r><A><B/><B/></A><X><B/></X></r>").unwrap();
+        let mut st = BuilderState::label_split(&doc);
+        let b = doc.tags().get("B").unwrap().index() as SNodeId;
+        assert!(st.split_by_parent(b));
+        let b_parts = &st.graph.by_label[doc.tags().get("B").unwrap().index()];
+        assert_eq!(b_parts.len(), 2);
+        let mut counts: Vec<u64> = b_parts
+            .iter()
+            .map(|&v| st.graph.nodes[v as usize].count)
+            .collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn trivial_split_rejected() {
+        let doc = xpe_xml::parse_document("<r><B/><B/></r>").unwrap();
+        let mut st = BuilderState::label_split(&doc);
+        let b = doc.tags().get("B").unwrap().index() as SNodeId;
+        assert!(!st.split_by_parent(b), "single parent partition");
+    }
+
+    #[test]
+    fn instability_detects_skew() {
+        // One A has 3 Bs, the other has none → unstable A→B edge.
+        let skewed = xpe_xml::parse_document("<r><A><B/><B/><B/></A><A/></r>").unwrap();
+        let uniform = xpe_xml::parse_document("<r><A><B/></A><A><B/></A></r>").unwrap();
+        let st_s = BuilderState::label_split(&skewed);
+        let st_u = BuilderState::label_split(&uniform);
+        let a_s = skewed.tags().get("A").unwrap().index() as SNodeId;
+        let a_u = uniform.tags().get("A").unwrap().index() as SNodeId;
+        assert!(st_s.instability(a_s) > st_u.instability(a_u));
+        assert_eq!(st_u.instability(a_u), 0.0);
+    }
+}

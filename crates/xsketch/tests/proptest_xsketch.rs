@@ -1,0 +1,106 @@
+//! Property tests for the XSketch baseline: structural invariants of the
+//! synopsis graph and sanity of estimates on random documents.
+
+use proptest::prelude::*;
+use xpe_xml::{Document, TreeBuilder};
+use xpe_xpath::{parse_query, Evaluator};
+use xpe_xsketch::XSketch;
+
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    tag: u8,
+    children: Vec<TreeSpec>,
+}
+
+fn arb_doc() -> impl Strategy<Value = TreeSpec> {
+    let leaf = (0u8..4).prop_map(|t| TreeSpec {
+        tag: t,
+        children: vec![],
+    });
+    leaf.prop_recursive(3, 40, 4, |inner| {
+        (0u8..4, prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| TreeSpec { tag, children })
+    })
+}
+
+fn build_doc(spec: &TreeSpec) -> Document {
+    let mut b = TreeBuilder::new();
+    fn rec(b: &mut TreeBuilder, s: &TreeSpec) {
+        b.begin_element(&format!("t{}", s.tag));
+        for c in &s.children {
+            rec(b, c);
+        }
+        b.end_element().unwrap();
+    }
+    b.begin_element("R");
+    rec(&mut b, spec);
+    b.end_element().unwrap();
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tag-count queries are exact on any synopsis (partition counts per
+    /// label always sum to the tag frequency).
+    #[test]
+    fn single_tag_estimates_are_exact(spec in arb_doc(), budget in 1usize..4096) {
+        let doc = build_doc(&spec);
+        let sketch = XSketch::build(&doc, budget);
+        let mut by_tag = std::collections::HashMap::new();
+        for id in doc.node_ids() {
+            *by_tag.entry(doc.tag_name(id).to_owned()).or_insert(0u64) += 1;
+        }
+        for (tag, count) in by_tag {
+            let q = parse_query(&format!("//{tag}")).unwrap();
+            prop_assert!((sketch.estimate(&q) - count as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Child-path estimates are finite, non-negative and never exceed the
+    /// child tag's population.
+    #[test]
+    fn path_estimates_are_sane(spec in arb_doc(), a in 0u8..4, b in 0u8..4) {
+        let doc = build_doc(&spec);
+        let sketch = XSketch::build(&doc, usize::MAX);
+        let q = parse_query(&format!("//t{a}/t{b}")).unwrap();
+        let est = sketch.estimate(&q);
+        prop_assert!(est.is_finite() && est >= 0.0);
+        let cap = doc
+            .node_ids()
+            .filter(|&n| doc.tag_name(n) == format!("t{b}"))
+            .count() as f64;
+        prop_assert!(est <= cap + 1e-9, "est {} cap {}", est, cap);
+    }
+
+    /// The fully refined synopsis (unbounded budget) estimates child paths
+    /// at least as well as the label-split graph on average.
+    #[test]
+    fn refinement_never_hurts_on_average(spec in arb_doc()) {
+        let doc = build_doc(&spec);
+        let order = xpe_xml::nav::DocOrder::new(&doc);
+        let eval = Evaluator::new(&doc, &order);
+        let coarse = XSketch::build(&doc, 1);
+        let fine = XSketch::build(&doc, usize::MAX);
+        let mut err_c = 0.0;
+        let mut err_f = 0.0;
+        let mut n = 0;
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let q = parse_query(&format!("//t{a}/t{b}")).unwrap();
+                let truth = eval.selectivity(&q) as f64;
+                if truth == 0.0 {
+                    continue;
+                }
+                err_c += (coarse.estimate(&q) - truth).abs() / truth;
+                err_f += (fine.estimate(&q) - truth).abs() / truth;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            // Allow slack: greedy refinement is a heuristic, but it should
+            // not catastrophically regress the label-split baseline.
+            prop_assert!(err_f <= err_c + 0.5 * n as f64, "fine {} coarse {}", err_f, err_c);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Using the estimator the way a query optimizer would — the paper's
+//! stated purpose ("estimating the result sizes of XML queries is
+//! important in query optimization").
+//!
+//! For a twig query with several predicates, a structural-join planner
+//! wants to apply the most selective predicate first. This example ranks
+//! candidate predicate orders by estimated selectivity and checks the
+//! ranking against exact cardinalities.
+//!
+//! Run with: `cargo run --release --example optimizer_integration`
+
+use xpe::estimator::PredicateRank;
+use xpe::prelude::*;
+
+fn main() {
+    let doc = DatasetSpec {
+        dataset: Dataset::XMark,
+        scale: 0.05,
+        seed: 7,
+    }
+    .generate();
+    println!("auction site: {} elements", doc.len());
+
+    let summary = Summary::build(&doc, SummaryConfig::default());
+    let est = Estimator::new(&summary);
+    let order = DocOrder::new(&doc);
+    let eval = Evaluator::new(&doc, &order);
+
+    // The optimizer needs per-predicate selectivities of `person` to pick
+    // a filter order for:
+    //   //person[address/city][profile/education][homepage]
+    let predicates = [
+        ("//$person[/address/city]", "address/city"),
+        ("//$person[/profile/education]", "profile/education"),
+        ("//$person[/homepage]", "homepage"),
+        ("//$person[/watches/watch]", "watches/watch"),
+    ];
+
+    let total = est.estimate_str("//person").unwrap();
+    println!("\n|person| ≈ {total:.0}");
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>12}",
+        "predicate", "est. card", "exact", "est. select."
+    );
+    let mut ranked: Vec<(f64, &str, u64)> = Vec::new();
+    for (q, name) in predicates {
+        let query = parse_query(q).expect("valid");
+        let estimate = est.estimate(&query);
+        let exact = eval.selectivity(&query);
+        println!(
+            "{name:<22} {estimate:>10.1} {exact:>10} {:>11.1}%",
+            100.0 * estimate / total
+        );
+        ranked.push((estimate, name, exact));
+    }
+
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+    println!("\nplanned filter order (most selective first):");
+    for (i, (estimate, name, exact)) in ranked.iter().enumerate() {
+        println!("  {}. {name}  (est {estimate:.0}, exact {exact})", i + 1);
+    }
+
+    // Verify the estimate-driven order matches the exact-cardinality order.
+    let mut exact_order = ranked.clone();
+    exact_order.sort_by_key(|&(_, _, exact)| exact);
+    let agree = ranked.iter().zip(&exact_order).all(|(a, b)| a.1 == b.1);
+    println!(
+        "\nestimate-driven plan {} the exact-cardinality plan",
+        if agree { "matches" } else { "differs from" }
+    );
+
+    // The same decision through the planner API: one combined query, with
+    // every predicate ranked in a single call.
+    let combined =
+        parse_query("//$person[/address/city][/profile/education][/homepage][/watches/watch]")
+            .expect("valid");
+    let ranks: Vec<PredicateRank> = est.rank_predicates(&combined, combined.target());
+    println!("\nplanner API ranking for the combined query:");
+    for (i, r) in ranks.iter().enumerate() {
+        println!(
+            "  {}. {} (est {:.0})",
+            i + 1,
+            combined.node(r.head).tag,
+            r.estimated_card
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build a summary from an XML document and estimate XPath
+//! selectivities — including order-based axes — without touching the
+//! document again.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use xpe::prelude::*;
+
+fn main() {
+    // A small library catalog. Chapter order matters: a query can ask for
+    // appendices that follow a chapter, or prefaces that precede one.
+    let doc = parse_document(
+        "<library>\
+           <book><title/><preface/><chapter/><chapter/><appendix/></book>\
+           <book><title/><chapter/><appendix/><chapter/></book>\
+           <book><title/><preface/><chapter/></book>\
+         </library>",
+    )
+    .expect("well-formed");
+
+    // Everything the estimator needs, in a few KB: the encoding table,
+    // the path-id binary tree and the p-/o-histograms.
+    let summary = Summary::build(&doc, SummaryConfig::default());
+    let sizes = summary.sizes();
+    println!(
+        "summary: {} B path info + {} B order info for {} elements",
+        sizes.path_total(),
+        sizes.o_histograms,
+        doc.len()
+    );
+
+    let estimator = Estimator::new(&summary);
+    let order = DocOrder::new(&doc);
+
+    let queries = [
+        "//book",                           // simple
+        "//book/chapter",                   // simple
+        "/library/book[/preface]/chapter",  // branch
+        "//book[/chapter/folls::appendix]", // order: appendix after a chapter
+        "//book[/chapter/pres::$preface]",  // order: preface before a chapter
+        "//book[/title/foll::chapter]",     // document-order following
+    ];
+    println!("\n{:<38} {:>9} {:>6}", "query", "estimate", "exact");
+    for text in queries {
+        let query = parse_query(text).expect("valid query");
+        let estimate = estimator.estimate(&query);
+        let exact = selectivity(&doc, &order, &query);
+        println!("{text:<38} {estimate:>9.2} {exact:>6}");
+    }
+}

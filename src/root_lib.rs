@@ -1,0 +1,1 @@
+//! Workspace-level facade used only to host cross-crate integration tests and examples.

@@ -1,0 +1,78 @@
+//! API-surface test: everything the README and examples rely on is
+//! reachable through the `xpe` facade and the prelude, with the
+//! documented signatures.
+
+use xpe::prelude::*;
+
+#[test]
+fn prelude_covers_the_quickstart_flow() {
+    let doc = parse_document("<lib><book><chap/><chap/></book><book><chap/></book></lib>")
+        .expect("well-formed");
+    let summary = Summary::build(&doc, SummaryConfig::default());
+    let est = Estimator::new(&summary);
+    assert_eq!(est.estimate_str("//book/chap").unwrap(), 3.0);
+    let order = DocOrder::new(&doc);
+    let q = parse_query("//book/chap").unwrap();
+    assert_eq!(selectivity(&doc, &order, &q), 3);
+}
+
+#[test]
+fn every_subsystem_is_reachable_through_the_facade() {
+    let doc = xpe::xml::fixtures::paper_figure1();
+    let labeling = xpe::pathid::Labeling::compute(&doc);
+    assert_eq!(labeling.encoding.len(), 4);
+
+    let summary = xpe::synopsis::Summary::build(&doc, xpe::synopsis::SummaryConfig::default());
+    assert!(xpe::estimator::Estimator::new(&summary)
+        .estimate_str("//A//C")
+        .is_ok());
+
+    let sketch = xpe::xsketch::XSketch::build(&doc, 4096);
+    assert!(sketch.estimate(&parse_query("//A/B").unwrap()) > 0.0);
+
+    let markov = xpe::markov::MarkovEstimator::build(&doc, 2);
+    assert!(markov.estimate(&parse_query("//A/B").unwrap()).is_some());
+
+    let pos = xpe::poshist::PositionEstimator::build(&doc, 8);
+    assert!(pos.estimate(&parse_query("//A//B").unwrap()).is_some());
+
+    let join = xpe::join::JoinProcessor::new(&doc, &labeling);
+    assert_eq!(
+        join.count_path(&parse_query("//A/B/D").unwrap(), true)
+            .unwrap()
+            .matches,
+        4
+    );
+
+    let spec = xpe::datagen::DatasetSpec {
+        dataset: Dataset::SSPlays,
+        scale: 0.005,
+        seed: 1,
+    };
+    assert!(spec.generate().len() > 100);
+}
+
+#[test]
+fn metrics_and_planner_are_public() {
+    let doc = xpe::xml::fixtures::paper_figure1();
+    let summary = Summary::build(&doc, SummaryConfig::default());
+    let est = Estimator::new(&summary);
+    let q = parse_query("//$A[/B][/C]").unwrap();
+    let ranks = est.rank_predicates(&q, q.target());
+    assert_eq!(ranks.len(), 2);
+    let cards = est.path_cardinalities(&q);
+    assert_eq!(cards.steps.len(), 1);
+    let stats = xpe::estimator::ErrorStats::compute(vec![(1.0, 1), (2.0, 1)]).unwrap();
+    assert_eq!(stats.count, 2);
+    assert_eq!(relative_error(2.0, 1), 1.0);
+    assert_eq!(mean_relative_error(vec![(1.0, 1)]), Some(0.0));
+}
+
+#[test]
+fn summary_persistence_is_public() {
+    let doc = xpe::xml::fixtures::paper_figure1();
+    let summary = Summary::build(&doc, SummaryConfig::default());
+    let bytes = summary.to_bytes();
+    let back = Summary::from_bytes(&bytes).unwrap();
+    assert_eq!(back.pids.len(), summary.pids.len());
+}
