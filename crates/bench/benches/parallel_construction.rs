@@ -1,0 +1,57 @@
+//! Parallel summary-construction benchmarks: serial versus fanned-out
+//! per-tag histogram builds (`SummaryConfig::threads`).
+//!
+//! Covers each phase in isolation (p-histograms, o-histograms) and the
+//! end-to-end `Summary::build`, at one worker versus one worker per core.
+//! The parallel build is bit-identical to the serial one, so these
+//! numbers are pure speedup, not a quality trade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use xpe_datagen::{Dataset, DatasetSpec};
+use xpe_pathid::Labeling;
+use xpe_synopsis::{
+    OHistogramSet, PHistogramSet, PathIdFrequencyTable, PathOrderTable, Summary, SummaryConfig,
+};
+
+const SCALE: f64 = 0.02;
+
+fn bench_parallel_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_construction");
+    group.sample_size(10);
+    for ds in Dataset::ALL {
+        let doc = DatasetSpec {
+            dataset: ds,
+            scale: SCALE,
+            seed: 7,
+        }
+        .generate();
+        let labeling = Labeling::compute(&doc);
+        let freq = PathIdFrequencyTable::build(&doc, &labeling);
+        let order = PathOrderTable::build(&doc, &labeling);
+        let phist = PHistogramSet::build(&freq, 1.0);
+
+        for (mode, threads) in [("serial", 1usize), ("auto", 0usize)] {
+            group.bench_function(
+                BenchmarkId::new(format!("p_histograms_{mode}"), ds.name()),
+                |b| b.iter(|| PHistogramSet::build_with_threads(&freq, 1.0, threads)),
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("o_histograms_{mode}"), ds.name()),
+                |b| {
+                    b.iter(|| {
+                        OHistogramSet::build_with_threads(&order, &phist, doc.tags(), 1.0, threads)
+                    })
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("summary_build_{mode}"), ds.name()),
+                |b| b.iter(|| Summary::build(&doc, SummaryConfig::default().with_threads(threads))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_construction);
+criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! histograms) — plus what fraction of the *full* workload each model can
 //! answer at all.
 
-use xpe_bench::{err, kb, load, print_table, summary_at, workload_error, ExpContext};
-use xpe_core::{mean_relative_error, Estimator};
+use xpe_bench::{err, kb, load, print_table, summary_at, workload_error_engine, ExpContext};
+use xpe_core::{mean_relative_error, EstimationEngine};
 use xpe_datagen::{Dataset, QueryCase};
 use xpe_markov::MarkovEstimator;
 use xpe_poshist::PositionEstimator;
@@ -34,14 +34,14 @@ fn main() {
             .chain(&b.workload.order_trunk)
             .collect();
 
-        // Proposed method at variance 0.
+        // Proposed method at variance 0, scored through the batch engine.
         let s = summary_at(&b, 0.0, 0.0);
-        let est = Estimator::new(&s);
+        let engine = EstimationEngine::new(&s).with_threads(ctx.jobs);
         rows.push(vec![
             ds.name().to_owned(),
             "proposed (v=0)".to_owned(),
             kb(s.sizes().path_total() + s.sizes().o_histograms),
-            err(workload_error(&est, simple)),
+            err(workload_error_engine(&engine, simple)),
             format!("{total_queries}/{total_queries}"),
         ]);
 

@@ -1,0 +1,168 @@
+//! Machine-readable performance snapshot for the batched estimation
+//! engine and the parallel summary build.
+//!
+//! Measures, per dataset:
+//!
+//! * queries/sec of the serial per-query `Estimator` loop versus
+//!   `EstimationEngine::estimate_batch` (one worker and one per core)
+//!   over the full ≥500-query workload;
+//! * `Summary::build` wall time at one worker versus one per core.
+//!
+//! Writes `results/BENCH_estimation.json` (hand-rolled JSON — the
+//! workspace carries no serde) and prints the same numbers as a table.
+//! Scale/seed/attempts come from the usual `XPE_*` variables.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use xpe_bench::{load, print_table, ExpContext};
+use xpe_core::{EstimationEngine, Estimator};
+use xpe_datagen::Dataset;
+use xpe_synopsis::{Summary, SummaryConfig};
+use xpe_xpath::Query;
+
+/// Repetitions per measurement; the best run is reported to damp noise.
+const REPS: usize = 3;
+
+fn best_secs<R>(mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Row {
+    dataset: &'static str,
+    queries: usize,
+    serial_qps: f64,
+    batch1_qps: f64,
+    batch_auto_qps: f64,
+    build_serial_ms: f64,
+    build_parallel_ms: f64,
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Every string we emit is a bare ASCII identifier; assert rather
+    // than carry an escaper.
+    assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    s
+}
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Batch-estimation snapshot: scale = {}, attempts = {}, seed = {}, cores = {cores}",
+        ctx.scale, ctx.attempts, ctx.seed
+    );
+
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let b = load(&ctx, ds);
+        let queries: Vec<Query> = b
+            .workload
+            .simple
+            .iter()
+            .chain(&b.workload.branch)
+            .chain(&b.workload.order_branch)
+            .chain(&b.workload.order_trunk)
+            .map(|c| c.query.clone())
+            .collect();
+        if queries.is_empty() {
+            continue;
+        }
+        let summary = Summary::build(&b.doc, SummaryConfig::default());
+        let n = queries.len() as f64;
+
+        let serial = best_secs(|| {
+            let est = Estimator::new(&summary);
+            queries.iter().map(|q| est.estimate(q)).sum::<f64>()
+        });
+        let batch1 = best_secs(|| {
+            let engine = EstimationEngine::new(&summary).with_threads(1);
+            engine.estimate_batch(&queries).iter().sum::<f64>()
+        });
+        let batch_auto = best_secs(|| {
+            let engine = EstimationEngine::new(&summary).with_threads(0);
+            engine.estimate_batch(&queries).iter().sum::<f64>()
+        });
+        let build_serial =
+            best_secs(|| Summary::build(&b.doc, SummaryConfig::default().with_threads(1)));
+        let build_parallel =
+            best_secs(|| Summary::build(&b.doc, SummaryConfig::default().with_threads(0)));
+
+        rows.push(Row {
+            dataset: ds.name(),
+            queries: queries.len(),
+            serial_qps: n / serial,
+            batch1_qps: n / batch1,
+            batch_auto_qps: n / batch_auto,
+            build_serial_ms: build_serial * 1e3,
+            build_parallel_ms: build_parallel * 1e3,
+        });
+    }
+
+    print_table(
+        "Batched estimation + parallel construction",
+        &[
+            "Dataset",
+            "Queries",
+            "Serial q/s",
+            "Batch(1) q/s",
+            "Batch(auto) q/s",
+            "Build(1) ms",
+            "Build(auto) ms",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.to_owned(),
+                    r.queries.to_string(),
+                    format!("{:.0}", r.serial_qps),
+                    format!("{:.0}", r.batch1_qps),
+                    format!("{:.0}", r.batch_auto_qps),
+                    format!("{:.2}", r.build_serial_ms),
+                    format!("{:.2}", r.build_parallel_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"scale\": {}, \"attempts\": {}, \"seed\": {}, \"reps\": {REPS}, \"cores\": {cores},",
+        ctx.scale, ctx.attempts, ctx.seed
+    );
+    json.push_str("  \"datasets\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"dataset\": \"{}\", \"queries\": {}, \
+             \"serial_qps\": {:.1}, \"batch_jobs1_qps\": {:.1}, \
+             \"batch_auto_qps\": {:.1}, \"speedup_auto_vs_serial\": {:.2}, \
+             \"build_serial_ms\": {:.3}, \"build_parallel_ms\": {:.3}}}",
+            json_escape_free(r.dataset),
+            r.queries,
+            r.serial_qps,
+            r.batch1_qps,
+            r.batch_auto_qps,
+            r.batch_auto_qps / r.serial_qps,
+            r.build_serial_ms,
+            r.build_parallel_ms,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = "results/BENCH_estimation.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\ncould not write {out}: {e}"),
+    }
+}

@@ -10,10 +10,10 @@
 use std::time::Instant;
 
 use xpe_bench::{
-    err, kb, load, print_table, secs, summary_at, workload_error, workload_error_with,
+    err, kb, load, print_table, secs, summary_at, workload_error_engine, workload_error_with,
     DatasetBundle, ExpContext, O_VARIANCES, P_VARIANCES,
 };
-use xpe_core::Estimator;
+use xpe_core::EstimationEngine;
 use xpe_datagen::Dataset;
 use xpe_pathid::PathIdTree;
 use xpe_xml::stats::DocumentStats;
@@ -22,8 +22,8 @@ use xpe_xsketch::XSketch;
 fn main() {
     let ctx = ExpContext::from_env();
     println!(
-        "Full reproduction run: scale = {}, attempts = {}, seed = {}",
-        ctx.scale, ctx.attempts, ctx.seed
+        "Full reproduction run: scale = {}, attempts = {}, seed = {}, jobs = {}",
+        ctx.scale, ctx.attempts, ctx.seed, ctx.jobs
     );
     let t0 = Instant::now();
     let bundles: Vec<DatasetBundle> = Dataset::ALL.iter().map(|&d| load(&ctx, d)).collect();
@@ -38,10 +38,10 @@ fn main() {
     table3(&bundles);
     tables4_5(&bundles);
     fig9(&bundles);
-    fig10(&bundles);
-    fig11(&bundles);
-    fig12_13(&bundles, false);
-    fig12_13(&bundles, true);
+    fig10(&bundles, ctx.jobs);
+    fig11(&bundles, ctx.jobs);
+    fig12_13(&bundles, false, ctx.jobs);
+    fig12_13(&bundles, true, ctx.jobs);
     println!("\ntotal wall time: {}", secs(t0.elapsed().as_secs_f64()));
 }
 
@@ -205,7 +205,7 @@ fn fig9(bundles: &[DatasetBundle]) {
     }
 }
 
-fn fig10(bundles: &[DatasetBundle]) {
+fn fig10(bundles: &[DatasetBundle], jobs: usize) {
     for b in bundles {
         let all: Vec<_> = b
             .workload
@@ -219,13 +219,13 @@ fn fig10(bundles: &[DatasetBundle]) {
             .rev()
             .map(|&pv| {
                 let s = summary_at(b, pv, 0.0);
-                let est = Estimator::new(&s);
+                let engine = EstimationEngine::new(&s).with_threads(jobs);
                 vec![
                     format!("{pv}"),
                     kb(s.sizes().p_histograms),
-                    err(workload_error(&est, &b.workload.simple)),
-                    err(workload_error(&est, &b.workload.branch)),
-                    err(workload_error(&est, &all)),
+                    err(workload_error_engine(&engine, &b.workload.simple)),
+                    err(workload_error_engine(&engine, &b.workload.branch)),
+                    err(workload_error_engine(&engine, &all)),
                 ]
             })
             .collect();
@@ -243,7 +243,7 @@ fn fig10(bundles: &[DatasetBundle]) {
     }
 }
 
-fn fig11(bundles: &[DatasetBundle]) {
+fn fig11(bundles: &[DatasetBundle], jobs: usize) {
     for b in bundles {
         let all: Vec<_> = b
             .workload
@@ -258,12 +258,12 @@ fn fig11(bundles: &[DatasetBundle]) {
             .map(|&pv| {
                 let s = summary_at(b, pv, 0.0);
                 let total = s.sizes().path_total();
-                let est = Estimator::new(&s);
+                let engine = EstimationEngine::new(&s).with_threads(jobs);
                 let sketch = XSketch::build(&b.doc, total);
                 vec![
                     format!("{pv}"),
                     kb(total),
-                    err(workload_error(&est, &all)),
+                    err(workload_error_engine(&engine, &all)),
                     kb(sketch.size_bytes()),
                     err(workload_error_with(&all, |c| sketch.estimate(&c.query))),
                 ]
@@ -283,7 +283,7 @@ fn fig11(bundles: &[DatasetBundle]) {
     }
 }
 
-fn fig12_13(bundles: &[DatasetBundle], trunk: bool) {
+fn fig12_13(bundles: &[DatasetBundle], trunk: bool, jobs: usize) {
     for b in bundles {
         let cases = if trunk {
             &b.workload.order_trunk
@@ -301,7 +301,8 @@ fn fig12_13(bundles: &[DatasetBundle], trunk: bool) {
                     if pv == 0.0 {
                         mem = kb(s.sizes().o_histograms);
                     }
-                    row.push(err(workload_error(&Estimator::new(&s), cases)));
+                    let engine = EstimationEngine::new(&s).with_threads(jobs);
+                    row.push(err(workload_error_engine(&engine, cases)));
                 }
                 row.insert(1, mem);
                 row

@@ -12,18 +12,21 @@
 //!   (default 0.05);
 //! * `XPE_ATTEMPTS` — query-generation attempts per class (default 1200;
 //!   the paper used 4000);
-//! * `XPE_SEED` — RNG seed (default 42).
+//! * `XPE_SEED` — RNG seed (default 42);
+//! * `XPE_JOBS` — worker threads for batched estimation (0 = one per
+//!   core, the default).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::Instant;
 
-use xpe_core::{mean_relative_error, Estimator};
+use xpe_core::{mean_relative_error, EstimationEngine, Estimator};
 use xpe_datagen::{generate_workload, Dataset, DatasetSpec, QueryCase, Workload, WorkloadConfig};
 use xpe_pathid::Labeling;
 use xpe_synopsis::{PathIdFrequencyTable, PathOrderTable, Summary, SummaryConfig};
 use xpe_xml::Document;
+use xpe_xpath::Query;
 
 /// Experiment-wide knobs, read from the environment.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +37,8 @@ pub struct ExpContext {
     pub attempts: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for batched estimation (0 = one per core).
+    pub jobs: usize,
 }
 
 impl ExpContext {
@@ -49,6 +54,7 @@ impl ExpContext {
             scale: var("XPE_SCALE", 0.05),
             attempts: var("XPE_ATTEMPTS", 1200),
             seed: var("XPE_SEED", 42),
+            jobs: var("XPE_JOBS", 0),
         }
     }
 }
@@ -126,6 +132,7 @@ pub fn summary_at(bundle: &DatasetBundle, p_variance: f64, o_variance: f64) -> S
         SummaryConfig {
             p_variance,
             o_variance,
+            ..SummaryConfig::default()
         },
     )
 }
@@ -133,6 +140,16 @@ pub fn summary_at(bundle: &DatasetBundle, p_variance: f64, o_variance: f64) -> S
 /// Mean relative error of the estimator over a set of cases.
 pub fn workload_error(est: &Estimator<'_>, cases: &[QueryCase]) -> f64 {
     mean_relative_error(cases.iter().map(|c| (est.estimate(&c.query), c.actual)))
+        .unwrap_or(f64::NAN)
+}
+
+/// Mean relative error via the batch engine: same result as
+/// [`workload_error`] (batching is bit-identical), produced by fanning
+/// the cases across the engine's workers.
+pub fn workload_error_engine(engine: &EstimationEngine<'_>, cases: &[QueryCase]) -> f64 {
+    let queries: Vec<Query> = cases.iter().map(|c| c.query.clone()).collect();
+    let estimates = engine.estimate_batch(&queries);
+    mean_relative_error(estimates.into_iter().zip(cases.iter().map(|c| c.actual)))
         .unwrap_or(f64::NAN)
 }
 
@@ -206,8 +223,8 @@ pub fn order_figure(ctx: &ExpContext, trunk: bool) {
                 if pv == 0.0 {
                     mem = kb(s.sizes().o_histograms);
                 }
-                let est = Estimator::new(&s);
-                row.push(err(workload_error(&est, cases)));
+                let engine = EstimationEngine::new(&s).with_threads(ctx.jobs);
+                row.push(err(workload_error_engine(&engine, cases)));
             }
             row.insert(1, mem);
             rows.push(row);
@@ -266,6 +283,9 @@ mod tests {
             assert_eq!(ctx.attempts, 1200);
             assert_eq!(ctx.seed, 42);
         }
+        if std::env::var("XPE_JOBS").is_err() {
+            assert_eq!(ExpContext::from_env().jobs, 0);
+        }
     }
 
     #[test]
@@ -274,6 +294,7 @@ mod tests {
             scale: 0.01,
             attempts: 60,
             seed: 7,
+            jobs: 2,
         };
         let b = load(&ctx, Dataset::SSPlays);
         assert!(!b.workload.simple.is_empty());
@@ -282,6 +303,10 @@ mod tests {
         let e = workload_error(&est, &b.workload.simple);
         assert!(e.is_finite());
         assert!(e < 0.05, "simple error {e} at v=0");
+        // Batch mode agrees with the serial scorer exactly.
+        let engine = EstimationEngine::new(&s).with_threads(ctx.jobs);
+        let e_batch = workload_error_engine(&engine, &b.workload.simple);
+        assert_eq!(e_batch.to_bits(), e.to_bits());
         let e2 = workload_error_with(&b.workload.simple, |c| c.actual as f64);
         assert_eq!(e2, 0.0, "oracle function has zero error");
     }

@@ -3,8 +3,9 @@
 //! ```text
 //! xpe stats <file.xml>                         structural statistics
 //! xpe build <file.xml> -o <summary.xps>        build + save a summary
-//!     [--p-variance V] [--o-variance V]
+//!     [--p-variance V] [--o-variance V] [--jobs N]
 //! xpe estimate <summary.xps> <query>...        estimate selectivities
+//!     [--jobs N]
 //! xpe exact <file.xml> <query>...              exact selectivities
 //! xpe generate <ssplays|dblp|xmark> -o <out.xml>
 //!     [--scale S] [--seed N]                   synthesize a corpus
@@ -40,10 +41,13 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   xpe stats <file.xml>
-  xpe build <file.xml> -o <summary.xps> [--p-variance V] [--o-variance V]
-  xpe estimate <summary.xps> <query>...
+  xpe build <file.xml> -o <summary.xps> [--p-variance V] [--o-variance V] [--jobs N]
+  xpe estimate <summary.xps> [--jobs N] <query>...
   xpe exact <file.xml> <query>...
-  xpe generate <ssplays|dblp|xmark> -o <out.xml> [--scale S] [--seed N]";
+  xpe generate <ssplays|dblp|xmark> -o <out.xml> [--scale S] [--seed N]
+
+--jobs N parallelizes summary construction (build) or batches queries
+across N workers (estimate); 0 = one worker per core, default 1.";
 
 fn load_doc(path: &str) -> Result<Document, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -117,6 +121,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let config = SummaryConfig {
         p_variance: parse_flag(&flags, "p-variance", 0.0)?,
         o_variance: parse_flag(&flags, "o-variance", 0.0)?,
+        threads: parse_flag(&flags, "jobs", 1usize)?,
     };
     let doc = load_doc(path)?;
     let summary = Syn::build(&doc, config);
@@ -137,18 +142,30 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_estimate(args: &[String]) -> Result<(), String> {
-    let (_, pos) = split_flags(args)?;
+    let (flags, pos) = split_flags(args)?;
     let [path, queries @ ..] = pos.as_slice() else {
         return Err("estimate takes a summary file and at least one query".into());
     };
     if queries.is_empty() {
         return Err("estimate needs at least one query".into());
     }
+    let jobs = parse_flag(&flags, "jobs", 1usize)?;
     let summary = Syn::load_from_file(path).map_err(|e| format!("loading {path}: {e}"))?;
-    let est = Estimator::new(&summary);
-    for q in queries {
-        match est.estimate_str(q) {
-            Ok(v) => println!("{v:.2}\t{q}"),
+    let engine = EstimationEngine::new(&summary).with_threads(jobs);
+    // Parse everything up front so the parseable queries run as one
+    // batch; parse failures report in place without aborting the rest.
+    let parsed: Vec<Result<Query, _>> = queries.iter().map(|q| parse_query(q)).collect();
+    let batch: Vec<Query> = parsed
+        .iter()
+        .filter_map(|r| r.as_ref().ok().cloned())
+        .collect();
+    let mut estimates = engine.estimate_batch(&batch).into_iter();
+    for (q, r) in queries.iter().zip(&parsed) {
+        match r {
+            Ok(_) => {
+                let v = estimates.next().expect("one estimate per parsed query");
+                println!("{v:.2}\t{q}");
+            }
             Err(e) => println!("error: {e}\t{q}"),
         }
     }

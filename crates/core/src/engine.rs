@@ -1,0 +1,177 @@
+//! The batched estimation engine — the throughput layer over
+//! [`Estimator`].
+//!
+//! A single [`Estimator`] already memoizes relation masks and recycles
+//! join allocations; the engine adds workload-level machinery on top:
+//! one shared mask cache that every worker warms for the others, and
+//! [`estimate_batch`](EstimationEngine::estimate_batch), which fans a
+//! query slice across scoped worker threads. Each worker owns one
+//! estimator (scratch arenas never cross threads) while all of them read
+//! the same summary and memo table. Results come back in input order and
+//! are bit-identical to a serial `estimate` loop — estimates are pure
+//! functions of `(summary, query)`; the caches only change how fast they
+//! are produced.
+
+use std::sync::Arc;
+
+use xpe_pathid::RelationMaskCache;
+use xpe_synopsis::Summary;
+use xpe_xpath::{Query, QueryParseError};
+
+use crate::estimator::Estimator;
+
+/// Batch-capable estimation engine over a prebuilt [`Summary`].
+pub struct EstimationEngine<'s> {
+    summary: &'s Summary,
+    masks: Arc<RelationMaskCache>,
+    threads: usize,
+    local: Estimator<'s>,
+}
+
+impl<'s> EstimationEngine<'s> {
+    /// Creates an engine with one worker per available core.
+    pub fn new(summary: &'s Summary) -> Self {
+        let masks = Arc::new(RelationMaskCache::new());
+        EstimationEngine {
+            summary,
+            masks: Arc::clone(&masks),
+            threads: 0,
+            local: Estimator::with_mask_cache(summary, masks),
+        }
+    }
+
+    /// Sets the batch worker count: `0` uses one worker per available
+    /// core, `1` runs batches serially, any other value is taken
+    /// literally.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker count (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The summary the engine estimates against.
+    pub fn summary(&self) -> &'s Summary {
+        self.summary
+    }
+
+    /// The shared relation-mask memo table (grows as queries run).
+    pub fn mask_cache(&self) -> &Arc<RelationMaskCache> {
+        &self.masks
+    }
+
+    /// A fresh estimator sharing this engine's mask cache — for callers
+    /// that want to drive queries themselves (e.g. one per thread).
+    pub fn estimator(&self) -> Estimator<'s> {
+        Estimator::with_mask_cache(self.summary, Arc::clone(&self.masks))
+    }
+
+    /// Estimates one query on the engine's resident estimator.
+    pub fn estimate(&self, query: &Query) -> f64 {
+        self.local.estimate(query)
+    }
+
+    /// Parses and estimates one query string.
+    pub fn estimate_str(&self, query: &str) -> Result<f64, QueryParseError> {
+        self.local.estimate_str(query)
+    }
+
+    /// Estimates every query, fanning across the configured worker count;
+    /// `out[i]` is the estimate of `queries[i]`. Bit-identical to calling
+    /// [`estimate`](Self::estimate) per query in order.
+    pub fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
+        let summary = self.summary;
+        let masks = &self.masks;
+        xpe_par::par_map_init(
+            self.threads,
+            queries.len(),
+            || Estimator::with_mask_cache(summary, Arc::clone(masks)),
+            |est, i| est.estimate(&queries[i]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_synopsis::SummaryConfig;
+    use xpe_xpath::parse_query;
+
+    const QUERIES: &[&str] = &[
+        "//A//C",
+        "//A[/C/F]/B/D",
+        "//C[/$E]/F",
+        "/Root//E",
+        "//A[/C[/F]/folls::$B/D]",
+        "//A/Zebra",
+        "//D/A",
+        "//A[/C/foll::$B]",
+    ];
+
+    fn summary() -> Summary {
+        Summary::build(
+            &xpe_xml::fixtures::paper_figure1(),
+            SummaryConfig::default(),
+        )
+    }
+
+    #[test]
+    fn batch_matches_serial_estimates_bitwise() {
+        let s = summary();
+        let queries: Vec<Query> = QUERIES
+            .iter()
+            .cycle()
+            .take(64)
+            .map(|q| parse_query(q).unwrap())
+            .collect();
+        let reference = Estimator::new(&s);
+        let serial: Vec<f64> = queries.iter().map(|q| reference.estimate(q)).collect();
+        for threads in [0, 1, 2, 4] {
+            let engine = EstimationEngine::new(&s).with_threads(threads);
+            let batch = engine.estimate_batch(&queries);
+            assert_eq!(
+                batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_estimate_agrees_with_plain_estimator() {
+        let s = summary();
+        let engine = EstimationEngine::new(&s);
+        let est = Estimator::new(&s);
+        for q in QUERIES {
+            assert_eq!(
+                engine.estimate_str(q).unwrap().to_bits(),
+                est.estimate_str(q).unwrap().to_bits(),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_warms_the_shared_mask_cache() {
+        let s = summary();
+        let engine = EstimationEngine::new(&s).with_threads(2);
+        assert!(engine.mask_cache().is_empty());
+        let queries: Vec<Query> = QUERIES.iter().map(|q| parse_query(q).unwrap()).collect();
+        engine.estimate_batch(&queries);
+        let warmed = engine.mask_cache().len();
+        assert!(warmed > 0);
+        // A second run reuses the memo table instead of growing it.
+        engine.estimate_batch(&queries);
+        assert_eq!(engine.mask_cache().len(), warmed);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let s = summary();
+        let engine = EstimationEngine::new(&s);
+        assert!(engine.estimate_batch(&[]).is_empty());
+    }
+}

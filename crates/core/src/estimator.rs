@@ -17,6 +17,10 @@
 //! documented inline and in DESIGN.md; on the paper's query shapes the
 //! implementation reproduces the worked examples digit for digit.
 
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use xpe_pathid::RelationMaskCache;
 use xpe_synopsis::{Region, Summary};
 use xpe_xpath::{
     constraint_chains, parse_query, Axis, OrderConstraint, OrderKind, Query, QueryNodeId,
@@ -24,11 +28,19 @@ use xpe_xpath::{
 };
 
 use crate::editor::{self, subtree_of};
-use crate::join::{path_join, JoinResult};
+use crate::join::{path_join_cached, JoinResult, JoinScratch};
 
 /// Selectivity estimator over a prebuilt [`Summary`].
+///
+/// Every estimator memoizes the relation masks its joins compute (keyed by
+/// `(tag_u, tag_v, axis)` — pure functions of the summary's encoding
+/// table) and recycles the joins' per-node list allocations. Estimators
+/// built by [`EstimationEngine`](crate::EstimationEngine) share one mask
+/// cache, so a batch warms it for every worker.
 pub struct Estimator<'s> {
     summary: &'s Summary,
+    masks: Arc<RelationMaskCache>,
+    scratch: RefCell<JoinScratch>,
 }
 
 /// One order-constraint chain with its owner, resolved to head nodes.
@@ -45,7 +57,37 @@ struct Chain {
 impl<'s> Estimator<'s> {
     /// Creates an estimator reading from `summary`.
     pub fn new(summary: &'s Summary) -> Self {
-        Estimator { summary }
+        Self::with_mask_cache(summary, Arc::new(RelationMaskCache::new()))
+    }
+
+    /// Creates an estimator sharing an externally owned mask cache — how
+    /// the batch engine gives every worker the same warm memo table.
+    pub fn with_mask_cache(summary: &'s Summary, masks: Arc<RelationMaskCache>) -> Self {
+        Estimator {
+            summary,
+            masks,
+            scratch: RefCell::new(JoinScratch::new()),
+        }
+    }
+
+    /// The shared relation-mask memo table.
+    pub fn mask_cache(&self) -> &Arc<RelationMaskCache> {
+        &self.masks
+    }
+
+    /// Runs the path join through this estimator's caches.
+    fn join(&self, query: &Query) -> JoinResult {
+        path_join_cached(
+            self.summary,
+            query,
+            Some(&self.masks),
+            Some(&mut self.scratch.borrow_mut()),
+        )
+    }
+
+    /// Returns a finished join's allocations to the scratch pool.
+    fn recycle(&self, join: JoinResult) {
+        self.scratch.borrow_mut().recycle(join);
     }
 
     /// Estimates the selectivity of the target node of `query`.
@@ -81,8 +123,10 @@ impl<'s> Estimator<'s> {
     /// Estimates node `n` of the (structurally interpreted) `query`,
     /// ignoring any order constraints.
     pub fn estimate_plain(&self, query: &Query, n: QueryNodeId) -> f64 {
-        let join = path_join(self.summary, query);
-        self.plain_with_join(query, &join, n)
+        let join = self.join(query);
+        let s = self.plain_with_join(query, &join, n);
+        self.recycle(join);
+        s
     }
 
     fn plain_with_join(&self, query: &Query, join: &JoinResult, n: QueryNodeId) -> f64 {
@@ -98,9 +142,10 @@ impl<'s> Estimator<'s> {
         };
         // Eq. 2 with Q' the spine query.
         let spine = editor::spine_query(query, n);
-        let join_spine = path_join(self.summary, &spine.query);
+        let join_spine = self.join(&spine.query);
         let f_spine_n = join_spine.frequency(spine.remap(n));
         let f_spine_b = join_spine.frequency(spine.remap(b));
+        self.recycle(join_spine);
         let f_b = join.frequency(b);
         if f_spine_b == 0.0 {
             return 0.0;
@@ -181,11 +226,12 @@ impl<'s> Estimator<'s> {
         let s_prime = self.estimate_plain(&q_prime.query, head_in_prime);
 
         // S_Q̃'(h): sum g(pid, nb_tag) over the head's surviving pids.
-        let join_prime = path_join(self.summary, &q_prime.query);
+        let join_prime = self.join(&q_prime.query);
         let (Some(tag_h), Some(tag_nb)) = (
             self.summary.tags.get(&query.node(head).tag),
             self.summary.tags.get(&query.node(nb).tag),
         ) else {
+            self.recycle(join_prime);
             return HeadParts {
                 s_tilde_prime: 0.0,
                 s_prime,
@@ -195,6 +241,7 @@ impl<'s> Estimator<'s> {
             .pids(head_in_prime)
             .map(|pid| self.summary.order_count(tag_h, pid, tag_nb, region))
             .sum();
+        self.recycle(join_prime);
         HeadParts {
             s_tilde_prime,
             s_prime,
@@ -242,7 +289,7 @@ impl<'s> Estimator<'s> {
 
         // Decompose the mover's surviving pids into owner→child→…→mover
         // label chains (paper Example 5.3).
-        let join = path_join(self.summary, query);
+        let join = self.join(query);
         let (Some(tag_owner), Some(tag_mover)) = (
             self.summary.tags.get(&query.node(owner).tag),
             self.summary.tags.get(&query.node(mover).tag),
@@ -273,6 +320,7 @@ impl<'s> Estimator<'s> {
             }
         }
 
+        self.recycle(join);
         conversions
             .into_iter()
             .map(|labels| {

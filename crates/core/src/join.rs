@@ -6,7 +6,9 @@
 //! fixpoint. The surviving frequencies are the `f_Q(n)` values the
 //! estimation formulas consume.
 
-use xpe_pathid::{axis_compatible_masked, relation_mask, Pid};
+use std::sync::Arc;
+
+use xpe_pathid::{axis_compatible_masked, relation_mask, PathIdBits, Pid, RelationMaskCache};
 use xpe_synopsis::Summary;
 use xpe_xpath::{Axis, Query, QueryNodeId};
 
@@ -15,6 +17,42 @@ use xpe_xpath::{Axis, Query, QueryNodeId};
 pub struct JoinResult {
     /// `lists[q.index()]`: surviving pids of each query node.
     pub lists: Vec<Vec<(Pid, f64)>>,
+}
+
+/// Reusable allocations for [`path_join_cached`].
+///
+/// A join allocates one `(pid, frequency)` vector per query node; across a
+/// workload that is thousands of short-lived allocations doing identical
+/// work. The scratch keeps the vectors alive between joins: callers pass
+/// it to [`path_join_cached`] and hand finished [`JoinResult`]s back via
+/// [`recycle`](Self::recycle), after which the capacity is reused.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    pool: Vec<Vec<(Pid, f64)>>,
+}
+
+impl JoinScratch {
+    /// Creates an empty scratch pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take(&mut self) -> Vec<(Pid, f64)> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a finished join's vectors to the pool.
+    pub fn recycle(&mut self, join: JoinResult) {
+        self.pool.extend(join.lists.into_iter().map(|mut v| {
+            v.clear();
+            v
+        }));
+    }
+
+    /// Number of pooled vectors (introspection for tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
 }
 
 impl JoinResult {
@@ -35,13 +73,30 @@ impl JoinResult {
 /// (child/descendant) edges only; §5's formulas layer order corrections on
 /// top of the joined frequencies.
 pub fn path_join(summary: &Summary, query: &Query) -> JoinResult {
+    path_join_cached(summary, query, None, None)
+}
+
+/// [`path_join`] with optional memoized relation masks and pooled list
+/// allocations — the batch engine's fast path. Passing `None` for both is
+/// exactly `path_join`; the caches never change the result, only the work
+/// done to produce it.
+pub fn path_join_cached(
+    summary: &Summary,
+    query: &Query,
+    masks: Option<&RelationMaskCache>,
+    mut scratch: Option<&mut JoinScratch>,
+) -> JoinResult {
     let mut lists: Vec<Vec<(Pid, f64)>> = query
         .node_ids()
         .map(|q| {
-            summary
-                .phistogram(&query.node(q).tag)
-                .map(|h| h.entries().collect())
-                .unwrap_or_default()
+            let mut list = match scratch.as_deref_mut() {
+                Some(s) => s.take(),
+                None => Vec::new(),
+            };
+            if let Some(h) = summary.phistogram(&query.node(q).tag) {
+                list.extend_from_slice(h.entries_slice());
+            }
+            list
         })
         .collect();
 
@@ -64,20 +119,15 @@ pub fn path_join(summary: &Summary, query: &Query) -> JoinResult {
         }
     }
 
-    // Collect structural edges (u, axis, v) once.
-    let mut edges = Vec::new();
+    // Resolve each structural edge's tags and relation mask once — one
+    // mask serves every pid-pair test of the edge across every fixpoint
+    // pass. Unknown tags kill both endpoint lists outright (nothing in a
+    // shrinking fixpoint can resurrect them), so such edges drop out here.
+    let mut edges: Vec<(QueryNodeId, QueryNodeId, Arc<PathIdBits>)> = Vec::new();
     for u in query.node_ids() {
         for e in &query.node(u).edges {
-            edges.push((u, e.axis, e.to));
-        }
-    }
-
-    // Nested-loop containment tests per edge, iterated to a fixpoint. The
-    // loop terminates because every pass can only shrink the lists.
-    loop {
-        let mut changed = false;
-        for &(u, axis, v) in &edges {
-            let child = match axis {
+            let v = e.to;
+            let child = match e.axis {
                 Axis::Child => true,
                 Axis::Descendant => false,
                 _ => unreachable!("structural edges only"),
@@ -86,17 +136,25 @@ pub fn path_join(summary: &Summary, query: &Query) -> JoinResult {
                 summary.tags.get(&query.node(u).tag),
                 summary.tags.get(&query.node(v).tag),
             ) else {
-                // Unknown tag: both ends die.
-                changed |= !lists[u.index()].is_empty() || !lists[v.index()].is_empty();
                 lists[u.index()].clear();
                 lists[v.index()].clear();
                 continue;
             };
+            let mask = match masks {
+                Some(cache) => cache.get(&summary.encoding, tag_u, tag_v, child),
+                None => Arc::new(relation_mask(&summary.encoding, tag_u, tag_v, child)),
+            };
+            edges.push((u, v, mask));
+        }
+    }
+
+    // Nested-loop containment tests per edge, iterated to a fixpoint. The
+    // loop terminates because every pass can only shrink the lists.
+    loop {
+        let mut changed = false;
+        for (u, v, mask) in &edges {
             let (u_list, v_list) = two_lists(&mut lists, u.index(), v.index());
-            // One mask per edge collapses every pid-pair test to word ops.
-            let mask = relation_mask(&summary.encoding, tag_u, tag_v, child);
-            let compatible =
-                |pu: Pid, pv: Pid| axis_compatible_masked(&summary.pids, pu, pv, &mask);
+            let compatible = |pu: Pid, pv: Pid| axis_compatible_masked(&summary.pids, pu, pv, mask);
             let before_u = u_list.len();
             u_list.retain(|&(pu, _)| v_list.iter().any(|&(pv, _)| compatible(pu, pv)));
             let before_v = v_list.len();

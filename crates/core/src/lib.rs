@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod editor;
+mod engine;
 mod estimator;
 mod join;
 mod metrics;
@@ -45,7 +46,8 @@ mod planner;
 pub use editor::{
     drop_subtrees, rebuild, spine_query, subtree_of, trim_below, without_constraints, Rebuilt,
 };
+pub use engine::EstimationEngine;
 pub use estimator::Estimator;
-pub use join::{path_join, JoinResult};
+pub use join::{path_join, path_join_cached, JoinResult, JoinScratch};
 pub use metrics::{mean_relative_error, relative_error, ErrorStats};
 pub use planner::{PathCardinalities, PredicateRank};

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal wall-clock benchmark harness exposing the subset of criterion
+//! 0.5's API its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] with [`BenchmarkId`], `sample_size`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Differences from upstream, by design: no statistical analysis, no
+//! HTML reports, no saved baselines — each benchmark is warmed up, timed
+//! over a bounded batch, and reported as mean ns/iteration on stdout.
+//! `--test` (as passed by `cargo bench -- --test` and used by CI smoke
+//! jobs) runs every benchmark body exactly once without timing; a
+//! positional argument filters benchmarks by substring, like upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "-t" => test_mode = true,
+                // Flags cargo/criterion pass that this harness ignores.
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 100,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed iterations (upstream: number of samples).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark of this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = match self.name.as_str() {
+            "" => id.into_benchmark_id().id,
+            prefix => format!("{prefix}/{}", id.into_benchmark_id().id),
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            _ if self.criterion.test_mode => println!("test {full} ... ok"),
+            Some((mean_ns, iters)) => {
+                println!("bench: {full:<56} {mean_ns:>12.1} ns/iter ({iters} iters)");
+            }
+            None => println!("bench: {full} ... no measurement (b.iter never called)"),
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    report: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.test_mode {
+            black_box(body());
+            return;
+        }
+        // Warm-up: at least 3 calls or 20 ms, whichever is later; the
+        // timings also size the measured batch.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3 || warmup_start.elapsed() < Duration::from_millis(20) {
+            black_box(body());
+            warmup_iters += 1;
+            if warmup_iters >= 10_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        // Measure: bounded by the sample size and a ~300 ms budget.
+        let budget_iters = (0.3 / per_iter.max(1e-9)) as u64;
+        let iters = (self.sample_size as u64).min(budget_iters.max(1)).max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(body());
+        }
+        let mean_ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        self.report = Some((mean_ns, iters));
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (`&str`, `String`, or the id itself).
+pub trait IntoBenchmarkId {
+    /// Converts into the id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("join", "dblp").id, "join/dblp");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+
+    #[test]
+    fn bencher_records_in_bench_mode() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 5,
+            report: None,
+        };
+        b.iter(|| black_box(1 + 1));
+        let (mean_ns, iters) = b.report.expect("measured");
+        assert!(mean_ns >= 0.0);
+        assert!((1..=5).contains(&iters));
+    }
+
+    #[test]
+    fn bencher_test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 100,
+            report: None,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.report.is_none());
+    }
+}

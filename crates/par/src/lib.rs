@@ -1,0 +1,190 @@
+//! Deterministic data parallelism on scoped OS threads.
+//!
+//! The build environment has no registry access, so instead of `rayon`
+//! this tiny crate provides the one primitive the workspace needs: an
+//! order-preserving indexed parallel map with an atomic work queue,
+//! built on `std::thread::scope`. Results are returned in index order
+//! regardless of completion order, so a parallel map over a pure function
+//! is **bit-identical** to the serial loop it replaces — the property the
+//! summary-construction and batch-estimation equivalence tests pin down.
+//!
+//! Worker threads pull indices from a shared atomic counter (work
+//! stealing at item granularity), which keeps cores busy under skewed
+//! per-item cost — p-histogram rows vary by orders of magnitude between
+//! tags. A panicking item panics the calling thread after the scope
+//! joins, like rayon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a thread-count knob: `0` means one worker per available core,
+/// anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    match requested {
+        0 => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// Runs serially when `threads <= 1` (after [`resolve_threads`]) or when
+/// there are fewer than two items; otherwise fans out over
+/// `min(threads, n)` scoped workers. `f` must be pure for the parallel
+/// and serial paths to agree (every caller in this workspace satisfies
+/// that; the equivalence tests enforce it end to end).
+pub fn par_map_indexed<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_init(threads, n, || (), |(), i| f(i))
+}
+
+/// [`par_map_indexed`] with per-worker state: each worker (or the calling
+/// thread, when serial) builds one `S` via `init` and threads it through
+/// every item it processes. This is how the batch estimator gives each
+/// worker a single reusable scratch arena instead of one per item. `S`
+/// never crosses threads, so it needs no `Send`/`Sync` bounds.
+pub fn par_map_init<S, R, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(n);
+    if workers <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&mut state, i)));
+                }
+                done.lock()
+                    .expect("worker panicked holding lock")
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut tagged = done.into_inner().expect("worker panicked holding lock");
+    debug_assert_eq!(tagged.len(), n);
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Maps `f` over a slice, preserving order; the parallel analogue of
+/// `items.iter().map(f).collect()`.
+pub fn par_map_slice<'a, T, R, F>(threads: usize, items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    par_map_indexed(threads, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map() {
+        let serial: Vec<u64> = (0..103).map(|i| (i as u64).wrapping_mul(31)).collect();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let par = par_map_indexed(threads, 103, |i| (i as u64).wrapping_mul(31));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn slice_variant_preserves_order() {
+        let words = ["a", "bb", "ccc", "dddd"];
+        let lens = par_map_slice(3, &words, |w| w.len());
+        assert_eq!(lens, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn resolve_threads_semantics() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn skewed_workloads_complete() {
+        // Items with wildly different costs still all arrive, in order.
+        let out = par_map_indexed(4, 40, |i| {
+            if i % 7 == 0 {
+                (0..(i * 1000)).map(|x| x as u64).sum::<u64>()
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out.len(), 40);
+        assert_eq!(out[1], 1);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_worker() {
+        // Each worker counts how many items it processed; the counts must
+        // sum to n, proving state persists across items instead of being
+        // rebuilt per item.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        struct Counter<'a>(usize, &'a AtomicUsize);
+        impl Drop for Counter<'_> {
+            fn drop(&mut self) {
+                self.1.fetch_add(self.0, Ordering::Relaxed);
+            }
+        }
+        let out = par_map_init(
+            3,
+            50,
+            || Counter(0, &total),
+            |c, i| {
+                c.0 += 1;
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(total.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let res = std::panic::catch_unwind(|| {
+            par_map_indexed(4, 16, |i| {
+                if i == 11 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(res.is_err());
+    }
+}

@@ -46,5 +46,5 @@ pub use bits::PathIdBits;
 pub use encoding::{EncodingTable, PathEncoding};
 pub use interner::{Pid, PidInterner};
 pub use label::Labeling;
-pub use rel::{axis_compatible, axis_compatible_masked, relation_mask};
+pub use rel::{axis_compatible, axis_compatible_masked, relation_mask, RelationMaskCache};
 pub use tree::PathIdTree;

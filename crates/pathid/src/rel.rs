@@ -55,6 +55,61 @@ pub fn relation_mask(
     mask
 }
 
+/// Thread-safe memo table over [`relation_mask`].
+///
+/// A mask depends only on `(tag_u, tag_v, child_axis)` and the encoding
+/// table, which is immutable once a summary is built — so across a query
+/// workload the same few masks are recomputed constantly (every fixpoint
+/// pass of every join of every query). The cache computes each mask once
+/// and hands out shared references; concurrent estimators over one summary
+/// share a single cache, so a batch warms it for every worker.
+///
+/// The double-checked insert means two threads racing on a cold key may
+/// both compute the mask; the first insert wins and both observe the same
+/// `Arc`. Masks are pure functions of the key, so this is only duplicated
+/// work, never divergent results.
+#[derive(Debug, Default)]
+pub struct RelationMaskCache {
+    masks: std::sync::RwLock<
+        std::collections::HashMap<(TagId, TagId, bool), std::sync::Arc<crate::bits::PathIdBits>>,
+    >,
+}
+
+impl RelationMaskCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The mask for `(tag_u, tag_v, child_axis)`, computing and memoizing
+    /// it on first use.
+    pub fn get(
+        &self,
+        encoding: &EncodingTable,
+        tag_u: TagId,
+        tag_v: TagId,
+        child_axis: bool,
+    ) -> std::sync::Arc<crate::bits::PathIdBits> {
+        let key = (tag_u, tag_v, child_axis);
+        if let Some(m) = self.masks.read().expect("mask cache poisoned").get(&key) {
+            return std::sync::Arc::clone(m);
+        }
+        let computed = std::sync::Arc::new(relation_mask(encoding, tag_u, tag_v, child_axis));
+        let mut w = self.masks.write().expect("mask cache poisoned");
+        std::sync::Arc::clone(w.entry(key).or_insert(computed))
+    }
+
+    /// Number of memoized masks.
+    pub fn len(&self) -> usize {
+        self.masks.read().expect("mask cache poisoned").len()
+    }
+
+    /// Whether no mask has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The §2 test against a precomputed [`relation_mask`].
 #[inline]
 pub fn axis_compatible_masked(
@@ -100,6 +155,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cache_returns_identical_masks() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let cache = RelationMaskCache::new();
+        assert!(cache.is_empty());
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        for &tu in &tags {
+            for &tv in &tags {
+                for child in [true, false] {
+                    let cached = cache.get(&lab.encoding, tu, tv, child);
+                    let fresh = relation_mask(&lab.encoding, tu, tv, child);
+                    assert_eq!(*cached, fresh);
+                    // Second lookup hits the memo and agrees.
+                    let again = cache.get(&lab.encoding, tu, tv, child);
+                    assert_eq!(*again, fresh);
+                }
+            }
+        }
+        assert_eq!(cache.len(), tags.len() * tags.len() * 2);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let cache = std::sync::Arc::new(RelationMaskCache::new());
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for &tu in &tags {
+                        for &tv in &tags {
+                            let m = cache.get(&lab.encoding, tu, tv, true);
+                            assert_eq!(*m, relation_mask(&lab.encoding, tu, tv, true));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), tags.len() * tags.len());
     }
 
     #[test]

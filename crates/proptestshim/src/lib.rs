@@ -1,0 +1,212 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small random-input property-testing framework exposing the subset of
+//! proptest v1's API its test suites use: the [`strategy::Strategy`] trait
+//! with `prop_map` / `prop_recursive` / `boxed`, range and tuple strategies,
+//! [`collection::vec()`], [`option::of`], `any::<T>()`, [`strategy::Just`],
+//! `prop_oneof!`, a simplified regex-pattern string strategy, and the
+//! [`proptest!`] / `prop_assert*!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated input verbatim
+//!   (every bound value must be `Debug`, as upstream also requires).
+//! * **Deterministic seeding.** Each test's RNG is seeded from the hash of
+//!   its module path and name, so failures reproduce across runs; there is
+//!   no persistence file.
+//! * The string strategy understands the pattern shapes used in this
+//!   workspace (`.{a,b}` and `[class&&[^excluded]]{a,b}`), not full regex.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// The most common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Short-path module aliases (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u8..4, v in prop::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 4);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategy = ( $($strat,)* );
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let __values =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                let __shown = format!("{:?}", __values);
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            let ( $($pat,)* ) = __values;
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(__reject)) => {
+                        panic!(
+                            "proptest: case {}/{} of `{}` returned an error for input {}: {}",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                            __shown,
+                            __reject,
+                        );
+                    }
+                    Err(__panic) => {
+                        eprintln!(
+                            "proptest: case {}/{} of `{}` failed for input: {}",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                            __shown,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a property inside [`proptest!`] (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside [`proptest!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Tree {
+        children: Vec<Tree>,
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = Just(Tree { children: vec![] });
+        leaf.prop_recursive(3, 12, 3, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(|children| Tree { children })
+        })
+    }
+
+    fn depth(t: &Tree) -> usize {
+        1 + t.children.iter().map(depth).max().unwrap_or(0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in 10usize..=12, f in 0.5f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((10..=12).contains(&y));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size((v, flag) in (prop::collection::vec(0u8..4, 2..5), any::<bool>())) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 4));
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_option(s in prop_oneof![Just("a".to_owned()), Just("b".to_owned())],
+                            o in crate::option::of(0u8..4)) {
+            prop_assert!(s == "a" || s == "b");
+            if let Some(x) = o { prop_assert!(x < 4); }
+        }
+
+        #[test]
+        fn recursive_terminates(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 4);
+        }
+
+        #[test]
+        fn pattern_strings(any_s in ".{0,16}", cls in "[ -~&&[^<&>]]{0,8}") {
+            prop_assert!(any_s.chars().count() <= 16);
+            prop_assert!(cls.chars().count() <= 8);
+            prop_assert!(cls.chars().all(|c| (' '..='~').contains(&c)
+                && !"<&>".contains(c)));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Simplified regex-pattern string generation.
+//!
+//! Supports the shapes this workspace's suites use:
+//!
+//! * `.{a,b}` — between `a` and `b` arbitrary non-newline characters;
+//! * `[class]{a,b}` — characters from a class of literals and ranges, with
+//!   optional `&&[^…]` subtraction (e.g. `[ -~&&[^<&>]]`, printable ASCII
+//!   minus `<`, `&`, `>`).
+//!
+//! Anything unrecognized falls back to a short printable-ASCII string, so a
+//! new pattern degrades to fuzz input rather than failing the suite.
+
+use crate::test_runner::TestRng;
+
+/// Generates one string matching (our subset of) `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let (atom, lo, hi) = match split_counted(pattern) {
+        Some(parts) => parts,
+        None => (pattern, 0, 16),
+    };
+    let span = (hi - lo) as u64;
+    let n = lo + rng.below(span + 1) as usize;
+    match parse_atom(atom) {
+        Some(Atom::AnyChar) => (0..n).map(|_| any_char(rng)).collect(),
+        Some(Atom::Class(chars)) if !chars.is_empty() => (0..n)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect(),
+        _ => (0..n)
+            .map(|_| (b' ' + rng.below(95) as u8) as char)
+            .collect(),
+    }
+}
+
+enum Atom<'p> {
+    AnyChar,
+    Class(Vec<char>),
+    #[allow(dead_code)]
+    Unknown(&'p str),
+}
+
+/// Splits `X{a,b}` into `(X, a, b)`.
+fn split_counted(pattern: &str) -> Option<(&str, usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let body = pattern.strip_suffix('}')?.get(open + 1..)?;
+    let (a, b) = body.split_once(',')?;
+    let lo: usize = a.trim().parse().ok()?;
+    let hi: usize = b.trim().parse().ok()?;
+    (lo <= hi).then(|| (&pattern[..open], lo, hi))
+}
+
+fn parse_atom(atom: &str) -> Option<Atom<'_>> {
+    if atom == "." {
+        return Some(Atom::AnyChar);
+    }
+    let inner = atom.strip_prefix('[')?.strip_suffix(']')?;
+    // `&&` separates the base class from subtracted sub-classes.
+    let mut parts = inner.split("&&");
+    let mut include = class_chars(parts.next()?);
+    for sub in parts {
+        let negated = sub.strip_prefix("[^").and_then(|s| s.strip_suffix(']'));
+        if let Some(excluded) = negated {
+            let gone = class_chars(excluded);
+            include.retain(|c| !gone.contains(c));
+        }
+    }
+    Some(Atom::Class(include))
+}
+
+/// Expands a class body of literals and `a-z` ranges.
+fn class_chars(body: &str) -> Vec<char> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo <= hi {
+                for c in lo..=hi {
+                    out.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Any non-newline character: mostly printable ASCII, with occasional
+/// escapes into the wider scalar space to keep fuzz value.
+fn any_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0 => char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}'),
+        1 => ['\t', '\u{0}', '\u{7F}', 'é', 'λ', '中', '🦀'][rng.below(7) as usize],
+        _ => (b' ' + rng.below(95) as u8) as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counted_any_char() {
+        let mut rng = TestRng::for_test("counted_any_char");
+        for _ in 0..200 {
+            let s = generate(".{0,5}", &mut rng);
+            assert!(s.chars().count() <= 5);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn class_with_subtraction() {
+        let mut rng = TestRng::for_test("class_with_subtraction");
+        for _ in 0..200 {
+            let s = generate("[ -~&&[^<&>]]{1,8}", &mut rng);
+            let n = s.chars().count();
+            assert!((1..=8).contains(&n));
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) && !"<&>".contains(c)));
+        }
+    }
+
+    #[test]
+    fn unknown_pattern_degrades_gracefully() {
+        let mut rng = TestRng::for_test("unknown");
+        let s = generate("\\d+foo", &mut rng);
+        assert!(s.chars().count() <= 16);
+    }
+}

@@ -1,0 +1,285 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the *subset* of rand 0.8's API it actually uses: [`rngs::StdRng`] /
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension methods `gen` and `gen_range`. The generator is xoshiro256++
+//! seeded through SplitMix64 — high-quality and deterministic, but **not**
+//! stream-compatible with upstream `StdRng` (upstream is ChaCha12). All
+//! workspace corpora and workloads are generated through this shim, so
+//! seeds remain reproducible within the repo.
+//!
+//! If the real crate ever becomes fetchable again, deleting this crate and
+//! restoring the registry dependency only changes which pseudo-random
+//! streams the seeds name; no API changes are needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Deterministically constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of a [`Standard`]-sampleable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range`. Panics on an empty range, like upstream.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]` must hold, like
+    /// upstream, which panics outside it).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+/// Types samplable uniformly over their full domain (`rng.gen()`).
+pub trait Standard {
+    /// Draws one value from `g`.
+    fn sample<G: RngCore>(g: &mut G) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<G: RngCore>(g: &mut G) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (g.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<G: RngCore>(g: &mut G) -> Self {
+        (g.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<G: RngCore>(g: &mut G) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<G: RngCore>(g: &mut G) -> Self {
+        g.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<G: RngCore>(g: &mut G) -> Self {
+        g.next_u32()
+    }
+}
+
+impl Standard for u8 {
+    fn sample<G: RngCore>(g: &mut G) -> Self {
+        (g.next_u64() >> 56) as u8
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<G: RngCore>(self, g: &mut G) -> T;
+}
+
+/// Uniform `u64` below `n` (> 0) by widening multiply — avoids modulo bias
+/// well past any span this workspace samples.
+fn below<G: RngCore>(g: &mut G, n: u64) -> u64 {
+    ((g.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: RngCore>(self, g: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(g, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, g: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return g.next_u64() as $t;
+                }
+                (lo as i128 + below(g, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<G: RngCore>(self, g: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(g) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<G: RngCore>(self, g: &mut G) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + f64::sample(g) * (hi - lo)
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ state, seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct Xoshiro256 {
+        s: [u64; 4],
+    }
+
+    impl Xoshiro256 {
+        fn from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Xoshiro256 {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for Xoshiro256 {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// The workspace's standard generator (stands in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng(Xoshiro256);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(Xoshiro256::from_u64(seed))
+        }
+    }
+
+    /// Small fast generator (stands in for rand's `SmallRng`); same engine
+    /// as [`StdRng`] here, on a decorrelated stream.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng(Xoshiro256);
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(Xoshiro256::from_u64(seed ^ 0x5111_9CDE_7C7C_9791))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w = r.gen_range(5usize..=5);
+            assert_eq!(w, 5);
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(0);
+        let _ = r.gen_range(5..5);
+    }
+}

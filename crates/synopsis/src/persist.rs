@@ -83,9 +83,12 @@ impl Summary {
         let tags = TagInterner::decode(&mut r)?;
         let encoding = EncodingTable::decode(&mut r)?;
         let pids = PidInterner::decode(&mut r)?;
+        // `threads` is an execution knob, deliberately not persisted: a
+        // loaded summary builds nothing, so it takes the default.
         let config = SummaryConfig {
             p_variance: r.f64()?,
             o_variance: r.f64()?,
+            ..SummaryConfig::default()
         };
         let phist = PHistogramSet::decode(&mut r)?;
         let ohist = OHistogramSet::decode(&mut r)?;
@@ -139,6 +142,7 @@ mod tests {
             SummaryConfig {
                 p_variance: 1.0,
                 o_variance: 2.0,
+                ..SummaryConfig::default()
             },
         )
     }

@@ -28,6 +28,11 @@ pub struct PBucket {
 pub struct PHistogram {
     buckets: Vec<PBucket>,
     bucket_of: HashMap<Pid, u32>,
+    // Flattened (pid, bucket-average) pairs in histogram order. Derived
+    // from `buckets` at construction so the estimator's join loop can
+    // borrow a contiguous slice instead of re-materializing the iterator
+    // per node per query. Not persisted; rebuilt on decode.
+    entry_list: Vec<(Pid, f64)>,
 }
 
 impl PHistogram {
@@ -65,13 +70,7 @@ impl PHistogram {
             i = j;
         }
 
-        let mut bucket_of = HashMap::new();
-        for (bi, b) in buckets.iter().enumerate() {
-            for &p in &b.pids {
-                bucket_of.insert(p, bi as u32);
-            }
-        }
-        PHistogram { buckets, bucket_of }
+        PHistogram::from_buckets(buckets)
     }
 
     /// Ablation variant: equi-width bucketing — the frequency-sorted row is
@@ -93,24 +92,24 @@ impl PHistogram {
                 });
             }
         }
-        let mut bucket_of = HashMap::new();
-        for (bi, b) in buckets.iter().enumerate() {
-            for &p in &b.pids {
-                bucket_of.insert(p, bi as u32);
-            }
-        }
-        PHistogram { buckets, bucket_of }
+        PHistogram::from_buckets(buckets)
     }
 
     /// Rebuilds a histogram from its buckets (persistence, ablations).
     pub fn from_buckets(buckets: Vec<PBucket>) -> Self {
         let mut bucket_of = HashMap::new();
+        let mut entry_list = Vec::new();
         for (bi, b) in buckets.iter().enumerate() {
             for &p in &b.pids {
                 bucket_of.insert(p, bi as u32);
+                entry_list.push((p, b.avg));
             }
         }
-        PHistogram { buckets, bucket_of }
+        PHistogram {
+            buckets,
+            bucket_of,
+            entry_list,
+        }
     }
 
     /// Serializes the histogram (summary persistence).
@@ -153,9 +152,13 @@ impl PHistogram {
     /// histogram order (ascending bucket average). This is the pid order
     /// the o-histogram's columns use (paper Algorithm 2, step 1).
     pub fn entries(&self) -> impl Iterator<Item = (Pid, f64)> + '_ {
-        self.buckets
-            .iter()
-            .flat_map(|b| b.pids.iter().map(move |&p| (p, b.avg)))
+        self.entry_list.iter().copied()
+    }
+
+    /// [`entries`](Self::entries) as a borrowed contiguous slice — the
+    /// zero-copy form the estimator's join loop seeds its lists from.
+    pub fn entries_slice(&self) -> &[(Pid, f64)] {
+        &self.entry_list
     }
 
     /// The buckets, ascending by average frequency.
@@ -189,9 +192,18 @@ pub struct PHistogramSet {
 impl PHistogramSet {
     /// Builds one histogram per tag from the exact table.
     pub fn build(table: &PathIdFrequencyTable, variance: f64) -> Self {
-        let per_tag = (0..table.tag_count())
-            .map(|t| PHistogram::build(table.row(TagId::from_index(t)), variance))
-            .collect();
+        Self::build_with_threads(table, variance, 1)
+    }
+
+    /// Like [`build`](Self::build) but fans the independent per-tag rows
+    /// across `threads` workers (`0` = one per core, `1` = serial). Each
+    /// row is built by the same pure function in both modes, and results
+    /// are merged in tag order, so the output is bit-identical to the
+    /// serial build.
+    pub fn build_with_threads(table: &PathIdFrequencyTable, variance: f64, threads: usize) -> Self {
+        let per_tag = xpe_par::par_map_indexed(threads, table.tag_count(), |t| {
+            PHistogram::build(table.row(TagId::from_index(t)), variance)
+        });
         PHistogramSet { per_tag, variance }
     }
 

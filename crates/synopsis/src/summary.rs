@@ -18,12 +18,25 @@ use crate::phistogram::{PHistogram, PHistogramSet};
 
 /// Construction thresholds (paper: p-histogram variance 0–2 and o-histogram
 /// variance 0–4 "typically perform well").
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug)]
 pub struct SummaryConfig {
     /// Intra-bucket deviation bound for p-histograms.
     pub p_variance: f64,
     /// Intra-bucket deviation bound for o-histograms.
     pub o_variance: f64,
+    /// Worker threads for histogram construction: `1` builds serially
+    /// (the default), `0` uses one worker per available core, any other
+    /// value is taken literally. Per-tag histograms are independent, so
+    /// the parallel build is bit-identical to the serial one.
+    pub threads: usize,
+}
+
+impl SummaryConfig {
+    /// Returns the config with the construction thread count set.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 impl Default for SummaryConfig {
@@ -31,7 +44,17 @@ impl Default for SummaryConfig {
         SummaryConfig {
             p_variance: 0.0,
             o_variance: 0.0,
+            threads: 1,
         }
+    }
+}
+
+/// `threads` is an execution knob, not a semantic parameter: it never
+/// changes the summary that gets built (and is not persisted), so two
+/// configs differing only in thread count compare equal.
+impl PartialEq for SummaryConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.p_variance == other.p_variance && self.o_variance == other.o_variance
     }
 }
 
@@ -107,8 +130,11 @@ impl Summary {
         let freq = PathIdFrequencyTable::build(doc, &labeling);
         let collect_path = t0.elapsed();
 
+        // Phases stay sequential — only the per-tag work inside each
+        // histogram phase fans out — so each BuildTimings field remains
+        // that phase's wall-clock time under any thread count.
         let t1 = Instant::now();
-        let phist = PHistogramSet::build(&freq, config.p_variance);
+        let phist = PHistogramSet::build_with_threads(&freq, config.p_variance, config.threads);
         let build_p = t1.elapsed();
 
         let t2 = Instant::now();
@@ -116,7 +142,13 @@ impl Summary {
         let collect_order = t2.elapsed();
 
         let t3 = Instant::now();
-        let ohist = OHistogramSet::build(&order, &phist, doc.tags(), config.o_variance);
+        let ohist = OHistogramSet::build_with_threads(
+            &order,
+            &phist,
+            doc.tags(),
+            config.o_variance,
+            config.threads,
+        );
         let build_o = t3.elapsed();
 
         let pid_tree = PathIdTree::new(&labeling.interner);
@@ -166,10 +198,16 @@ impl Summary {
         config: SummaryConfig,
     ) -> Self {
         let t1 = Instant::now();
-        let phist = PHistogramSet::build(freq, config.p_variance);
+        let phist = PHistogramSet::build_with_threads(freq, config.p_variance, config.threads);
         let build_p = t1.elapsed();
         let t3 = Instant::now();
-        let ohist = OHistogramSet::build(order, &phist, tags, config.o_variance);
+        let ohist = OHistogramSet::build_with_threads(
+            order,
+            &phist,
+            tags,
+            config.o_variance,
+            config.threads,
+        );
         let build_o = t3.elapsed();
         Summary {
             tags: tags.clone(),
@@ -251,6 +289,7 @@ mod tests {
             SummaryConfig {
                 p_variance: 0.0,
                 o_variance: 0.0,
+                ..SummaryConfig::default()
             },
         );
         let coarse = Summary::build(
@@ -258,6 +297,7 @@ mod tests {
             SummaryConfig {
                 p_variance: 10.0,
                 o_variance: 10.0,
+                ..SummaryConfig::default()
             },
         );
         assert!(coarse.sizes().p_histograms <= exact.sizes().p_histograms);
@@ -271,6 +311,7 @@ mod tests {
         let cfg = SummaryConfig {
             p_variance: 1.0,
             o_variance: 2.0,
+            ..SummaryConfig::default()
         };
         let fresh = Summary::build(&doc, cfg);
         let rebuilt = Summary::rebuild_histograms(&doc, &labeling, cfg);

@@ -60,7 +60,7 @@ pub use xpe_xsketch as xsketch;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use xpe_core::{mean_relative_error, relative_error, Estimator};
+    pub use xpe_core::{mean_relative_error, relative_error, EstimationEngine, Estimator};
     pub use xpe_datagen::{Dataset, DatasetSpec, WorkloadConfig};
     pub use xpe_pathid::Labeling;
     pub use xpe_synopsis::{Summary, SummaryConfig};

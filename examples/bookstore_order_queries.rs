@@ -43,6 +43,7 @@ fn main() {
             SummaryConfig {
                 p_variance: p_var,
                 o_variance: o_var,
+                ..SummaryConfig::default()
             },
         );
         let est = Estimator::new(&summary);

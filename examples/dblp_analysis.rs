@@ -50,6 +50,7 @@ fn main() {
             SummaryConfig {
                 p_variance: pv,
                 o_variance: ov,
+                ..SummaryConfig::default()
             },
         );
         let est = Estimator::new(&summary);

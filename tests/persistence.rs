@@ -34,6 +34,7 @@ fn saved_summary_estimates_identically() {
                 SummaryConfig {
                     p_variance: pv,
                     o_variance: ov,
+                    ..SummaryConfig::default()
                 },
             );
             let reloaded = Syn::from_bytes(&original.to_bytes()).expect("round trip");

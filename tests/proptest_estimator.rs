@@ -127,7 +127,10 @@ proptest! {
                 ..WorkloadConfig::default()
             },
         );
-        let summary = Summary::build(&doc, SummaryConfig { p_variance: 2.0, o_variance: 2.0 });
+        let summary = Summary::build(
+            &doc,
+            SummaryConfig { p_variance: 2.0, o_variance: 2.0, ..SummaryConfig::default() },
+        );
         let est = Estimator::new(&summary);
         for case in workload
             .simple

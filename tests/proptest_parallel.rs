@@ -1,0 +1,96 @@
+//! Equivalence properties of the performance layer: parallelism and
+//! caching must never change results.
+//!
+//! * A summary built with any thread count serializes to the same bytes
+//!   as the serial build (the persist codec is a canonical encoding of
+//!   everything the estimator reads, so byte equality is observational
+//!   equality).
+//! * `EstimationEngine::estimate_batch` returns bit-identical estimates
+//!   to a serial `Estimator::estimate` loop, at any worker count, with
+//!   cold or warm caches.
+
+use proptest::prelude::*;
+
+use xpe::prelude::*;
+
+fn random_doc(seed: u64, scale_step: u8) -> Document {
+    DatasetSpec {
+        dataset: Dataset::SSPlays,
+        scale: 0.005 + f64::from(scale_step) * 0.005,
+        seed,
+    }
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel summary construction is byte-identical to serial.
+    #[test]
+    fn parallel_build_matches_serial_bytes(
+        seed in 0u64..1024,
+        scale_step in 0u8..3,
+        p_variance in prop::strategy::Union::new(vec![
+            Just(0.0f64).boxed(), Just(1.0f64).boxed(), Just(4.0f64).boxed(),
+        ]),
+    ) {
+        let doc = random_doc(seed, scale_step);
+        let base = SummaryConfig { p_variance, o_variance: p_variance, ..SummaryConfig::default() };
+        let serial = Summary::build(&doc, base.with_threads(1)).to_bytes();
+        for threads in [0usize, 2, 4] {
+            let parallel = Summary::build(&doc, base.with_threads(threads)).to_bytes();
+            prop_assert!(
+                parallel == serial,
+                "threads={} produced different bytes (len {} vs {})",
+                threads, parallel.len(), serial.len()
+            );
+        }
+    }
+
+    /// Batched estimation is bit-identical to the serial per-query loop.
+    #[test]
+    fn estimate_batch_matches_serial_loop(seed in 0u64..1024) {
+        let doc = random_doc(seed, 1);
+        let labeling = Labeling::compute(&doc);
+        let workload = xpe::datagen::generate_workload(
+            &doc,
+            &labeling.encoding,
+            &WorkloadConfig {
+                seed,
+                simple_attempts: 30,
+                branch_attempts: 30,
+                ..WorkloadConfig::default()
+            },
+        );
+        let queries: Vec<Query> = workload
+            .simple
+            .iter()
+            .chain(&workload.branch)
+            .chain(&workload.order_branch)
+            .chain(&workload.order_trunk)
+            .map(|c| c.query.clone())
+            .collect();
+        let summary = Summary::build(
+            &doc,
+            SummaryConfig { p_variance: 1.0, o_variance: 1.0, ..SummaryConfig::default() },
+        );
+        let est = Estimator::new(&summary);
+        let serial: Vec<u64> = queries.iter().map(|q| est.estimate(q).to_bits()).collect();
+        for threads in [0usize, 1, 3] {
+            let engine = EstimationEngine::new(&summary).with_threads(threads);
+            // Two runs per engine: cold caches, then warm.
+            for run in 0..2 {
+                let batch: Vec<u64> = engine
+                    .estimate_batch(&queries)
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect();
+                prop_assert!(
+                    batch == serial,
+                    "threads={} run={} diverged over {} queries",
+                    threads, run, queries.len()
+                );
+            }
+        }
+    }
+}
