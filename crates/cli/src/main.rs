@@ -9,6 +9,8 @@
 //! xpe exact <file.xml> <query>...              exact selectivities
 //! xpe generate <ssplays|dblp|xmark> -o <out.xml>
 //!     [--scale S] [--seed N]                   synthesize a corpus
+//! xpe diff [--seed N] [--cases N] [--json FILE]
+//!                                              differential correctness run
 //! ```
 
 use std::process::ExitCode;
@@ -24,6 +26,7 @@ fn main() -> ExitCode {
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("exact") => cmd_exact(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -45,9 +48,12 @@ const USAGE: &str = "usage:
   xpe estimate <summary.xps> [--jobs N] <query>...
   xpe exact <file.xml> <query>...
   xpe generate <ssplays|dblp|xmark> -o <out.xml> [--scale S] [--seed N]
+  xpe diff [--seed N] [--cases N] [--json FILE]
 
 --jobs N parallelizes summary construction (build) or batches queries
-across N workers (estimate); 0 = one worker per core, default 1.";
+across N workers (estimate); 0 = one worker per core, default 1.
+diff runs the estimator-vs-exact differential battery (seeds accept 0x
+hex); it exits nonzero when any invariant is violated.";
 
 fn load_doc(path: &str) -> Result<Document, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -91,6 +97,21 @@ fn parse_flag<T: std::str::FromStr>(
     match flag(flags, name) {
         Some(v) => v.parse().map_err(|_| format!("bad value for --{name}")),
         None => Ok(default),
+    }
+}
+
+/// Seed values accept decimal or `0x`-prefixed hex (CI pins
+/// `--seed 0xC0FFEE`).
+fn parse_seed(flags: &[(String, String)], name: &str, default: u64) -> Result<u64, String> {
+    match flag(flags, name) {
+        None => Ok(default),
+        Some(v) => {
+            let (digits, radix) = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => (hex, 16),
+                None => (v, 10),
+            };
+            u64::from_str_radix(digits, radix).map_err(|_| format!("bad value for --{name}"))
+        }
     }
 }
 
@@ -152,22 +173,15 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let jobs = parse_flag(&flags, "jobs", 1usize)?;
     let summary = Syn::load_from_file(path).map_err(|e| format!("loading {path}: {e}"))?;
     let engine = EstimationEngine::new(&summary).with_threads(jobs);
-    // Parse everything up front so the parseable queries run as one
-    // batch; parse failures report in place without aborting the rest.
-    let parsed: Vec<Result<Query, _>> = queries.iter().map(|q| parse_query(q)).collect();
-    let batch: Vec<Query> = parsed
+    // Parse everything up front: a malformed query aborts the whole
+    // invocation with a diagnostic, before any estimate is printed, so
+    // scripts never mistake partial output for a complete run.
+    let batch = queries
         .iter()
-        .filter_map(|r| r.as_ref().ok().cloned())
-        .collect();
-    let mut estimates = engine.estimate_batch(&batch).into_iter();
-    for (q, r) in queries.iter().zip(&parsed) {
-        match r {
-            Ok(_) => {
-                let v = estimates.next().expect("one estimate per parsed query");
-                println!("{v:.2}\t{q}");
-            }
-            Err(e) => println!("error: {e}\t{q}"),
-        }
+        .map(|q| parse_query(q).map_err(|e| format!("query '{q}': {e}")))
+        .collect::<Result<Vec<Query>, String>>()?;
+    for (q, v) in queries.iter().zip(engine.estimate_batch(&batch)) {
+        println!("{v:.2}\t{q}");
     }
     Ok(())
 }
@@ -183,11 +197,12 @@ fn cmd_exact(args: &[String]) -> Result<(), String> {
     let doc = load_doc(path)?;
     let order = DocOrder::new(&doc);
     let eval = Evaluator::new(&doc, &order);
-    for q in queries {
-        match parse_query(q) {
-            Ok(query) => println!("{}\t{q}", eval.selectivity(&query)),
-            Err(e) => println!("error: {e}\t{q}"),
-        }
+    let parsed = queries
+        .iter()
+        .map(|q| parse_query(q).map_err(|e| format!("query '{q}': {e}")))
+        .collect::<Result<Vec<Query>, String>>()?;
+    for (q, query) in queries.iter().zip(&parsed) {
+        println!("{}\t{q}", eval.selectivity(query));
     }
     Ok(())
 }
@@ -212,6 +227,63 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let doc = spec.generate();
     std::fs::write(out, xpe::xml::to_string(&doc)).map_err(|e| format!("writing {out}: {e}"))?;
     println!("{} elements written to {out}", doc.len());
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args)?;
+    if !pos.is_empty() {
+        return Err(format!(
+            "diff takes no positional arguments, got '{}'",
+            pos[0]
+        ));
+    }
+    let cfg = xpe::diff::DiffConfig {
+        seed: parse_seed(&flags, "seed", 0)?,
+        cases: parse_flag(&flags, "cases", 200u64)?,
+    };
+    let report = xpe::diff::run_diff(&cfg);
+    if let Some(path) = flag(&flags, "json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    println!(
+        "diff: seed {:#x}, {} cases, {} checks",
+        report.seed,
+        report.cases,
+        report.total_checks()
+    );
+    for inv in xpe::diff::Invariant::ALL {
+        let t = report.tally(inv);
+        println!(
+            "  {:<16} {:>6} checks  {:>3} violations",
+            inv.name(),
+            t.checks,
+            t.violations
+        );
+    }
+    if report.total_violations() > 0 {
+        for v in &report.violations {
+            eprintln!(
+                "violation[{}] case {} (doc_seed {:#x}, p_variance {}): query {} \
+                 estimate {} exact {} — {} (minimized: {})",
+                v.invariant.name(),
+                v.case,
+                v.doc_seed,
+                v.p_variance,
+                v.query,
+                v.estimate,
+                v.exact,
+                v.detail,
+                v.minimized,
+            );
+        }
+        return Err(format!(
+            "{} invariant violation(s) in {} checks",
+            report.total_violations(),
+            report.total_checks()
+        ));
+    }
+    println!("all invariants hold");
     Ok(())
 }
 
@@ -249,5 +321,16 @@ mod tests {
         assert_eq!(parse_flag(&flags, "absent", 42u32).unwrap(), 42);
         let (bad, _) = split_flags(&args(&["--seed", "notanumber"])).unwrap();
         assert!(parse_flag(&bad, "seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn parse_seed_accepts_decimal_and_hex() {
+        let (flags, _) = split_flags(&args(&["--seed", "0xC0FFEE"])).unwrap();
+        assert_eq!(parse_seed(&flags, "seed", 0).unwrap(), 0xC0FFEE);
+        let (flags, _) = split_flags(&args(&["--seed", "12648430"])).unwrap();
+        assert_eq!(parse_seed(&flags, "seed", 0).unwrap(), 12_648_430);
+        assert_eq!(parse_seed(&[], "seed", 7).unwrap(), 7);
+        let (bad, _) = split_flags(&args(&["--seed", "0xZZ"])).unwrap();
+        assert!(parse_seed(&bad, "seed", 0).is_err());
     }
 }

@@ -98,8 +98,27 @@ fn helpful_errors() {
     assert!(!o.status.success());
 }
 
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+/// Every failure mode must produce a one-line diagnostic and a nonzero
+/// exit — never a panic backtrace that a calling script can't parse.
+fn assert_clean_failure(o: &Output, needle: &str) {
+    assert!(!o.status.success(), "expected a nonzero exit");
+    let err = stderr(o);
+    assert!(
+        err.contains("error") && err.contains(needle),
+        "stderr should mention '{needle}': {err}"
+    );
+    assert!(
+        !err.contains("panicked") && !err.contains("RUST_BACKTRACE"),
+        "diagnostic must not be a panic: {err}"
+    );
+}
+
 #[test]
-fn estimate_reports_bad_queries_without_failing() {
+fn estimate_fails_cleanly_on_bad_queries() {
     let dir = tmpdir("badq");
     let xml = dir.join("d.xml");
     let xps = dir.join("d.xps");
@@ -112,8 +131,95 @@ fn estimate_reports_bad_queries_without_failing() {
         xml.to_str().unwrap(),
     ]);
     xpe(&["build", xml.to_str().unwrap(), "-o", xps.to_str().unwrap()]);
-    let o = xpe(&["estimate", xps.to_str().unwrap(), "not-a-query["]);
-    assert!(o.status.success(), "per-query errors are reported inline");
-    assert!(stdout(&o).contains("error"));
+
+    // A malformed query aborts the invocation: diagnostic on stderr,
+    // nonzero exit, and no estimate printed for the valid queries either
+    // (partial output must not look like success).
+    let o = xpe(&["estimate", xps.to_str().unwrap(), "//ACT", "not-a-query["]);
+    assert_clean_failure(&o, "not-a-query[");
+    assert!(stdout(&o).is_empty(), "no partial output: {}", stdout(&o));
+
+    let o = xpe(&["exact", xml.to_str().unwrap(), "not-a-query["]);
+    assert_clean_failure(&o, "not-a-query[");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn estimate_fails_cleanly_on_bad_summary_files() {
+    let dir = tmpdir("badsum");
+    let xml = dir.join("d.xml");
+    let xps = dir.join("d.xps");
+    xpe(&[
+        "generate",
+        "ssplays",
+        "--scale",
+        "0.01",
+        "-o",
+        xml.to_str().unwrap(),
+    ]);
+    xpe(&["build", xml.to_str().unwrap(), "-o", xps.to_str().unwrap()]);
+
+    // Missing summary file.
+    let o = xpe(&["estimate", dir.join("nope.xps").to_str().unwrap(), "//ACT"]);
+    assert_clean_failure(&o, "nope.xps");
+
+    // Version-mismatched summary (version field lives at byte offset 4).
+    let mut bytes = std::fs::read(&xps).unwrap();
+    bytes[4] = 99;
+    let vers = dir.join("vers.xps");
+    std::fs::write(&vers, &bytes).unwrap();
+    let o = xpe(&["estimate", vers.to_str().unwrap(), "//ACT"]);
+    assert_clean_failure(&o, "version");
+
+    // Trailing garbage after a valid summary.
+    let mut bytes = std::fs::read(&xps).unwrap();
+    bytes.extend_from_slice(b"garbage");
+    let trail = dir.join("trail.xps");
+    std::fs::write(&trail, &bytes).unwrap();
+    let o = xpe(&["estimate", trail.to_str().unwrap(), "//ACT"]);
+    assert_clean_failure(&o, "trailing");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn build_fails_cleanly_on_malformed_xml() {
+    let dir = tmpdir("badxml");
+    let xml = dir.join("broken.xml");
+    std::fs::write(&xml, "<a><b></a>").unwrap();
+    let o = xpe(&[
+        "build",
+        xml.to_str().unwrap(),
+        "-o",
+        dir.join("out.xps").to_str().unwrap(),
+    ]);
+    assert_clean_failure(&o, "broken.xml");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_subcommand_reports_and_writes_json() {
+    let dir = tmpdir("diff");
+    let json = dir.join("report.json");
+    let o = xpe(&[
+        "diff",
+        "--seed",
+        "0xC0FFEE",
+        "--cases",
+        "24",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("all invariants hold"), "{out}");
+    assert!(out.contains("exact-simple"));
+
+    let report = std::fs::read_to_string(&json).unwrap();
+    assert!(report.contains("\"tool\": \"xpe-diff\""));
+    assert!(report.contains("\"total_violations\": 0"));
+    assert!(report.contains("\"seed\": 12648430"), "hex seed parsed");
+
     std::fs::remove_dir_all(&dir).ok();
 }

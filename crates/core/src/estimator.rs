@@ -28,6 +28,7 @@ use xpe_xpath::{
 };
 
 use crate::editor::{self, subtree_of};
+use crate::invariant::{finalize_estimate, safe_div};
 use crate::join::{path_join_cached, JoinResult, JoinScratch};
 
 /// Selectivity estimator over a prebuilt [`Summary`].
@@ -91,8 +92,15 @@ impl<'s> Estimator<'s> {
     }
 
     /// Estimates the selectivity of the target node of `query`.
+    ///
+    /// The raw formula output passes through
+    /// [`finalize_estimate`](crate::finalize_estimate): the result is
+    /// always finite, non-negative, and at most the target tag's total
+    /// frequency in the summary.
     pub fn estimate(&self, query: &Query) -> f64 {
-        self.estimate_depth(query, 0)
+        let raw = self.estimate_depth(query, 0);
+        let cap = self.summary.tag_total(&query.node(query.target()).tag);
+        finalize_estimate(raw, cap)
     }
 
     /// Parses and estimates a query string.
@@ -147,10 +155,7 @@ impl<'s> Estimator<'s> {
         let f_spine_b = join_spine.frequency(spine.remap(b));
         self.recycle(join_spine);
         let f_b = join.frequency(b);
-        if f_spine_b == 0.0 {
-            return 0.0;
-        }
-        f_spine_n * f_b / f_spine_b
+        safe_div(f_spine_n * f_b, f_spine_b)
     }
 
     // ------------------------------------------------------------------
@@ -171,19 +176,11 @@ impl<'s> Estimator<'s> {
                 if head == target {
                     // Eq. 3: S_Q̃(h) ≈ S_Q̃'(h) · S_Q(h) / S_Q'(h).
                     let s_plain = self.estimate_plain(&plain.query, plain.remap(head));
-                    return if parts.s_prime == 0.0 {
-                        0.0
-                    } else {
-                        parts.s_tilde_prime * s_plain / parts.s_prime
-                    };
+                    return safe_div(parts.s_tilde_prime * s_plain, parts.s_prime);
                 }
                 // Eq. 4: S_Q̃(n) ≈ S_Q(n) · S_Q̃'(h) / S_Q'(h).
                 let s_plain_n = self.estimate_plain(&plain.query, plain.remap(target));
-                return if parts.s_prime == 0.0 {
-                    0.0
-                } else {
-                    s_plain_n * parts.s_tilde_prime / parts.s_prime
-                };
+                return safe_div(s_plain_n * parts.s_tilde_prime, parts.s_prime);
             }
         }
 
@@ -194,11 +191,7 @@ impl<'s> Estimator<'s> {
             for pos in 0..chain.heads.len() {
                 let parts = self.head_parts(query, chain, pos);
                 let s_plain_h = self.estimate_plain(&plain.query, plain.remap(chain.heads[pos]));
-                let s_head = if parts.s_prime == 0.0 {
-                    0.0
-                } else {
-                    parts.s_tilde_prime * s_plain_h / parts.s_prime
-                };
+                let s_head = safe_div(parts.s_tilde_prime * s_plain_h, parts.s_prime);
                 s = s.min(s_head);
             }
         }

@@ -1,0 +1,132 @@
+//! Numeric invariant guards for the estimation formulas.
+//!
+//! Every §4–§5 formula is a ratio of joined frequencies, and every ratio
+//! is a place where a `0/0`, a subnormal denominator, or an accumulated
+//! rounding artifact can turn one figure of an experiment into `NaN` or
+//! `inf` without any test noticing. The path-summary literature is blunt
+//! about this failure class: summary-based estimates must degrade
+//! gracefully — never to NaN, negatives, or counts above the document.
+//!
+//! Two chokepoints enforce that here:
+//!
+//! * [`safe_div`] — the only way estimator code divides. Denominators that
+//!   are zero, subnormal, infinite or NaN yield `0.0` (an empty
+//!   denominator population means an empty result), as does a quotient
+//!   that overflows to `inf`.
+//! * [`finalize_estimate`] — the single exit gate for
+//!   [`Estimator::estimate`](crate::Estimator::estimate): clamps to
+//!   `[0, f(tag)]` (a target never selects more nodes than the document
+//!   holds of its tag) and `debug_assert!`s finiteness so a regressed
+//!   formula trips the differential harness (`xpe diff`, `xpe-diff`)
+//!   instead of silently corrupting a figure.
+
+/// Guarded division: `num / den`, except that a denominator with no usable
+/// magnitude — zero, subnormal, `inf` or `NaN` — returns `0.0`, and so
+/// does a quotient that leaves the finite range.
+///
+/// The zero-for-degenerate convention matches the estimation semantics:
+/// every denominator in Eqs. 2–5 is the selectivity of a query the target
+/// embedding must pass through, so "no such embeddings" means the
+/// constrained count is zero, not undefined.
+#[inline]
+pub fn safe_div(num: f64, den: f64) -> f64 {
+    if !den.is_normal() {
+        return 0.0;
+    }
+    let q = num / den;
+    if q.is_finite() {
+        q
+    } else {
+        0.0
+    }
+}
+
+/// The single exit gate for selectivity estimates: clamps `raw` to
+/// `[0, cap]` where `cap` is the target tag's total frequency, mapping
+/// non-finite inputs to the nearest bound (`NaN` to `0`).
+///
+/// In debug builds a non-finite `raw` is a bug — some formula dodged
+/// [`safe_div`] — and panics immediately; release builds degrade to the
+/// clamped value so a served estimate is always a valid cardinality.
+#[inline]
+pub fn finalize_estimate(raw: f64, cap: f64) -> f64 {
+    debug_assert!(
+        raw.is_finite(),
+        "estimate escaped the division guards: {raw}"
+    );
+    let cap = if cap.is_finite() {
+        cap.max(0.0)
+    } else {
+        f64::MAX
+    };
+    if raw.is_nan() {
+        return 0.0;
+    }
+    raw.clamp(0.0, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_div_ordinary_ratio() {
+        assert_eq!(safe_div(6.0, 3.0), 2.0);
+        assert_eq!(safe_div(0.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn safe_div_zero_denominator_is_zero_not_nan() {
+        assert_eq!(safe_div(0.0, 0.0), 0.0);
+        assert_eq!(safe_div(5.0, 0.0), 0.0);
+        assert_eq!(safe_div(5.0, -0.0), 0.0);
+    }
+
+    #[test]
+    fn safe_div_subnormal_denominator_is_zero_not_inf() {
+        // An unguarded `x / subnormal` overflows to inf for any x ≳ 1e16;
+        // an exact `== 0.0` comparison does not catch it.
+        let sub = f64::MIN_POSITIVE / 2.0;
+        assert!(sub > 0.0 && !sub.is_normal());
+        assert_eq!(safe_div(1e18, sub), 0.0);
+        assert_eq!(safe_div(1.0, sub), 0.0);
+    }
+
+    #[test]
+    fn safe_div_overflowing_quotient_is_zero() {
+        // Normal denominator, but the quotient still overflows.
+        assert_eq!(safe_div(f64::MAX, 0.5), 0.0);
+        assert_eq!(safe_div(f64::MAX, f64::MIN_POSITIVE), 0.0);
+    }
+
+    #[test]
+    fn safe_div_pathological_denominators() {
+        assert_eq!(safe_div(1.0, f64::NAN), 0.0);
+        assert_eq!(safe_div(1.0, f64::INFINITY), 0.0);
+        assert_eq!(safe_div(1.0, f64::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    fn finalize_clamps_range() {
+        assert_eq!(finalize_estimate(3.0, 10.0), 3.0);
+        assert_eq!(finalize_estimate(-0.5, 10.0), 0.0);
+        assert_eq!(finalize_estimate(12.0, 10.0), 10.0);
+        assert_eq!(finalize_estimate(1.0, 0.0), 0.0);
+        assert_eq!(finalize_estimate(1.0, -3.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate escaped the division guards")]
+    #[cfg(debug_assertions)]
+    fn finalize_panics_on_nan_in_debug() {
+        finalize_estimate(f64::NAN, 10.0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn finalize_degrades_gracefully_in_release() {
+        assert_eq!(finalize_estimate(f64::NAN, 10.0), 0.0);
+        assert_eq!(finalize_estimate(f64::INFINITY, 10.0), 10.0);
+        assert_eq!(finalize_estimate(f64::NEG_INFINITY, 10.0), 0.0);
+    }
+}

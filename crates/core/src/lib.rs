@@ -39,6 +39,7 @@
 mod editor;
 mod engine;
 mod estimator;
+mod invariant;
 mod join;
 mod metrics;
 mod planner;
@@ -48,6 +49,7 @@ pub use editor::{
 };
 pub use engine::EstimationEngine;
 pub use estimator::Estimator;
+pub use invariant::{finalize_estimate, safe_div};
 pub use join::{path_join, path_join_cached, JoinResult, JoinScratch};
 pub use metrics::{mean_relative_error, relative_error, ErrorStats};
 pub use planner::{PathCardinalities, PredicateRank};

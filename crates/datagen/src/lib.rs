@@ -30,10 +30,12 @@
 #![warn(missing_docs)]
 
 pub mod dblp;
+mod random;
 pub mod ssplays;
 mod workload;
 pub mod xmark;
 
+pub use random::{random_document, RandomDocConfig};
 pub use workload::{generate_workload, QueryCase, TargetPlacement, Workload, WorkloadConfig};
 
 use xpe_xml::Document;

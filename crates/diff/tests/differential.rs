@@ -1,0 +1,122 @@
+//! The differential battery, run for real and against injected faults.
+//!
+//! A correctness harness is only trustworthy once it has been seen to
+//! catch a bug, so half of this file *reintroduces* the failure classes
+//! the invariants exist for — an unguarded `0/0`, a biased formula, a
+//! desynced batch path — and asserts the harness flags them.
+
+use xpe_diff::{run_diff, run_diff_with, DiffConfig, Invariant};
+
+/// The production estimator passes the whole battery.
+#[test]
+fn production_estimator_has_zero_violations() {
+    let report = run_diff(&DiffConfig {
+        seed: 0xD1FF,
+        cases: 120,
+    });
+    assert_eq!(
+        report.total_violations(),
+        0,
+        "violations: {:#?}",
+        report.violations
+    );
+    // The run must actually exercise every invariant, not vacuously pass.
+    for inv in Invariant::ALL {
+        assert!(
+            report.tally(inv).checks > 0,
+            "invariant {} was never checked",
+            inv.name()
+        );
+    }
+    assert_eq!(report.cases, 120);
+}
+
+/// Removing a division guard (the historical bug: a `0/0` on queries with
+/// empty denominators) is caught by the `finite` invariant — and, because
+/// the batch engine still runs the guarded code, by `batch-identical` too.
+#[test]
+fn injected_unguarded_division_is_caught() {
+    let report = run_diff_with(
+        &DiffConfig {
+            seed: 0xD1FF,
+            cases: 120,
+        },
+        |est, q| {
+            // Faulty variant of Eq. 2's ratio with the guard removed:
+            // (v·v)/v is v for any nonzero population but 0/0 = NaN when
+            // the denominator population is empty — exactly the failure
+            // `safe_div` exists to prevent.
+            let v = est.estimate(q);
+            (v * v) / v
+        },
+    );
+    assert!(
+        report.tally(Invariant::Finite).violations > 0,
+        "harness failed to catch an injected NaN"
+    );
+    assert!(
+        report.tally(Invariant::BatchIdentical).violations > 0,
+        "batch comparison failed to catch the divergence"
+    );
+    // Failing cases are recorded with a minimized repro.
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.invariant == Invariant::Finite)
+        .expect("a finite violation is recorded");
+    assert!(!v.minimized.is_empty());
+    assert!(v.estimate.is_nan());
+}
+
+/// A systematically biased formula (off by +1 everywhere) violates
+/// Theorem 4.1 agreement on simple queries.
+#[test]
+fn injected_bias_is_caught_by_exactness_oracle() {
+    let report = run_diff_with(
+        &DiffConfig {
+            seed: 0xD1FF,
+            cases: 120,
+        },
+        |est, q| est.estimate(q) + 1.0,
+    );
+    assert!(
+        report.tally(Invariant::ExactSimple).violations > 0,
+        "exactness oracle failed to catch a biased estimate"
+    );
+}
+
+/// A sign error is caught by `non-negative`, and a dropped clamp by
+/// `tag-bound`.
+#[test]
+fn injected_sign_and_bound_errors_are_caught() {
+    let negated = run_diff_with(
+        &DiffConfig {
+            seed: 0xD1FF,
+            cases: 60,
+        },
+        |est, q| -est.estimate(q) - 1.0,
+    );
+    assert!(negated.tally(Invariant::NonNegative).violations > 0);
+
+    let unclamped = run_diff_with(
+        &DiffConfig {
+            seed: 0xD1FF,
+            cases: 60,
+        },
+        |est, q| est.estimate(q) * 1e6 + 1e6,
+    );
+    assert!(unclamped.tally(Invariant::TagBound).violations > 0);
+}
+
+/// Reports are reproducible: same seed, same run, bit-identical JSON.
+#[test]
+fn runs_are_deterministic_in_the_seed() {
+    let cfg = DiffConfig {
+        seed: 42,
+        cases: 30,
+    };
+    let a = run_diff(&cfg);
+    let b = run_diff(&cfg);
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.total_checks(), b.total_checks());
+}

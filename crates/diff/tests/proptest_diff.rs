@@ -1,0 +1,22 @@
+//! Property test: the battery passes for *every* seed, not just the
+//! pinned ones — each proptest case is a full (small) differential run.
+
+use proptest::prelude::*;
+
+use xpe_diff::{run_diff, DiffConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn battery_passes_for_arbitrary_seeds(seed in 0u64..1_000_000) {
+        let report = run_diff(&DiffConfig { seed, cases: 12 });
+        prop_assert_eq!(
+            report.total_violations(),
+            0,
+            "seed {} produced violations: {:#?}",
+            seed,
+            report.violations
+        );
+    }
+}

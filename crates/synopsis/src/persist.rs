@@ -92,9 +92,7 @@ impl Summary {
         };
         let phist = PHistogramSet::decode(&mut r)?;
         let ohist = OHistogramSet::decode(&mut r)?;
-        if !r.is_exhausted() {
-            return Err(WireError::BadHeader("trailing bytes"));
-        }
+        r.expect_exhausted()?;
         let pid_tree = PathIdTree::new(&pids);
         Ok(Summary {
             tags,
@@ -206,9 +204,38 @@ mod tests {
         for cut in (0..bytes.len()).step_by(7) {
             assert!(Summary::from_bytes(&bytes[..cut]).is_err());
         }
-        // Trailing garbage.
+    }
+
+    /// Over-long inputs: a well-formed payload followed by anything —
+    /// a single zero byte, garbage, or a whole second summary — must be
+    /// rejected with the dedicated variant, with the exact leftover count.
+    #[test]
+    fn trailing_garbage_rejected_with_remaining_count() {
+        let s = summary();
+        let bytes = s.to_bytes();
+
         let mut bad = bytes.clone();
         bad.push(0);
-        assert!(Summary::from_bytes(&bad).is_err());
+        assert_eq!(
+            Summary::from_bytes(&bad).unwrap_err(),
+            WireError::TrailingBytes { remaining: 1 },
+        );
+
+        let mut bad = bytes.clone();
+        bad.extend_from_slice(b"garbage!");
+        assert_eq!(
+            Summary::from_bytes(&bad).unwrap_err(),
+            WireError::TrailingBytes { remaining: 8 },
+        );
+
+        // Two concatenated summaries are not one summary.
+        let mut bad = bytes.clone();
+        bad.extend_from_slice(&bytes);
+        assert_eq!(
+            Summary::from_bytes(&bad).unwrap_err(),
+            WireError::TrailingBytes {
+                remaining: bytes.len()
+            },
+        );
     }
 }

@@ -232,6 +232,16 @@ impl Summary {
         self.tags.get(tag).map(|t| self.phist.histogram(t))
     }
 
+    /// Total (histogram-estimated) frequency of `tag` across every path
+    /// id — the hard ceiling any selectivity estimate for a `tag`-target
+    /// query may reach, since a query target never selects more nodes than
+    /// the document holds of its tag. Zero for absent tags.
+    pub fn tag_total(&self, tag: &str) -> f64 {
+        self.phistogram(tag)
+            .map(|h| h.entries().map(|(_, f)| f).sum())
+            .unwrap_or(0.0)
+    }
+
     /// Estimated `g(pid, y_tag)` from the order summaries.
     pub fn order_count(&self, x_tag: TagId, pid: Pid, y_tag: TagId, region: Region) -> f64 {
         self.ohist.count(x_tag, pid, y_tag, region)
@@ -279,6 +289,8 @@ mod tests {
         let total: f64 = d_hist.entries().map(|(_, f)| f).sum();
         assert_eq!(total, 4.0);
         assert!(s.phistogram("Nope").is_none());
+        assert_eq!(s.tag_total("D"), 4.0);
+        assert_eq!(s.tag_total("Nope"), 0.0);
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum WireError {
     BadUtf8,
     /// A header or version check failed.
     BadHeader(&'static str),
+    /// A well-formed payload was followed by unconsumed bytes — the input
+    /// is longer than the encoding it claims to hold.
+    TrailingBytes {
+        /// Number of bytes left after the payload.
+        remaining: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -47,6 +53,9 @@ impl fmt::Display for WireError {
             WireError::Truncated => write!(f, "input truncated"),
             WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
             WireError::BadHeader(what) => write!(f, "bad header: {what}"),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing byte(s) after a complete payload")
+            }
         }
     }
 }
@@ -68,6 +77,21 @@ impl<'a> Reader<'a> {
     /// Whether every byte has been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    /// Number of unconsumed bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Succeeds only when every byte has been consumed; otherwise reports
+    /// the leftover count. Top-level decoders call this after the last
+    /// field so over-long inputs are rejected, not silently accepted.
+    pub fn expect_exhausted(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            remaining => Err(WireError::TrailingBytes { remaining }),
+        }
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
@@ -140,6 +164,24 @@ mod tests {
         buf.extend_from_slice(b"short");
         let mut r = Reader::new(&buf);
         assert_eq!(r.str(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        let mut r = Reader::new(&buf);
+        r.u32().unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.expect_exhausted(), Ok(()));
+        buf.extend_from_slice(&[1, 2, 3]);
+        let mut r = Reader::new(&buf);
+        r.u32().unwrap();
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(
+            r.expect_exhausted(),
+            Err(WireError::TrailingBytes { remaining: 3 })
+        );
     }
 
     #[test]

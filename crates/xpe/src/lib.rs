@@ -21,6 +21,7 @@
 //! | [`poshist`] | `xpe-poshist` | position-histogram comparator (EDBT'02) |
 //! | [`join`] | `xpe-join` | pid-filtered structural joins (XSym'05 substrate) |
 //! | [`datagen`] | `xpe-datagen` | SSPlays/DBLP/XMark generators, workloads |
+//! | [`diff`] | `xpe-diff` | differential estimator-vs-exact harness |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@
 
 pub use xpe_core as estimator;
 pub use xpe_datagen as datagen;
+pub use xpe_diff as diff;
 pub use xpe_join as join;
 pub use xpe_markov as markov;
 pub use xpe_pathid as pathid;

@@ -1,0 +1,57 @@
+//! Property tests of the accuracy metrics.
+//!
+//! The metrics grade every experiment in the repo, so they get the same
+//! treatment as the estimator: structural properties over random
+//! workloads — agreement between the two mean implementations, percentile
+//! monotonicity, and NaN-freedom for finite inputs.
+
+use proptest::prelude::*;
+
+use xpe::estimator::{mean_relative_error, relative_error, ErrorStats};
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(f64, u64)>> {
+    prop::collection::vec((0.0f64..10_000.0, 0u64..10_000), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `ErrorStats::compute` and `mean_relative_error` are independent
+    /// implementations of the same mean; they must agree.
+    #[test]
+    fn stats_mean_agrees_with_mean_relative_error(pairs in arb_pairs()) {
+        let stats = ErrorStats::compute(pairs.clone()).unwrap();
+        let mean = mean_relative_error(pairs).unwrap();
+        prop_assert!(
+            (stats.mean - mean).abs() <= 1e-9 * mean.abs().max(1.0),
+            "stats.mean {} != mean_relative_error {}", stats.mean, mean
+        );
+    }
+
+    /// Percentiles are order statistics: median ≤ p90 ≤ max, and every
+    /// one is an actually observed error bounded by the extremes.
+    #[test]
+    fn percentiles_are_monotone(pairs in arb_pairs()) {
+        let s = ErrorStats::compute(pairs.clone()).unwrap();
+        prop_assert!(s.median <= s.p90, "median {} > p90 {}", s.median, s.p90);
+        prop_assert!(s.p90 <= s.max, "p90 {} > max {}", s.p90, s.max);
+        let max_obs = pairs
+            .iter()
+            .map(|&(e, a)| relative_error(e, a))
+            .fold(0.0f64, f64::max);
+        prop_assert!((s.max - max_obs).abs() < 1e-12);
+        prop_assert_eq!(s.count, pairs.len());
+    }
+
+    /// Finite estimates can never produce NaN statistics: the denominator
+    /// is clamped to ≥ 1, so every relative error is finite.
+    #[test]
+    fn stats_are_nan_free_for_finite_estimates(pairs in arb_pairs()) {
+        let s = ErrorStats::compute(pairs).unwrap();
+        prop_assert!(s.mean.is_finite());
+        prop_assert!(s.median.is_finite());
+        prop_assert!(s.p90.is_finite());
+        prop_assert!(s.max.is_finite());
+        prop_assert!(s.mean >= 0.0 && s.median >= 0.0);
+    }
+}
