@@ -6,7 +6,10 @@
 //! * queries/sec of the serial per-query `Estimator` loop versus
 //!   `EstimationEngine::estimate_batch` (one worker and one per core)
 //!   over the full ≥500-query workload;
-//! * `Summary::build` wall time at one worker versus one per core.
+//! * `Summary::build` wall time at one worker versus one per core;
+//! * kernel counters from one cold workload pass: join-cache hit rate,
+//!   containment adjacencies built and the milliseconds spent building
+//!   them.
 //!
 //! Writes `results/BENCH_estimation.json` (hand-rolled JSON — the
 //! workspace carries no serde) and prints the same numbers as a table.
@@ -42,6 +45,10 @@ struct Row {
     batch_auto_qps: f64,
     build_serial_ms: f64,
     build_parallel_ms: f64,
+    join_cache_hit_rate: f64,
+    adjacency_build_ms: f64,
+    adjacency_builds: u64,
+    adjacency_pairs: u64,
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -94,6 +101,24 @@ fn main() {
         let build_parallel =
             best_secs(|| Summary::build(&b.doc, SummaryConfig::default().with_threads(0)));
 
+        // Kernel counters from one untimed batch on a fresh engine: the
+        // join-cache hit rate and the cost of cold adjacency construction
+        // a single workload pass pays.
+        let stats_engine = EstimationEngine::new(&summary).with_threads(0);
+        stats_engine.estimate_batch(&queries);
+        let kernel = stats_engine.kernel_stats();
+        println!(
+            "  {}: join cache {}/{} hits ({:.1}%), {} adjacencies \
+             ({} pairs) built in {:.2} ms",
+            ds.name(),
+            kernel.join_cache_hits,
+            kernel.join_cache_hits + kernel.join_cache_misses,
+            kernel.join_cache_hit_rate * 100.0,
+            kernel.adjacency_builds,
+            kernel.adjacency_pairs,
+            kernel.adjacency_build_ms,
+        );
+
         rows.push(Row {
             dataset: ds.name(),
             queries: queries.len(),
@@ -102,6 +127,10 @@ fn main() {
             batch_auto_qps: n / batch_auto,
             build_serial_ms: build_serial * 1e3,
             build_parallel_ms: build_parallel * 1e3,
+            join_cache_hit_rate: kernel.join_cache_hit_rate,
+            adjacency_build_ms: kernel.adjacency_build_ms,
+            adjacency_builds: kernel.adjacency_builds,
+            adjacency_pairs: kernel.adjacency_pairs,
         });
     }
 
@@ -146,7 +175,9 @@ fn main() {
             "    {{\"dataset\": \"{}\", \"queries\": {}, \
              \"serial_qps\": {:.1}, \"batch_jobs1_qps\": {:.1}, \
              \"batch_auto_qps\": {:.1}, \"speedup_auto_vs_serial\": {:.2}, \
-             \"build_serial_ms\": {:.3}, \"build_parallel_ms\": {:.3}}}",
+             \"build_serial_ms\": {:.3}, \"build_parallel_ms\": {:.3}, \
+             \"join_cache_hit_rate\": {:.4}, \"adjacency_build_ms\": {:.3}, \
+             \"adjacency_builds\": {}, \"adjacency_pairs\": {}}}",
             json_escape_free(r.dataset),
             r.queries,
             r.serial_qps,
@@ -155,6 +186,10 @@ fn main() {
             r.batch_auto_qps / r.serial_qps,
             r.build_serial_ms,
             r.build_parallel_ms,
+            r.join_cache_hit_rate,
+            r.adjacency_build_ms,
+            r.adjacency_builds,
+            r.adjacency_pairs,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

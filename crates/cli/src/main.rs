@@ -5,7 +5,7 @@
 //! xpe build <file.xml> -o <summary.xps>        build + save a summary
 //!     [--p-variance V] [--o-variance V] [--jobs N]
 //! xpe estimate <summary.xps> <query>...        estimate selectivities
-//!     [--jobs N]
+//!     [--jobs N] [--join-cache N]
 //! xpe exact <file.xml> <query>...              exact selectivities
 //! xpe generate <ssplays|dblp|xmark> -o <out.xml>
 //!     [--scale S] [--seed N]                   synthesize a corpus
@@ -45,13 +45,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   xpe stats <file.xml>
   xpe build <file.xml> -o <summary.xps> [--p-variance V] [--o-variance V] [--jobs N]
-  xpe estimate <summary.xps> [--jobs N] <query>...
+  xpe estimate <summary.xps> [--jobs N] [--join-cache N] <query>...
   xpe exact <file.xml> <query>...
   xpe generate <ssplays|dblp|xmark> -o <out.xml> [--scale S] [--seed N]
   xpe diff [--seed N] [--cases N] [--json FILE]
 
 --jobs N parallelizes summary construction (build) or batches queries
 across N workers (estimate); 0 = one worker per core, default 1.
+--join-cache N caps the workload-level join cache at N memoized join
+results (estimate); 0 disables it. Caches never change estimates.
 diff runs the estimator-vs-exact differential battery (seeds accept 0x
 hex); it exits nonzero when any invariant is violated.";
 
@@ -171,8 +173,15 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         return Err("estimate needs at least one query".into());
     }
     let jobs = parse_flag(&flags, "jobs", 1usize)?;
+    let join_cache = parse_flag(
+        &flags,
+        "join-cache",
+        xpe::estimator::DEFAULT_JOIN_CACHE_CAPACITY,
+    )?;
     let summary = Syn::load_from_file(path).map_err(|e| format!("loading {path}: {e}"))?;
-    let engine = EstimationEngine::new(&summary).with_threads(jobs);
+    let engine = EstimationEngine::new(&summary)
+        .with_threads(jobs)
+        .with_join_cache_capacity(join_cache);
     // Parse everything up front: a malformed query aborts the whole
     // invocation with a diagnostic, before any estimate is printed, so
     // scripts never mistake partial output for a complete run.

@@ -3,40 +3,76 @@
 //!
 //! A single [`Estimator`] already memoizes relation masks and recycles
 //! join allocations; the engine adds workload-level machinery on top:
-//! one shared mask cache that every worker warms for the others, and
-//! [`estimate_batch`](EstimationEngine::estimate_batch), which fans a
+//! a shared mask cache, a shared containment-adjacency index, and a
+//! workload-level [`JoinCache`] that every worker warms for the others,
+//! plus [`estimate_batch`](EstimationEngine::estimate_batch), which fans a
 //! query slice across scoped worker threads. Each worker owns one
 //! estimator (scratch arenas never cross threads) while all of them read
-//! the same summary and memo table. Results come back in input order and
+//! the same summary and memo tables. Results come back in input order and
 //! are bit-identical to a serial `estimate` loop — estimates are pure
 //! functions of `(summary, query)`; the caches only change how fast they
 //! are produced.
 
 use std::sync::Arc;
 
-use xpe_pathid::RelationMaskCache;
+use xpe_pathid::{JoinIndexCache, RelationMaskCache};
 use xpe_synopsis::Summary;
 use xpe_xpath::{Query, QueryParseError};
 
 use crate::estimator::Estimator;
+use crate::joincache::JoinCache;
+
+/// Default number of join results the engine's workload cache retains.
+/// Generously sized for template workloads (hundreds of distinct
+/// skeletons) while bounding memory on adversarial ones.
+pub const DEFAULT_JOIN_CACHE_CAPACITY: usize = 1024;
+
+/// Kernel counters of one engine's lifetime, for benchmark reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelStats {
+    /// Join-cache lookups that found a memoized result.
+    pub join_cache_hits: u64,
+    /// Join-cache lookups that ran the join kernel.
+    pub join_cache_misses: u64,
+    /// `hits / (hits + misses)`, or 0 before any lookup.
+    pub join_cache_hit_rate: f64,
+    /// Containment adjacencies built (distinct `(tag, tag, axis)` triples).
+    pub adjacency_builds: u64,
+    /// Total wall-clock milliseconds spent building adjacencies.
+    pub adjacency_build_ms: f64,
+    /// Total `(pid_u, pid_v)` pairs materialized across all adjacencies.
+    pub adjacency_pairs: u64,
+}
 
 /// Batch-capable estimation engine over a prebuilt [`Summary`].
 pub struct EstimationEngine<'s> {
     summary: &'s Summary,
     masks: Arc<RelationMaskCache>,
+    adjacency: Arc<JoinIndexCache>,
+    join_cache: Option<Arc<JoinCache>>,
     threads: usize,
     local: Estimator<'s>,
 }
 
 impl<'s> EstimationEngine<'s> {
-    /// Creates an engine with one worker per available core.
+    /// Creates an engine with one worker per available core and the
+    /// default join-cache capacity.
     pub fn new(summary: &'s Summary) -> Self {
+        Self::with_parts(summary, 0, DEFAULT_JOIN_CACHE_CAPACITY)
+    }
+
+    fn with_parts(summary: &'s Summary, threads: usize, join_cache_capacity: usize) -> Self {
         let masks = Arc::new(RelationMaskCache::new());
+        let adjacency = Arc::new(JoinIndexCache::new());
+        let join_cache = (join_cache_capacity > 0)
+            .then(|| Arc::new(JoinCache::with_capacity(join_cache_capacity)));
         EstimationEngine {
             summary,
             masks: Arc::clone(&masks),
-            threads: 0,
-            local: Estimator::with_mask_cache(summary, masks),
+            adjacency: Arc::clone(&adjacency),
+            join_cache: join_cache.clone(),
+            threads,
+            local: Estimator::with_caches(summary, masks, adjacency, join_cache),
         }
     }
 
@@ -46,6 +82,12 @@ impl<'s> EstimationEngine<'s> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Sets how many join results the workload-level join cache retains;
+    /// `0` disables join caching entirely.
+    pub fn with_join_cache_capacity(self, capacity: usize) -> Self {
+        Self::with_parts(self.summary, self.threads, capacity)
     }
 
     /// The configured worker count (`0` = auto).
@@ -63,10 +105,41 @@ impl<'s> EstimationEngine<'s> {
         &self.masks
     }
 
-    /// A fresh estimator sharing this engine's mask cache — for callers
-    /// that want to drive queries themselves (e.g. one per thread).
+    /// The shared containment-adjacency index (grows as queries run).
+    pub fn adjacency_cache(&self) -> &Arc<JoinIndexCache> {
+        &self.adjacency
+    }
+
+    /// The workload-level join cache, if enabled.
+    pub fn join_cache(&self) -> Option<&Arc<JoinCache>> {
+        self.join_cache.as_ref()
+    }
+
+    /// Kernel counters accumulated over this engine's lifetime.
+    pub fn kernel_stats(&self) -> KernelStats {
+        let (hits, misses, rate) = match &self.join_cache {
+            Some(c) => (c.hits(), c.misses(), c.hit_rate()),
+            None => (0, 0, 0.0),
+        };
+        KernelStats {
+            join_cache_hits: hits,
+            join_cache_misses: misses,
+            join_cache_hit_rate: rate,
+            adjacency_builds: self.adjacency.builds(),
+            adjacency_build_ms: self.adjacency.build_ms(),
+            adjacency_pairs: self.adjacency.pair_total(),
+        }
+    }
+
+    /// A fresh estimator sharing this engine's caches — for callers that
+    /// want to drive queries themselves (e.g. one per thread).
     pub fn estimator(&self) -> Estimator<'s> {
-        Estimator::with_mask_cache(self.summary, Arc::clone(&self.masks))
+        Estimator::with_caches(
+            self.summary,
+            Arc::clone(&self.masks),
+            Arc::clone(&self.adjacency),
+            self.join_cache.clone(),
+        )
     }
 
     /// Estimates one query on the engine's resident estimator.
@@ -85,10 +158,19 @@ impl<'s> EstimationEngine<'s> {
     pub fn estimate_batch(&self, queries: &[Query]) -> Vec<f64> {
         let summary = self.summary;
         let masks = &self.masks;
+        let adjacency = &self.adjacency;
+        let join_cache = &self.join_cache;
         xpe_par::par_map_init(
             self.threads,
             queries.len(),
-            || Estimator::with_mask_cache(summary, Arc::clone(masks)),
+            || {
+                Estimator::with_caches(
+                    summary,
+                    Arc::clone(masks),
+                    Arc::clone(adjacency),
+                    join_cache.clone(),
+                )
+            },
             |est, i| est.estimate(&queries[i]),
         )
     }
@@ -173,5 +255,63 @@ mod tests {
         let s = summary();
         let engine = EstimationEngine::new(&s);
         assert!(engine.estimate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn join_cache_is_shared_across_batch_workers() {
+        let s = summary();
+        let engine = EstimationEngine::new(&s).with_threads(2);
+        // Repeated skeletons across the batch must hit the shared cache.
+        let queries: Vec<Query> = QUERIES
+            .iter()
+            .cycle()
+            .take(48)
+            .map(|q| parse_query(q).unwrap())
+            .collect();
+        engine.estimate_batch(&queries);
+        let stats = engine.kernel_stats();
+        assert!(stats.join_cache_hits > 0, "{stats:?}");
+        assert!(stats.join_cache_hit_rate > 0.0);
+        // The adjacency index was consulted and built per tag pair.
+        assert!(stats.adjacency_builds > 0, "{stats:?}");
+        assert_eq!(
+            stats.adjacency_builds,
+            engine.adjacency_cache().len() as u64
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_join_cache() {
+        let s = summary();
+        let engine = EstimationEngine::new(&s).with_join_cache_capacity(0);
+        assert!(engine.join_cache().is_none());
+        let queries: Vec<Query> = QUERIES.iter().map(|q| parse_query(q).unwrap()).collect();
+        let batch = engine.estimate_batch(&queries);
+        let stats = engine.kernel_stats();
+        assert_eq!(stats.join_cache_hits, 0);
+        assert_eq!(stats.join_cache_misses, 0);
+        // And the estimates match a default (cached) engine bitwise.
+        let cached = EstimationEngine::new(&s);
+        let with_cache = cached.estimate_batch(&queries);
+        assert_eq!(
+            batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            with_cache.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn cached_rerun_is_bitwise_stable() {
+        // A warm join cache serves results computed in the first run; the
+        // second run must still be bit-identical to the first.
+        let s = summary();
+        let engine = EstimationEngine::new(&s).with_threads(2);
+        let queries: Vec<Query> = QUERIES.iter().map(|q| parse_query(q).unwrap()).collect();
+        let first = engine.estimate_batch(&queries);
+        let second = engine.estimate_batch(&queries);
+        assert_eq!(
+            first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            second.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+        assert!(engine.kernel_stats().join_cache_hits > 0);
     }
 }

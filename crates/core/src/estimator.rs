@@ -18,9 +18,10 @@
 //! implementation reproduces the worked examples digit for digit.
 
 use std::cell::RefCell;
+use std::ops::Deref;
 use std::sync::Arc;
 
-use xpe_pathid::RelationMaskCache;
+use xpe_pathid::{JoinIndexCache, RelationMaskCache};
 use xpe_synopsis::{Region, Summary};
 use xpe_xpath::{
     constraint_chains, parse_query, Axis, OrderConstraint, OrderKind, Query, QueryNodeId,
@@ -30,18 +31,42 @@ use xpe_xpath::{
 use crate::editor::{self, subtree_of};
 use crate::invariant::{finalize_estimate, safe_div};
 use crate::join::{path_join_cached, JoinResult, JoinScratch};
+use crate::joincache::{skeleton_key, JoinCache};
 
 /// Selectivity estimator over a prebuilt [`Summary`].
 ///
-/// Every estimator memoizes the relation masks its joins compute (keyed by
-/// `(tag_u, tag_v, axis)` — pure functions of the summary's encoding
-/// table) and recycles the joins' per-node list allocations. Estimators
-/// built by [`EstimationEngine`](crate::EstimationEngine) share one mask
-/// cache, so a batch warms it for every worker.
+/// Every estimator memoizes the relation masks and containment
+/// adjacencies its joins compute (keyed by `(tag_u, tag_v, axis)` — pure
+/// functions of the summary's encoding table) and recycles the joins'
+/// per-node list allocations. Estimators built by
+/// [`EstimationEngine`](crate::EstimationEngine) share one mask cache, one
+/// adjacency index, and one workload-level [`JoinCache`], so a batch warms
+/// all three for every worker.
 pub struct Estimator<'s> {
     summary: &'s Summary,
     masks: Arc<RelationMaskCache>,
+    adjacency: Arc<JoinIndexCache>,
+    join_cache: Option<Arc<JoinCache>>,
     scratch: RefCell<JoinScratch>,
+}
+
+/// A join result that is either owned by this estimator or aliased out of
+/// the shared [`JoinCache`]. Derefs to [`JoinResult`] either way; only
+/// owned results give their allocations back to the scratch pool.
+enum Joined {
+    Owned(JoinResult),
+    Shared(Arc<JoinResult>),
+}
+
+impl Deref for Joined {
+    type Target = JoinResult;
+
+    fn deref(&self) -> &JoinResult {
+        match self {
+            Joined::Owned(j) => j,
+            Joined::Shared(j) => j,
+        }
+    }
 }
 
 /// One order-constraint chain with its owner, resolved to head nodes.
@@ -64,9 +89,25 @@ impl<'s> Estimator<'s> {
     /// Creates an estimator sharing an externally owned mask cache — how
     /// the batch engine gives every worker the same warm memo table.
     pub fn with_mask_cache(summary: &'s Summary, masks: Arc<RelationMaskCache>) -> Self {
+        Self::with_caches(summary, masks, Arc::new(JoinIndexCache::new()), None)
+    }
+
+    /// Creates an estimator sharing all three kernel caches: relation
+    /// masks, containment adjacency, and (optionally) the workload-level
+    /// join cache. None of them change any estimate — joins are pure
+    /// functions of `(summary, query skeleton)` — only how fast the
+    /// estimate is produced.
+    pub fn with_caches(
+        summary: &'s Summary,
+        masks: Arc<RelationMaskCache>,
+        adjacency: Arc<JoinIndexCache>,
+        join_cache: Option<Arc<JoinCache>>,
+    ) -> Self {
         Estimator {
             summary,
             masks,
+            adjacency,
+            join_cache,
             scratch: RefCell::new(JoinScratch::new()),
         }
     }
@@ -76,19 +117,44 @@ impl<'s> Estimator<'s> {
         &self.masks
     }
 
-    /// Runs the path join through this estimator's caches.
-    fn join(&self, query: &Query) -> JoinResult {
+    /// The shared containment-adjacency index.
+    pub fn adjacency_cache(&self) -> &Arc<JoinIndexCache> {
+        &self.adjacency
+    }
+
+    /// Runs the path join through this estimator's caches: the
+    /// workload-level join cache first (keyed by the query's structural
+    /// skeleton), then the indexed kernel on a miss, publishing the result
+    /// for every estimator sharing the cache.
+    fn join(&self, query: &Query) -> Joined {
+        let Some(cache) = &self.join_cache else {
+            return Joined::Owned(self.run_join(query));
+        };
+        let key = skeleton_key(query);
+        if let Some(hit) = cache.get(&key) {
+            return Joined::Shared(hit);
+        }
+        let result = Arc::new(self.run_join(query));
+        cache.insert(key, Arc::clone(&result));
+        Joined::Shared(result)
+    }
+
+    fn run_join(&self, query: &Query) -> JoinResult {
         path_join_cached(
             self.summary,
             query,
             Some(&self.masks),
+            Some(&self.adjacency),
             Some(&mut self.scratch.borrow_mut()),
         )
     }
 
-    /// Returns a finished join's allocations to the scratch pool.
-    fn recycle(&self, join: JoinResult) {
-        self.scratch.borrow_mut().recycle(join);
+    /// Returns an owned join's allocations to the scratch pool; shared
+    /// (cache-resident) joins just drop their reference.
+    fn recycle(&self, join: Joined) {
+        if let Joined::Owned(j) = join {
+            self.scratch.borrow_mut().recycle(j);
+        }
     }
 
     /// Estimates the selectivity of the target node of `query`.

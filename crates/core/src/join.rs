@@ -5,10 +5,36 @@
 //! tag-relationship test along some query edge are removed, iterating to a
 //! fixpoint. The surviving frequencies are the `f_Q(n)` values the
 //! estimation formulas consume.
+//!
+//! Two kernels produce that fixpoint:
+//!
+//! * [`path_join`] — the reference kernel: per-edge relation masks and an
+//!   iterate-all-edges-until-stable loop, exactly the paper's Figure 3.
+//!   No caches, no indexes; the proptests pin every optimization below
+//!   against it bit for bit.
+//! * [`path_join_cached`] — the indexed kernel the estimator runs: edges
+//!   resolve to precomputed [`ContainmentAdjacency`] rows (containment +
+//!   relation-mask test folded into one sorted pid list per endpoint), the
+//!   root-pinning check reads the summary's precomputed depth-0 pid sets,
+//!   and a **worklist fixpoint** re-examines only edges whose endpoint
+//!   lists shrank in the previous step instead of sweeping every edge per
+//!   pass.
+//!
+//! The fixpoint both kernels compute is the *greatest* set of surviving
+//! pids closed under every edge constraint. Each pruning step is monotone
+//! (it only removes pids, and removing pids can only enable more
+//! removals), so the fixpoint is unique regardless of the order edges are
+//! examined in — which is what makes the worklist schedule, the adjacency
+//! rows, and the naive scan interchangeable bit for bit: `retain` keeps
+//! histogram order, so identical surviving sets sum to identical `f64`s.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use xpe_pathid::{axis_compatible_masked, relation_mask, PathIdBits, Pid, RelationMaskCache};
+use xpe_pathid::{
+    axis_compatible_masked, relation_mask, ContainmentAdjacency, JoinIndexCache, PathIdBits, Pid,
+    RelationMaskCache,
+};
 use xpe_synopsis::Summary;
 use xpe_xpath::{Axis, Query, QueryNodeId};
 
@@ -25,10 +51,14 @@ pub struct JoinResult {
 /// workload that is thousands of short-lived allocations doing identical
 /// work. The scratch keeps the vectors alive between joins: callers pass
 /// it to [`path_join_cached`] and hand finished [`JoinResult`]s back via
-/// [`recycle`](Self::recycle), after which the capacity is reused.
+/// [`recycle`](Self::recycle), after which the capacity is reused. It also
+/// carries the indexed kernel's pid stamp array (an epoch-versioned
+/// membership mark, so the semi-join never clears between edges).
 #[derive(Debug, Default)]
 pub struct JoinScratch {
     pool: Vec<Vec<(Pid, f64)>>,
+    stamp: Vec<u32>,
+    epoch: u32,
 }
 
 impl JoinScratch {
@@ -53,6 +83,20 @@ impl JoinScratch {
     pub fn pooled(&self) -> usize {
         self.pool.len()
     }
+
+    /// A fresh stamp epoch over `n` pid slots; slots stamped in earlier
+    /// epochs read as unmarked without clearing the array.
+    fn next_epoch(&mut self, n: usize) -> u32 {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
 }
 
 impl JoinResult {
@@ -67,43 +111,17 @@ impl JoinResult {
     }
 }
 
-/// Runs the path join of `query` against `summary`.
-///
-/// Order constraints are ignored here — the join prunes on structural
-/// (child/descendant) edges only; §5's formulas layer order corrections on
-/// top of the joined frequencies.
+/// Runs the reference path join of `query` against `summary`: fresh
+/// relation masks per edge, nested-loop containment tests, all edges
+/// re-swept until a pass changes nothing. Kept unoptimized on purpose —
+/// it is the oracle the indexed kernel is property-tested against.
 pub fn path_join(summary: &Summary, query: &Query) -> JoinResult {
-    path_join_cached(summary, query, None, None)
-}
-
-/// [`path_join`] with optional memoized relation masks and pooled list
-/// allocations — the batch engine's fast path. Passing `None` for both is
-/// exactly `path_join`; the caches never change the result, only the work
-/// done to produce it.
-pub fn path_join_cached(
-    summary: &Summary,
-    query: &Query,
-    masks: Option<&RelationMaskCache>,
-    mut scratch: Option<&mut JoinScratch>,
-) -> JoinResult {
-    let mut lists: Vec<Vec<(Pid, f64)>> = query
-        .node_ids()
-        .map(|q| {
-            let mut list = match scratch.as_deref_mut() {
-                Some(s) => s.take(),
-                None => Vec::new(),
-            };
-            if let Some(h) = summary.phistogram(&query.node(q).tag) {
-                list.extend_from_slice(h.entries_slice());
-            }
-            list
-        })
-        .collect();
+    let mut lists = seed_lists(summary, query, None);
 
     // A `/`-rooted query pins its first step to the document root: keep
-    // only ids whose paths carry the step's tag at depth 0. (Elements other
-    // than the root can never sit at depth 0, so this only over-counts on
-    // self-recursive roots — an estimator-grade approximation.)
+    // only ids whose paths carry the step's tag at depth 0. The reference
+    // kernel re-derives this from the encoding table per pid (the shape
+    // the precomputed `Summary::root_pids` index is validated against).
     if query.root_axis() == Axis::Child {
         let root_node = query.root();
         if let Some(tag) = summary.tags.get(&query.node(root_node).tag) {
@@ -119,11 +137,173 @@ pub fn path_join_cached(
         }
     }
 
-    // Resolve each structural edge's tags and relation mask once — one
-    // mask serves every pid-pair test of the edge across every fixpoint
-    // pass. Unknown tags kill both endpoint lists outright (nothing in a
-    // shrinking fixpoint can resurrect them), so such edges drop out here.
-    let mut edges: Vec<(QueryNodeId, QueryNodeId, Arc<PathIdBits>)> = Vec::new();
+    let edges = resolve_edges(summary, query, &mut lists, None, None);
+
+    // Nested-loop containment tests per edge, iterated to a fixpoint. The
+    // loop terminates because every pass can only shrink the lists.
+    loop {
+        let mut changed = false;
+        for edge in &edges {
+            let (u_list, v_list) = two_lists(&mut lists, edge.u.index(), edge.v.index());
+            let mask = &edge.mask;
+            let compatible = |pu: Pid, pv: Pid| axis_compatible_masked(&summary.pids, pu, pv, mask);
+            let before_u = u_list.len();
+            u_list.retain(|&(pu, _)| v_list.iter().any(|&(pv, _)| compatible(pu, pv)));
+            let before_v = v_list.len();
+            v_list.retain(|&(pv, _)| u_list.iter().any(|&(pu, _)| compatible(pu, pv)));
+            changed |= u_list.len() != before_u || v_list.len() != before_v;
+        }
+        if !changed {
+            break;
+        }
+    }
+    JoinResult { lists }
+}
+
+/// The indexed join kernel — [`path_join`] with memoized relation masks,
+/// precomputed containment adjacency, pooled list allocations, the
+/// summary's depth-0 root-pid sets, and a worklist fixpoint. Passing
+/// `None` everywhere still runs the worklist schedule but resolves edges
+/// through fresh masks, like the reference kernel. None of the caches
+/// change the result, only the work done to produce it.
+pub fn path_join_cached(
+    summary: &Summary,
+    query: &Query,
+    masks: Option<&RelationMaskCache>,
+    adjacency: Option<&JoinIndexCache>,
+    mut scratch: Option<&mut JoinScratch>,
+) -> JoinResult {
+    let mut lists = seed_lists(summary, query, scratch.as_deref_mut());
+
+    // Root pinning via the summary's precomputed depth-0 pid sets — the
+    // same filter the reference kernel re-derives per pid per query.
+    if query.root_axis() == Axis::Child {
+        let root_node = query.root();
+        if let Some(tag) = summary.tags.get(&query.node(root_node).tag) {
+            lists[root_node.index()]
+                .retain(|&(pid, _)| summary.root_pids.pid_starts_with(tag, pid));
+        } else {
+            lists[root_node.index()].clear();
+        }
+    }
+
+    let edges = resolve_edges(summary, query, &mut lists, masks, adjacency);
+
+    // Worklist fixpoint: an edge is re-examined only when one of its
+    // endpoint lists shrank since it was last processed. Seeded with every
+    // edge; termination is bounded by total list length, since an edge is
+    // only re-enqueued after a strict shrink.
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); query.len()];
+    for (ei, e) in edges.iter().enumerate() {
+        incident[e.u.index()].push(ei);
+        incident[e.v.index()].push(ei);
+    }
+    let mut queued = vec![true; edges.len()];
+    let mut worklist: VecDeque<usize> = (0..edges.len()).collect();
+    let mut local = JoinScratch::new();
+    let stamps = match scratch {
+        Some(s) => s,
+        None => &mut local,
+    };
+    while let Some(ei) = worklist.pop_front() {
+        queued[ei] = false;
+        let edge = &edges[ei];
+        let (u_list, v_list) = two_lists(&mut lists, edge.u.index(), edge.v.index());
+        let before_u = u_list.len();
+        let before_v = v_list.len();
+        match &edge.adj {
+            Some(adj) => {
+                // Semi-join over adjacency rows: mark one side's surviving
+                // pids, keep the other side's pids whose row hits a mark.
+                let epoch = stamps.next_epoch(summary.pids.len());
+                for &(pv, _) in v_list.iter() {
+                    stamps.stamp[pv.index()] = epoch;
+                }
+                u_list.retain(|&(pu, _)| {
+                    adj.forward(pu)
+                        .iter()
+                        .any(|pv| stamps.stamp[pv.index()] == epoch)
+                });
+                let epoch = stamps.next_epoch(summary.pids.len());
+                for &(pu, _) in u_list.iter() {
+                    stamps.stamp[pu.index()] = epoch;
+                }
+                v_list.retain(|&(pv, _)| {
+                    adj.reverse(pv)
+                        .iter()
+                        .any(|pu| stamps.stamp[pu.index()] == epoch)
+                });
+            }
+            None => {
+                let mask = &edge.mask;
+                let compatible =
+                    |pu: Pid, pv: Pid| axis_compatible_masked(&summary.pids, pu, pv, mask);
+                u_list.retain(|&(pu, _)| v_list.iter().any(|&(pv, _)| compatible(pu, pv)));
+                v_list.retain(|&(pv, _)| u_list.iter().any(|&(pu, _)| compatible(pu, pv)));
+            }
+        }
+        // Re-enqueue neighbors of shrunk endpoints — including this edge:
+        // pruning v against the already-pruned u can strand pids in u.
+        for (node, before, list_len) in [
+            (edge.u, before_u, lists[edge.u.index()].len()),
+            (edge.v, before_v, lists[edge.v.index()].len()),
+        ] {
+            if list_len == before {
+                continue;
+            }
+            for &other in &incident[node.index()] {
+                if !queued[other] {
+                    queued[other] = true;
+                    worklist.push_back(other);
+                }
+            }
+        }
+    }
+    JoinResult { lists }
+}
+
+/// Seeds each query node's candidate list from its tag's p-histogram.
+fn seed_lists(
+    summary: &Summary,
+    query: &Query,
+    mut scratch: Option<&mut JoinScratch>,
+) -> Vec<Vec<(Pid, f64)>> {
+    query
+        .node_ids()
+        .map(|q| {
+            let mut list = match scratch.as_deref_mut() {
+                Some(s) => s.take(),
+                None => Vec::new(),
+            };
+            if let Some(h) = summary.phistogram(&query.node(q).tag) {
+                list.extend_from_slice(h.entries_slice());
+            }
+            list
+        })
+        .collect()
+}
+
+/// One structural query edge with its resolved pruning machinery.
+struct ResolvedEdge {
+    u: QueryNodeId,
+    v: QueryNodeId,
+    mask: Arc<PathIdBits>,
+    adj: Option<Arc<ContainmentAdjacency>>,
+}
+
+/// Resolves each structural edge's tags into a relation mask (and, when an
+/// index cache is supplied, a containment adjacency) once — one resolution
+/// serves every pid-pair test of the edge across every fixpoint step.
+/// Unknown tags kill both endpoint lists outright (nothing in a shrinking
+/// fixpoint can resurrect them), so such edges drop out here.
+fn resolve_edges(
+    summary: &Summary,
+    query: &Query,
+    lists: &mut [Vec<(Pid, f64)>],
+    masks: Option<&RelationMaskCache>,
+    adjacency: Option<&JoinIndexCache>,
+) -> Vec<ResolvedEdge> {
+    let mut edges = Vec::new();
     for u in query.node_ids() {
         for e in &query.node(u).edges {
             let v = e.to;
@@ -140,32 +320,15 @@ pub fn path_join_cached(
                 lists[v.index()].clear();
                 continue;
             };
+            let adj = adjacency.map(|cache| summary.adjacency(cache, tag_u, tag_v, child));
             let mask = match masks {
                 Some(cache) => cache.get(&summary.encoding, tag_u, tag_v, child),
                 None => Arc::new(relation_mask(&summary.encoding, tag_u, tag_v, child)),
             };
-            edges.push((u, v, mask));
+            edges.push(ResolvedEdge { u, v, mask, adj });
         }
     }
-
-    // Nested-loop containment tests per edge, iterated to a fixpoint. The
-    // loop terminates because every pass can only shrink the lists.
-    loop {
-        let mut changed = false;
-        for (u, v, mask) in &edges {
-            let (u_list, v_list) = two_lists(&mut lists, u.index(), v.index());
-            let compatible = |pu: Pid, pv: Pid| axis_compatible_masked(&summary.pids, pu, pv, mask);
-            let before_u = u_list.len();
-            u_list.retain(|&(pu, _)| v_list.iter().any(|&(pv, _)| compatible(pu, pv)));
-            let before_v = v_list.len();
-            v_list.retain(|&(pv, _)| u_list.iter().any(|&(pu, _)| compatible(pu, pv)));
-            changed |= u_list.len() != before_u || v_list.len() != before_v;
-        }
-        if !changed {
-            break;
-        }
-    }
-    JoinResult { lists }
+    edges
 }
 
 fn two_lists<T>(v: &mut [Vec<T>], a: usize, b: usize) -> (&mut Vec<T>, &mut Vec<T>) {
@@ -286,5 +449,60 @@ mod tests {
             pids_of(&s, &jp, &plain, "B"),
             pids_of(&s, &jo, &ordered, "B")
         );
+    }
+
+    /// Every cache/index combination of the fast kernel agrees with the
+    /// reference kernel bit for bit, list for list, on every test query.
+    #[test]
+    fn indexed_kernel_matches_reference_on_all_shapes() {
+        let s = summary();
+        let queries = [
+            "//A[/C/F]/B/D",
+            "//A//C",
+            "//C[/$E]/F",
+            "//A/Zebra",
+            "//D/A",
+            "/Root/E",
+            "/Root//E",
+            "//A[/C]/B",
+            "/Root/A/C/F",
+            "//Root[/A]//E",
+        ];
+        let masks = RelationMaskCache::new();
+        let index = JoinIndexCache::new();
+        let mut scratch = JoinScratch::new();
+        for q in queries {
+            let query = parse_query(q).unwrap();
+            let reference = path_join(&s, &query);
+            for (m, a, use_scratch) in [
+                (None, None, false),
+                (Some(&masks), None, false),
+                (Some(&masks), Some(&index), false),
+                (Some(&masks), Some(&index), true),
+                (None, Some(&index), true),
+            ] {
+                let fast = path_join_cached(&s, &query, m, a, use_scratch.then_some(&mut scratch));
+                assert_eq!(reference.lists.len(), fast.lists.len(), "{q}");
+                for (rl, fl) in reference.lists.iter().zip(&fast.lists) {
+                    let rb: Vec<(Pid, u64)> = rl.iter().map(|&(p, f)| (p, f.to_bits())).collect();
+                    let fb: Vec<(Pid, u64)> = fl.iter().map(|&(p, f)| (p, f.to_bits())).collect();
+                    assert_eq!(rb, fb, "{q} masks={} adj={}", m.is_some(), a.is_some());
+                }
+                if use_scratch {
+                    scratch.recycle(fast);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_epochs_survive_wraparound() {
+        let mut s = JoinScratch::new();
+        s.epoch = u32::MAX - 1;
+        let e1 = s.next_epoch(4);
+        s.stamp[0] = e1;
+        let e2 = s.next_epoch(4); // wraps: stamp cleared, epoch restarts at 1
+        assert_eq!(e2, 1);
+        assert_ne!(s.stamp[0], e2, "stale marks never alias a fresh epoch");
     }
 }

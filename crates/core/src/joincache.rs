@@ -1,0 +1,296 @@
+//! Workload-level join memoization.
+//!
+//! The join's output depends only on a query's *structural skeleton* —
+//! the tags and the child/descendant axes connecting them. The target
+//! node and order constraints play no role: the join prunes on structural
+//! edges alone (§5's formulas layer order corrections on top afterwards),
+//! and the target merely selects which surviving list downstream formulas
+//! read. Workloads repeat skeletons constantly — template-generated
+//! queries differ in their order predicates, and even a single estimate
+//! joins several derived queries (plain spine, trimmed spine) sharing
+//! structure — so memoizing `skeleton → JoinResult` across a batch
+//! removes whole join fixpoints, not just per-edge work.
+//!
+//! [`SkeletonKey`] is the canonical byte encoding of that skeleton;
+//! [`JoinCache`] is a sharded LRU keyed by it, shared by every worker of
+//! an [`EstimationEngine`](crate::EstimationEngine) batch. Values are
+//! `Arc<JoinResult>`: hits alias the cached lists instead of cloning them.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::join::JoinResult;
+use xpe_xpath::{Axis, Query};
+
+/// Canonical encoding of a query's structural skeleton: the root axis,
+/// then per node (in id order) its length-prefixed tag and its structural
+/// edges as `(axis, target-index)` pairs. Two queries get equal keys iff
+/// the join treats them identically — order constraints and the target
+/// node are deliberately excluded.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SkeletonKey(Vec<u8>);
+
+/// Builds the [`SkeletonKey`] of `query`.
+pub fn skeleton_key(query: &Query) -> SkeletonKey {
+    let mut buf = Vec::with_capacity(16 + 8 * query.len());
+    buf.push(match query.root_axis() {
+        Axis::Child => 0u8,
+        Axis::Descendant => 1,
+        _ => unreachable!("root axis is structural"),
+    });
+    for id in query.node_ids() {
+        let node = query.node(id);
+        buf.extend_from_slice(&(node.tag.len() as u32).to_le_bytes());
+        buf.extend_from_slice(node.tag.as_bytes());
+        buf.extend_from_slice(&(node.edges.len() as u32).to_le_bytes());
+        for e in &node.edges {
+            buf.push(match e.axis {
+                Axis::Child => 0u8,
+                Axis::Descendant => 1,
+                _ => unreachable!("structural edges only"),
+            });
+            buf.extend_from_slice(&(e.to.index() as u32).to_le_bytes());
+        }
+    }
+    SkeletonKey(buf)
+}
+
+/// One LRU shard: key → (tick of last use, value). Eviction scans for the
+/// minimum tick — shards stay small (capacity / 8), so a scan beats the
+/// bookkeeping of an intrusive list at these sizes.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<SkeletonKey, (u64, Arc<JoinResult>)>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+const SHARDS: usize = 8;
+
+/// A sharded LRU cache of join results keyed by query skeleton.
+///
+/// Thread-safe: shards are independently locked, so concurrent batch
+/// workers rarely contend. Hit/miss counters feed the benchmark report's
+/// `join_cache_hit_rate`.
+pub struct JoinCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard capacity; 0 disables the cache (every lookup misses and
+    /// nothing is stored).
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for JoinCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinCache")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl JoinCache {
+    /// A cache holding at most `capacity` join results (rounded up to a
+    /// multiple of the shard count; 0 disables caching entirely).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let shard_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(SHARDS)
+        };
+        JoinCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &SkeletonKey) -> &Mutex<Shard> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Looks up a skeleton, refreshing its recency on a hit.
+    pub fn get(&self, key: &SkeletonKey) -> Option<Arc<JoinResult>> {
+        if self.shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(key).lock().unwrap();
+        let tick = shard.touch();
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.0 = tick;
+                let value = entry.1.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a join result, evicting the least-recently-used entry of the
+    /// key's shard when it is full.
+    pub fn insert(&self, key: SkeletonKey, value: Arc<JoinResult>) {
+        if self.shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(&key).lock().unwrap();
+        let tick = shard.touch();
+        if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(key, (tick, value));
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum entries the cache will hold (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARDS
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (including all lookups when disabled).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_xpath::parse_query;
+
+    fn result_with_marker(marker: f64) -> Arc<JoinResult> {
+        Arc::new(JoinResult {
+            lists: vec![vec![(xpe_pathid::Pid::from_index(0), marker)]],
+        })
+    }
+
+    #[test]
+    fn order_constraints_and_target_do_not_change_the_key() {
+        let plain = parse_query("//A[/C]/B").unwrap();
+        let ordered = parse_query("//A[/C/folls::$B]").unwrap();
+        assert_eq!(skeleton_key(&plain), skeleton_key(&ordered));
+    }
+
+    #[test]
+    fn structure_changes_the_key() {
+        let base = parse_query("//A[/C]/B").unwrap();
+        for other in ["//A[/D]/B", "//A[//C]/B", "/A[/C]/B", "//A/C/B"] {
+            let q = parse_query(other).unwrap();
+            assert_ne!(skeleton_key(&base), skeleton_key(&q), "{other}");
+        }
+    }
+
+    #[test]
+    fn hit_only_for_structurally_identical_skeletons() {
+        let cache = JoinCache::with_capacity(64);
+        let plain = parse_query("//A[/C]/B").unwrap();
+        let ordered = parse_query("//A[/C/folls::$B]").unwrap();
+        let different = parse_query("//A[/D]/B").unwrap();
+
+        assert!(cache.get(&skeleton_key(&plain)).is_none());
+        cache.insert(skeleton_key(&plain), result_with_marker(7.0));
+        // Same structure, different order constraint: hit.
+        let hit = cache.get(&skeleton_key(&ordered)).expect("skeleton hit");
+        assert_eq!(hit.lists[0][0].1, 7.0);
+        // Different structure: miss.
+        assert!(cache.get(&skeleton_key(&different)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        // Single-entry shards make eviction order observable regardless of
+        // which shard each key hashes to.
+        let cache = JoinCache::with_capacity(SHARDS);
+        let a = skeleton_key(&parse_query("//A").unwrap());
+        let b = skeleton_key(&parse_query("//B").unwrap());
+        cache.insert(a.clone(), result_with_marker(1.0));
+        cache.insert(b.clone(), result_with_marker(2.0));
+        if std::ptr::eq(cache.shard(&a), cache.shard(&b)) {
+            // Same shard: `b` evicted `a`.
+            assert!(cache.get(&a).is_none());
+            assert!(cache.get(&b).is_some());
+        } else {
+            assert!(cache.get(&a).is_some());
+            assert!(cache.get(&b).is_some());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = JoinCache::with_capacity(0);
+        let key = skeleton_key(&parse_query("//A/B").unwrap());
+        cache.insert(key.clone(), result_with_marker(1.0));
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.capacity(), 0);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict_others() {
+        let cache = JoinCache::with_capacity(SHARDS);
+        let a = skeleton_key(&parse_query("//A").unwrap());
+        cache.insert(a.clone(), result_with_marker(1.0));
+        cache.insert(a.clone(), result_with_marker(3.0));
+        assert_eq!(cache.get(&a).unwrap().lists[0][0].1, 3.0);
+        assert_eq!(cache.len(), 1);
+    }
+}

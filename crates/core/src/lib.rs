@@ -41,15 +41,17 @@ mod engine;
 mod estimator;
 mod invariant;
 mod join;
+mod joincache;
 mod metrics;
 mod planner;
 
 pub use editor::{
     drop_subtrees, rebuild, spine_query, subtree_of, trim_below, without_constraints, Rebuilt,
 };
-pub use engine::EstimationEngine;
+pub use engine::{EstimationEngine, KernelStats, DEFAULT_JOIN_CACHE_CAPACITY};
 pub use estimator::Estimator;
 pub use invariant::{finalize_estimate, safe_div};
 pub use join::{path_join, path_join_cached, JoinResult, JoinScratch};
+pub use joincache::{skeleton_key, JoinCache, SkeletonKey};
 pub use metrics::{mean_relative_error, relative_error, ErrorStats};
 pub use planner::{PathCardinalities, PredicateRank};

@@ -392,7 +392,7 @@ where
 /// vocabulary the query generator draws from, so most queries are
 /// satisfiable (negative queries still arise from depth-mismatched
 /// branches and deliberately bogus tags).
-fn tag_paths(doc: &Document) -> Vec<Vec<String>> {
+pub fn tag_paths(doc: &Document) -> Vec<Vec<String>> {
     let labeling = Labeling::compute(doc);
     labeling
         .encoding
@@ -509,7 +509,7 @@ pub fn is_simple_chain(q: &Query) -> bool {
 /// plentiful), optional branches (possibly from a *different* path, which
 /// yields negatives), optional sibling/document order constraints in both
 /// directions, a random target, and occasional bogus tags.
-fn random_query(rng: &mut StdRng, paths: &[Vec<String>]) -> Query {
+pub fn random_query(rng: &mut StdRng, paths: &[Vec<String>]) -> Query {
     let p = &paths[rng.gen_range(0..paths.len())];
     let start = rng.gen_range(0..p.len());
     let want = rng.gen_range(1..=4usize);

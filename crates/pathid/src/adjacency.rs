@@ -1,0 +1,315 @@
+//! Precomputed containment adjacency — the indexed join kernel's lookup
+//! structure.
+//!
+//! The path join's inner loop asks, per query edge, "which surviving
+//! `(pid_u, pid_v)` pairs pass the §2 containment + tag-relationship
+//! test?". With a [`relation_mask`] that is still an `O(|list_u| ·
+//! |list_v|)` scan of multi-word bit operations, repeated on every
+//! fixpoint pass of every query. But the answer per pair depends only on
+//! `(pid_u, pid_v, tag_u, tag_v, axis-class)` and the summary — not on
+//! the query — so a whole workload keeps re-deriving the same relation.
+//!
+//! A [`ContainmentAdjacency`] materializes that relation once per
+//! `(tag_u, tag_v, child_axis)` key: for every interned pid it stores the
+//! sorted list of compatible partner pids, in both directions (CSR
+//! layout). The join's pruning step then becomes a semi-join — "does this
+//! pid's adjacency row intersect the surviving set on the other side?" —
+//! which touches only actually-compatible pairs instead of scanning all
+//! candidate pairs with 344-bit containment tests.
+//!
+//! [`JoinIndexCache`] memoizes adjacencies per summary exactly like
+//! [`RelationMaskCache`](crate::RelationMaskCache) memoizes masks, and
+//! additionally counts builds and build wall-time so the bench harness
+//! can report amortization (`adjacency_build_ms` in the perf snapshot).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use xpe_xml::TagId;
+
+use crate::encoding::EncodingTable;
+use crate::interner::{Pid, PidInterner};
+use crate::rel::relation_mask;
+
+/// The compatible-pair relation of one `(tag_u, tag_v, child_axis)` key,
+/// stored as forward (`pid_u → pid_v`) and reverse (`pid_v → pid_u`)
+/// compressed adjacency rows over the interner's dense pid indices.
+///
+/// `(pu, pv)` is in the relation iff
+/// [`axis_compatible_masked`](crate::axis_compatible_masked) holds for the
+/// key's relation mask — the index never changes which pairs pass, only
+/// how fast the question is answered.
+#[derive(Debug)]
+pub struct ContainmentAdjacency {
+    /// Forward CSR offsets: row of `pid_u` is `fwd[fwd_off[u]..fwd_off[u+1]]`.
+    fwd_off: Vec<u32>,
+    fwd: Vec<Pid>,
+    /// Reverse CSR offsets: row of `pid_v` is `rev[rev_off[v]..rev_off[v+1]]`.
+    rev_off: Vec<u32>,
+    rev: Vec<Pid>,
+}
+
+impl ContainmentAdjacency {
+    /// Materializes the relation for `(tag_u, tag_v, child_axis)` over
+    /// every interned pid. `O(#pids² × id words)` once, versus the same
+    /// cost *per query edge* for the scan it replaces.
+    pub fn build(
+        encoding: &EncodingTable,
+        pids: &PidInterner,
+        tag_u: TagId,
+        tag_v: TagId,
+        child_axis: bool,
+    ) -> Self {
+        let mask = relation_mask(encoding, tag_u, tag_v, child_axis);
+        let n = pids.len();
+
+        // A compatible pair needs `pv ∩ mask ≠ ∅`, and `pu ⊇ pv` then
+        // forces `pu ∩ mask ≠ ∅` as well — so only pids intersecting the
+        // mask can appear on *either* side. Screening both sides up front
+        // shrinks the quadratic fill loop from all interned pids to the
+        // (usually few) mask-relevant ones.
+        let ok: Vec<usize> = (0..n)
+            .filter(|&i| pids.bits(Pid::from_index(i)).intersects(&mask))
+            .collect();
+
+        let mut fwd_off = vec![0u32; n + 1];
+        let mut fwd = Vec::new();
+        let mut rev_len = vec![0u32; n];
+        for &u in &ok {
+            let bu = pids.bits(Pid::from_index(u));
+            for &v in &ok {
+                if bu.contains_or_equal(pids.bits(Pid::from_index(v))) {
+                    fwd.push(Pid::from_index(v));
+                    rev_len[v] += 1;
+                }
+            }
+            fwd_off[u + 1] = fwd.len() as u32;
+        }
+        // Rows of screened-out pids are empty: carry the running offset
+        // forward so every row slice stays well-defined.
+        for u in 0..n {
+            fwd_off[u + 1] = fwd_off[u + 1].max(fwd_off[u]);
+        }
+
+        // Transpose the forward rows into reverse rows; both stay sorted
+        // by dense pid index because `u` ascends in the fill loop.
+        let mut rev_off = Vec::with_capacity(n + 1);
+        rev_off.push(0u32);
+        for v in 0..n {
+            rev_off.push(rev_off[v] + rev_len[v]);
+        }
+        let mut cursor: Vec<u32> = rev_off[..n].to_vec();
+        let mut rev = vec![Pid::from_index(0); fwd.len()];
+        for u in 0..n {
+            for &pv in &fwd[fwd_off[u] as usize..fwd_off[u + 1] as usize] {
+                let slot = cursor[pv.index()];
+                rev[slot as usize] = Pid::from_index(u);
+                cursor[pv.index()] += 1;
+            }
+        }
+
+        ContainmentAdjacency {
+            fwd_off,
+            fwd,
+            rev_off,
+            rev,
+        }
+    }
+
+    /// Pids compatible as the descendant side of `pid_u`, ascending.
+    #[inline]
+    pub fn forward(&self, pid_u: Pid) -> &[Pid] {
+        let u = pid_u.index();
+        &self.fwd[self.fwd_off[u] as usize..self.fwd_off[u + 1] as usize]
+    }
+
+    /// Pids compatible as the ancestor side of `pid_v`, ascending.
+    #[inline]
+    pub fn reverse(&self, pid_v: Pid) -> &[Pid] {
+        let v = pid_v.index();
+        &self.rev[self.rev_off[v] as usize..self.rev_off[v + 1] as usize]
+    }
+
+    /// Number of compatible pairs in the relation.
+    pub fn pair_count(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Number of pids the index covers (the interner size at build time).
+    pub fn pid_count(&self) -> usize {
+        self.fwd_off.len() - 1
+    }
+}
+
+/// Thread-safe memo table over [`ContainmentAdjacency::build`], keyed like
+/// the relation-mask cache by `(tag_u, tag_v, child_axis)`.
+///
+/// Two threads racing on a cold key may both build the adjacency; the
+/// first insert wins and both observe the same `Arc`. Builds are pure
+/// functions of the key and the (immutable) summary structures, so this
+/// duplicates work but never diverges. Build count, cumulative build
+/// time, and pair totals are tracked for the perf snapshot.
+#[derive(Debug, Default)]
+pub struct JoinIndexCache {
+    map: RwLock<HashMap<(TagId, TagId, bool), Arc<ContainmentAdjacency>>>,
+    builds: AtomicU64,
+    build_nanos: AtomicU64,
+    pairs: AtomicU64,
+}
+
+impl JoinIndexCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The adjacency for `(tag_u, tag_v, child_axis)`, building and
+    /// memoizing it on first use.
+    pub fn get(
+        &self,
+        encoding: &EncodingTable,
+        pids: &PidInterner,
+        tag_u: TagId,
+        tag_v: TagId,
+        child_axis: bool,
+    ) -> Arc<ContainmentAdjacency> {
+        let key = (tag_u, tag_v, child_axis);
+        if let Some(a) = self.map.read().expect("adjacency cache poisoned").get(&key) {
+            return Arc::clone(a);
+        }
+        let t0 = Instant::now();
+        let built = Arc::new(ContainmentAdjacency::build(
+            encoding, pids, tag_u, tag_v, child_axis,
+        ));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        self.build_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.pairs
+            .fetch_add(built.pair_count() as u64, Ordering::Relaxed);
+        let mut w = self.map.write().expect("adjacency cache poisoned");
+        Arc::clone(w.entry(key).or_insert(built))
+    }
+
+    /// Number of memoized adjacencies.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("adjacency cache poisoned").len()
+    }
+
+    /// Whether no adjacency has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total builds performed (≥ [`len`](Self::len) under races).
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative wall-clock milliseconds spent building adjacencies.
+    pub fn build_ms(&self) -> f64 {
+        self.build_nanos.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Total compatible pairs across every build (duplicates included
+    /// under races).
+    pub fn pair_total(&self) -> u64 {
+        self.pairs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Labeling;
+    use crate::rel::axis_compatible_masked;
+
+    #[test]
+    fn adjacency_rows_match_masked_test() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        for &tu in &tags {
+            for &tv in &tags {
+                for child in [true, false] {
+                    let adj =
+                        ContainmentAdjacency::build(&lab.encoding, &lab.interner, tu, tv, child);
+                    let mask = relation_mask(&lab.encoding, tu, tv, child);
+                    let mut pairs = 0;
+                    for (pu, _) in lab.interner.iter() {
+                        let row = adj.forward(pu);
+                        for (pv, _) in lab.interner.iter() {
+                            let expected = axis_compatible_masked(&lab.interner, pu, pv, &mask);
+                            assert_eq!(
+                                row.contains(&pv),
+                                expected,
+                                "fwd {tu:?}/{tv:?} child={child} {pu:?}->{pv:?}"
+                            );
+                            assert_eq!(
+                                adj.reverse(pv).contains(&pu),
+                                expected,
+                                "rev {tu:?}/{tv:?} child={child} {pu:?}->{pv:?}"
+                            );
+                            pairs += usize::from(expected);
+                        }
+                    }
+                    assert_eq!(adj.pair_count(), pairs);
+                    assert_eq!(adj.pid_count(), lab.interner.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_rows_are_sorted() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        let adj =
+            ContainmentAdjacency::build(&lab.encoding, &lab.interner, tags[0], tags[1], false);
+        for (p, _) in lab.interner.iter() {
+            assert!(adj.forward(p).windows(2).all(|w| w[0] < w[1]));
+            assert!(adj.reverse(p).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_and_counts() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let cache = JoinIndexCache::new();
+        assert!(cache.is_empty());
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        let a1 = cache.get(&lab.encoding, &lab.interner, tags[0], tags[1], true);
+        let a2 = cache.get(&lab.encoding, &lab.interner, tags[0], tags[1], true);
+        assert!(Arc::ptr_eq(&a1, &a2), "second lookup hits the memo");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.pair_total(), a1.pair_count() as u64);
+        cache.get(&lab.encoding, &lab.interner, tags[1], tags[0], false);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.builds(), 2);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let cache = Arc::new(JoinIndexCache::new());
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for &tu in &tags {
+                        for &tv in &tags {
+                            let a = cache.get(&lab.encoding, &lab.interner, tu, tv, true);
+                            assert_eq!(a.pid_count(), lab.interner.len());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), tags.len() * tags.len());
+    }
+}

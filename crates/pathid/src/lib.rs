@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adjacency;
 mod bits;
 mod encoding;
 mod interner;
@@ -42,6 +43,7 @@ mod label;
 mod rel;
 mod tree;
 
+pub use adjacency::{ContainmentAdjacency, JoinIndexCache};
 pub use bits::PathIdBits;
 pub use encoding::{EncodingTable, PathEncoding};
 pub use interner::{Pid, PidInterner};

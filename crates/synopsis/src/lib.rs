@@ -40,6 +40,7 @@ mod ohistogram;
 mod order;
 mod persist;
 mod phistogram;
+mod rootpids;
 mod summary;
 
 pub use freq::PathIdFrequencyTable;
@@ -47,4 +48,5 @@ pub use ohistogram::{OBucket, OHistogram, OHistogramSet, Region};
 pub use order::{OrderCell, PathOrderTable};
 pub use persist::LoadError;
 pub use phistogram::{PBucket, PHistogram, PHistogramSet};
+pub use rootpids::RootPidIndex;
 pub use summary::{BuildTimings, Summary, SummaryConfig, SummarySizes};

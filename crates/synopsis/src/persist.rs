@@ -94,6 +94,9 @@ impl Summary {
         let ohist = OHistogramSet::decode(&mut r)?;
         r.expect_exhausted()?;
         let pid_tree = PathIdTree::new(&pids);
+        // Derived indexes (like the p-histograms' entry lists) are rebuilt
+        // from the decoded structures rather than persisted.
+        let root_pids = crate::rootpids::RootPidIndex::build(&encoding, &pids);
         Ok(Summary {
             tags,
             encoding,
@@ -103,6 +106,7 @@ impl Summary {
             ohist,
             config,
             timings: BuildTimings::default(),
+            root_pids,
         })
     }
 

@@ -1,0 +1,88 @@
+//! Depth-0 pid precomputation for root-pinned queries.
+//!
+//! A `/`-rooted query pins its first step to the document root, which the
+//! join implements by keeping only path ids that carry the step's tag at
+//! depth 0. Deciding that per pid means walking the pid's encoding bits
+//! and resolving each path — work that depends only on the summary, not
+//! the query, yet the join used to redo it for every `/`-rooted query in
+//! the workload (and for every pid of the root step's tag). This index
+//! answers it once per summary.
+
+use std::collections::{HashMap, HashSet};
+
+use xpe_pathid::{EncodingTable, Pid, PidInterner};
+use xpe_xml::TagId;
+
+/// For each tag occurring at depth 0 of some root-to-leaf path, the set of
+/// pids carrying at least one such path. In a single-rooted document only
+/// the root tag has an entry, covering every pid.
+#[derive(Clone, Debug, Default)]
+pub struct RootPidIndex {
+    by_tag: HashMap<TagId, HashSet<Pid>>,
+}
+
+impl RootPidIndex {
+    /// Builds the index by resolving every pid's encoding bits once.
+    pub fn build(encoding: &EncodingTable, pids: &PidInterner) -> Self {
+        let mut by_tag: HashMap<TagId, HashSet<Pid>> = HashMap::new();
+        for (pid, bits) in pids.iter() {
+            for enc in bits.ones() {
+                if let Some(&first) = encoding.path(enc).first() {
+                    by_tag.entry(first).or_default().insert(pid);
+                }
+            }
+        }
+        RootPidIndex { by_tag }
+    }
+
+    /// Whether `pid` has a root-to-leaf path starting with `tag` — the
+    /// precomputed form of
+    /// `pids.bits(pid).ones().any(|enc| encoding.path(enc).first() == Some(&tag))`.
+    #[inline]
+    pub fn pid_starts_with(&self, tag: TagId, pid: Pid) -> bool {
+        self.by_tag.get(&tag).is_some_and(|s| s.contains(&pid))
+    }
+
+    /// Number of tags occurring at depth 0 (1 for single-rooted documents).
+    pub fn tag_count(&self) -> usize {
+        self.by_tag.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_pathid::Labeling;
+
+    #[test]
+    fn matches_per_query_rederivation() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let idx = RootPidIndex::build(&lab.encoding, &lab.interner);
+        for (t, _) in doc.tags().iter() {
+            for (pid, bits) in lab.interner.iter() {
+                let rederived = bits
+                    .ones()
+                    .any(|enc| lab.encoding.path(enc).first() == Some(&t));
+                assert_eq!(idx.pid_starts_with(t, pid), rederived, "{t:?} {pid:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rooted_document_has_one_entry() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let idx = RootPidIndex::build(&lab.encoding, &lab.interner);
+        assert_eq!(idx.tag_count(), 1);
+        let root = doc.tags().get("Root").unwrap();
+        // Every pid carries some path, and all paths start at Root.
+        for (pid, _) in lab.interner.iter() {
+            assert!(idx.pid_starts_with(root, pid));
+        }
+        let d = doc.tags().get("D").unwrap();
+        for (pid, _) in lab.interner.iter() {
+            assert!(!idx.pid_starts_with(d, pid), "D never sits at depth 0");
+        }
+    }
+}

@@ -8,13 +8,16 @@
 
 use std::time::{Duration, Instant};
 
-use xpe_pathid::{EncodingTable, Labeling, PathIdTree, Pid, PidInterner};
+use xpe_pathid::{
+    ContainmentAdjacency, EncodingTable, JoinIndexCache, Labeling, PathIdTree, Pid, PidInterner,
+};
 use xpe_xml::{Document, TagId, TagInterner};
 
 use crate::freq::PathIdFrequencyTable;
 use crate::ohistogram::{OHistogramSet, Region};
 use crate::order::PathOrderTable;
 use crate::phistogram::{PHistogram, PHistogramSet};
+use crate::rootpids::RootPidIndex;
 
 /// Construction thresholds (paper: p-histogram variance 0–2 and o-histogram
 /// variance 0–4 "typically perform well").
@@ -120,6 +123,10 @@ pub struct Summary {
     pub config: SummaryConfig,
     /// Wall-clock phase costs.
     pub timings: BuildTimings,
+    /// Depth-0 pids per tag — derived from `encoding` + `pids` at
+    /// construction (and on decode), never persisted. Lets the join's
+    /// root-pinning check skip re-deriving path encodings per query.
+    pub root_pids: RootPidIndex,
 }
 
 impl Summary {
@@ -152,6 +159,7 @@ impl Summary {
         let build_o = t3.elapsed();
 
         let pid_tree = PathIdTree::new(&labeling.interner);
+        let root_pids = RootPidIndex::build(&labeling.encoding, &labeling.interner);
 
         Summary {
             tags: doc.tags().clone(),
@@ -167,6 +175,7 @@ impl Summary {
                 collect_order,
                 build_o,
             },
+            root_pids,
         }
     }
 
@@ -223,6 +232,7 @@ impl Summary {
                 collect_order: Duration::ZERO,
                 build_o,
             },
+            root_pids: RootPidIndex::build(&labeling.encoding, &labeling.interner),
         }
     }
 
@@ -245,6 +255,20 @@ impl Summary {
     /// Estimated `g(pid, y_tag)` from the order summaries.
     pub fn order_count(&self, x_tag: TagId, pid: Pid, y_tag: TagId, region: Region) -> f64 {
         self.ohist.count(x_tag, pid, y_tag, region)
+    }
+
+    /// The containment adjacency of `(tag_u, tag_v, child_axis)` over this
+    /// summary's encoding table and interned pids, built through (and
+    /// memoized in) `cache` — the per-summary hook the indexed join kernel
+    /// resolves edges against.
+    pub fn adjacency(
+        &self,
+        cache: &JoinIndexCache,
+        tag_u: TagId,
+        tag_v: TagId,
+        child_axis: bool,
+    ) -> std::sync::Arc<ContainmentAdjacency> {
+        cache.get(&self.encoding, &self.pids, tag_u, tag_v, child_axis)
     }
 
     /// Byte sizes of every component.
