@@ -6,11 +6,14 @@
 //!     [--p-variance V] [--o-variance V] [--jobs N]
 //! xpe estimate <summary.xps> <query>...        estimate selectivities
 //!     [--jobs N] [--join-cache N]
+//!     [--deadline-ms N] [--max-query-nodes N]
 //! xpe exact <file.xml> <query>...              exact selectivities
 //! xpe generate <ssplays|dblp|xmark> -o <out.xml>
 //!     [--scale S] [--seed N]                   synthesize a corpus
 //! xpe diff [--seed N] [--cases N] [--json FILE]
 //!                                              differential correctness run
+//! xpe faults [--seed N] [--cases N] [--json FILE]
+//!                                              fault-injection resilience run
 //! ```
 
 use std::process::ExitCode;
@@ -27,6 +30,7 @@ fn main() -> ExitCode {
         Some("exact") => cmd_exact(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("faults") => cmd_faults(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -45,17 +49,25 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   xpe stats <file.xml>
   xpe build <file.xml> -o <summary.xps> [--p-variance V] [--o-variance V] [--jobs N]
-  xpe estimate <summary.xps> [--jobs N] [--join-cache N] <query>...
+  xpe estimate <summary.xps> [--jobs N] [--join-cache N]
+      [--deadline-ms N] [--max-query-nodes N] <query>...
   xpe exact <file.xml> <query>...
   xpe generate <ssplays|dblp|xmark> -o <out.xml> [--scale S] [--seed N]
   xpe diff [--seed N] [--cases N] [--json FILE]
+  xpe faults [--seed N] [--cases N] [--json FILE]
 
 --jobs N parallelizes summary construction (build) or batches queries
 across N workers (estimate); 0 = one worker per core, default 1.
 --join-cache N caps the workload-level join cache at N memoized join
 results (estimate); 0 disables it. Caches never change estimates.
+--deadline-ms N gives each estimate a wall-clock budget; a query that
+exceeds it prints its tag-frequency upper bound flagged 'degraded'.
+--max-query-nodes N rejects queries with more steps before estimating.
 diff runs the estimator-vs-exact differential battery (seeds accept 0x
-hex); it exits nonzero when any invariant is violated.";
+hex); it exits nonzero when any invariant is violated.
+faults injects every fault class (corruption, panics, exhausted
+budgets, oversized queries; --cases trials per class) and exits
+nonzero if any escapes the typed-error-or-degraded contract.";
 
 fn load_doc(path: &str) -> Result<Document, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -178,10 +190,26 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         "join-cache",
         xpe::estimator::DEFAULT_JOIN_CACHE_CAPACITY,
     )?;
+    let deadline_ms: Option<u64> = match flag(&flags, "deadline-ms") {
+        Some(v) => Some(v.parse().map_err(|_| "bad value for --deadline-ms")?),
+        None => None,
+    };
+    let max_nodes: Option<usize> = match flag(&flags, "max-query-nodes") {
+        Some(v) => Some(v.parse().map_err(|_| "bad value for --max-query-nodes")?),
+        None => None,
+    };
     let summary = Syn::load_from_file(path).map_err(|e| format!("loading {path}: {e}"))?;
     let engine = EstimationEngine::new(&summary)
         .with_threads(jobs)
-        .with_join_cache_capacity(join_cache);
+        .with_join_cache_capacity(join_cache)
+        .with_budget(xpe::estimator::Budget {
+            deadline: deadline_ms.map(std::time::Duration::from_millis),
+            max_join_edges: None,
+        })
+        .with_limits(xpe::estimator::QueryLimits {
+            max_nodes,
+            ..xpe::estimator::QueryLimits::unlimited()
+        });
     // Parse everything up front: a malformed query aborts the whole
     // invocation with a diagnostic, before any estimate is printed, so
     // scripts never mistake partial output for a complete run.
@@ -189,8 +217,27 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         .iter()
         .map(|q| parse_query(q).map_err(|e| format!("query '{q}': {e}")))
         .collect::<Result<Vec<Query>, String>>()?;
-    for (q, v) in queries.iter().zip(engine.estimate_batch(&batch)) {
-        println!("{v:.2}\t{q}");
+    if deadline_ms.is_none() && max_nodes.is_none() {
+        for (q, v) in queries.iter().zip(engine.estimate_batch(&batch)) {
+            println!("{v:.2}\t{q}");
+        }
+        return Ok(());
+    }
+    // Resilient path: each line still leads with the numeric estimate;
+    // non-Ok outcomes append a status column, and the tally lands on
+    // stderr so scripts scraping stdout see only estimates.
+    for (q, out) in queries.iter().zip(engine.try_estimate_batch(&batch)) {
+        match &out.status {
+            xpe::estimator::EstimateStatus::Ok => println!("{:.2}\t{q}", out.value),
+            status => println!("{:.2}\t{q}\t[{status}]", out.value),
+        }
+    }
+    let stats = engine.kernel_stats();
+    if stats.outcomes_degraded > 0 || stats.outcomes_rejected > 0 {
+        eprintln!(
+            "outcomes: {} ok, {} degraded, {} rejected",
+            stats.outcomes_ok, stats.outcomes_degraded, stats.outcomes_rejected
+        );
     }
     Ok(())
 }
@@ -293,6 +340,52 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
         ));
     }
     println!("all invariants hold");
+    Ok(())
+}
+
+fn cmd_faults(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args)?;
+    if !pos.is_empty() {
+        return Err(format!(
+            "faults takes no positional arguments, got '{}'",
+            pos[0]
+        ));
+    }
+    let plan = xpe::diff::FaultPlan {
+        seed: parse_seed(&flags, "seed", 0)?,
+        cases_per_class: parse_flag(&flags, "cases", 25u64)?,
+        quiet: true,
+    };
+    let report = xpe::diff::run_faults(&plan);
+    if let Some(path) = flag(&flags, "json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    println!(
+        "faults: seed {:#x}, {} cases per class",
+        report.seed, report.cases_per_class
+    );
+    for class in xpe::diff::FaultClass::ALL {
+        let t = report.tally(class);
+        println!(
+            "  {:<16} {:>4} cases  {:>4} typed errors  {:>4} degraded  {:>4} rejected  {:>3} failures",
+            class.name(),
+            t.cases,
+            t.typed_errors,
+            t.degraded,
+            t.rejected,
+            t.failures
+        );
+    }
+    if !report.passed() {
+        for f in &report.failures {
+            eprintln!("failure[{}] case {}: {}", f.class.name(), f.case, f.detail);
+        }
+        return Err(format!(
+            "{} fault(s) escaped the typed-error-or-degraded contract",
+            report.total_failures()
+        ));
+    }
+    println!("all fault classes contained");
     Ok(())
 }
 

@@ -198,6 +198,121 @@ fn build_fails_cleanly_on_malformed_xml() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Path into the checked-in corrupted-summary corpus (regenerate with
+/// `cargo run --example gen_corrupt_corpus` at the workspace root).
+fn corpus(name: &str) -> String {
+    format!("{}/../../tests/corrupt/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Each checked-in corrupted summary must fail `xpe estimate` cleanly
+/// with a diagnostic distinct to its corruption class — no two classes
+/// may collapse into one vague message, or operators can't tell a
+/// flipped bit from a short copy.
+#[test]
+fn corrupt_corpus_fails_with_distinct_messages() {
+    // The pristine sibling proves the corpus base itself is loadable.
+    let o = xpe(&["estimate", &corpus("valid.xps"), "//book/chapter"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).starts_with("5.00\t"), "{}", stdout(&o));
+
+    for (file, needle) in [
+        ("bitflip.xps", "checksum mismatch"),
+        ("truncated.xps", "input truncated"),
+        ("version.xps", "unsupported summary version"),
+        ("trailing.xps", "trailing byte(s)"),
+    ] {
+        let o = xpe(&["estimate", &corpus(file), "//book/chapter"]);
+        assert_clean_failure(&o, needle);
+        assert!(stdout(&o).is_empty(), "no estimates for {file}");
+    }
+}
+
+#[test]
+fn estimate_honors_limits_and_deadline_flags() {
+    let dir = tmpdir("limits");
+    let xml = dir.join("d.xml");
+    let xps = dir.join("d.xps");
+    xpe(&[
+        "generate",
+        "ssplays",
+        "--scale",
+        "0.01",
+        "-o",
+        xml.to_str().unwrap(),
+    ]);
+    xpe(&["build", xml.to_str().unwrap(), "-o", xps.to_str().unwrap()]);
+
+    // An admitted query under a generous ceiling behaves exactly like the
+    // unconstrained path: numeric estimate first, no status column.
+    let o = xpe(&[
+        "estimate",
+        xps.to_str().unwrap(),
+        "//ACT/SCENE",
+        "--max-query-nodes",
+        "16",
+        "--deadline-ms",
+        "60000",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(!out.contains('['), "no status column when all ok: {out}");
+    let constrained: f64 = out.split_whitespace().next().unwrap().parse().unwrap();
+    let free = xpe(&["estimate", xps.to_str().unwrap(), "//ACT/SCENE"]);
+    let free_val: f64 = stdout(&free)
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(constrained, free_val, "flags must not perturb estimates");
+
+    // A two-step query over a one-node ceiling is rejected: the line
+    // still leads with the (upper-bound) number, then flags the status.
+    let o = xpe(&[
+        "estimate",
+        xps.to_str().unwrap(),
+        "//ACT/SCENE",
+        "--max-query-nodes",
+        "1",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("[rejected:"), "status column present: {out}");
+    let bound: f64 = out.split_whitespace().next().unwrap().parse().unwrap();
+    assert!(bound.is_finite() && bound >= 0.0);
+    assert!(stderr(&o).contains("1 rejected"), "{}", stderr(&o));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn faults_subcommand_reports_and_writes_json() {
+    let dir = tmpdir("faults");
+    let json = dir.join("faults.json");
+    let o = xpe(&[
+        "faults",
+        "--seed",
+        "0xC0FFEE",
+        "--cases",
+        "4",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("all fault classes contained"), "{out}");
+    assert!(
+        out.contains("bit-flip") && out.contains("worker-panic"),
+        "{out}"
+    );
+
+    let report = std::fs::read_to_string(&json).unwrap();
+    assert!(report.contains("\"tool\": \"xpe-faults\""));
+    assert!(report.contains("\"total_failures\": 0"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn diff_subcommand_reports_and_writes_json() {
     let dir = tmpdir("diff");

@@ -13,6 +13,7 @@
 //! functions of `(summary, query)`; the caches only change how fast they
 //! are produced.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use xpe_pathid::{JoinIndexCache, RelationMaskCache};
@@ -20,7 +21,9 @@ use xpe_synopsis::Summary;
 use xpe_xpath::{Query, QueryParseError};
 
 use crate::estimator::Estimator;
+use crate::invariant::finalize_estimate;
 use crate::joincache::JoinCache;
+use crate::serve::{Budget, DegradedReason, EstimateOutcome, EstimateStatus, QueryLimits};
 
 /// Default number of join results the engine's workload cache retains.
 /// Generously sized for template workloads (hundreds of distinct
@@ -42,6 +45,40 @@ pub struct KernelStats {
     pub adjacency_build_ms: f64,
     /// Total `(pid_u, pid_v)` pairs materialized across all adjacencies.
     pub adjacency_pairs: u64,
+    /// Fallible estimates that completed normally.
+    pub outcomes_ok: u64,
+    /// Fallible estimates served degraded (budget exhaustion or an
+    /// isolated worker panic).
+    pub outcomes_degraded: u64,
+    /// Fallible estimates refused by admission control.
+    pub outcomes_rejected: u64,
+    /// Worker panics caught and isolated by `try_estimate_batch` (a
+    /// subset of `outcomes_degraded`).
+    pub worker_panics: u64,
+}
+
+/// Lifetime outcome tallies of an engine's fallible entry points.
+#[derive(Debug, Default)]
+struct OutcomeCounters {
+    ok: AtomicU64,
+    degraded: AtomicU64,
+    rejected: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl OutcomeCounters {
+    fn tally(&self, outcome: &EstimateOutcome) {
+        match &outcome.status {
+            EstimateStatus::Ok => self.ok.fetch_add(1, Ordering::Relaxed),
+            EstimateStatus::Degraded { reason } => {
+                if matches!(reason, DegradedReason::Panicked { .. }) {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                }
+                self.degraded.fetch_add(1, Ordering::Relaxed)
+            }
+            EstimateStatus::Rejected { .. } => self.rejected.fetch_add(1, Ordering::Relaxed),
+        };
+    }
 }
 
 /// Batch-capable estimation engine over a prebuilt [`Summary`].
@@ -52,6 +89,9 @@ pub struct EstimationEngine<'s> {
     join_cache: Option<Arc<JoinCache>>,
     threads: usize,
     local: Estimator<'s>,
+    limits: QueryLimits,
+    budget: Budget,
+    outcomes: OutcomeCounters,
 }
 
 impl<'s> EstimationEngine<'s> {
@@ -73,6 +113,9 @@ impl<'s> EstimationEngine<'s> {
             join_cache: join_cache.clone(),
             threads,
             local: Estimator::with_caches(summary, masks, adjacency, join_cache),
+            limits: QueryLimits::unlimited(),
+            budget: Budget::unlimited(),
+            outcomes: OutcomeCounters::default(),
         }
     }
 
@@ -87,7 +130,34 @@ impl<'s> EstimationEngine<'s> {
     /// Sets how many join results the workload-level join cache retains;
     /// `0` disables join caching entirely.
     pub fn with_join_cache_capacity(self, capacity: usize) -> Self {
-        Self::with_parts(self.summary, self.threads, capacity)
+        let mut rebuilt = Self::with_parts(self.summary, self.threads, capacity);
+        rebuilt.limits = self.limits;
+        rebuilt.budget = self.budget;
+        rebuilt
+    }
+
+    /// Sets the admission policy the fallible entry points check; the
+    /// default admits everything.
+    pub fn with_limits(mut self, limits: QueryLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Sets the per-query resource budget the fallible entry points run
+    /// under; the default never exhausts.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The configured admission policy.
+    pub fn limits(&self) -> &QueryLimits {
+        &self.limits
+    }
+
+    /// The configured per-query budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// The configured worker count (`0` = auto).
@@ -128,6 +198,10 @@ impl<'s> EstimationEngine<'s> {
             adjacency_builds: self.adjacency.builds(),
             adjacency_build_ms: self.adjacency.build_ms(),
             adjacency_pairs: self.adjacency.pair_total(),
+            outcomes_ok: self.outcomes.ok.load(Ordering::Relaxed),
+            outcomes_degraded: self.outcomes.degraded.load(Ordering::Relaxed),
+            outcomes_rejected: self.outcomes.rejected.load(Ordering::Relaxed),
+            worker_panics: self.outcomes.panics.load(Ordering::Relaxed),
         }
     }
 
@@ -173,6 +247,78 @@ impl<'s> EstimationEngine<'s> {
             },
             |est, i| est.estimate(&queries[i]),
         )
+    }
+
+    /// Fallible estimation of one query under the engine's admission
+    /// policy and budget, tallied into [`kernel_stats`](Self::kernel_stats).
+    pub fn try_estimate(&self, query: &Query) -> EstimateOutcome {
+        let out = self.local.try_estimate(query, &self.limits, &self.budget);
+        self.outcomes.tally(&out);
+        out
+    }
+
+    /// Fallible batch estimation: every query runs under the engine's
+    /// admission policy and budget with **panic isolation** — a panicking
+    /// query yields a `Degraded(Panicked)` outcome in its slot while
+    /// every other query still completes. No panic escapes this method.
+    pub fn try_estimate_batch(&self, queries: &[Query]) -> Vec<EstimateOutcome> {
+        let limits = &self.limits;
+        let budget = &self.budget;
+        self.try_estimate_batch_with(queries, move |est, q| est.try_estimate(q, limits, budget))
+    }
+
+    /// The isolation seam under [`try_estimate_batch`](Self::try_estimate_batch):
+    /// fans `queries` across the configured workers, running `f` per query
+    /// on a per-worker [`Estimator`] inside a panic boundary. A caught
+    /// panic becomes a `Degraded(Panicked)` outcome whose value is the
+    /// query's `f(tag)` upper bound; the worker's estimator is discarded
+    /// and rebuilt, so later queries on that worker never see
+    /// mid-mutation state. The fault harness injects through `f` to prove
+    /// those properties hold.
+    pub fn try_estimate_batch_with<F>(&self, queries: &[Query], f: F) -> Vec<EstimateOutcome>
+    where
+        F: Fn(&Estimator<'s>, &Query) -> EstimateOutcome + Sync,
+    {
+        let summary = self.summary;
+        let masks = &self.masks;
+        let adjacency = &self.adjacency;
+        let join_cache = &self.join_cache;
+        let results = xpe_par::par_map_init_chunked_isolated(
+            self.threads,
+            queries.len(),
+            0,
+            || {
+                Estimator::with_caches(
+                    summary,
+                    Arc::clone(masks),
+                    Arc::clone(adjacency),
+                    join_cache.clone(),
+                )
+            },
+            |est, i| f(est, &queries[i]),
+        );
+        results
+            .into_iter()
+            .zip(queries)
+            .map(|(r, q)| {
+                let out = match r {
+                    Ok(out) => out,
+                    Err(panic) => {
+                        let cap = self.local.tag_cap(q);
+                        EstimateOutcome {
+                            value: finalize_estimate(cap, cap),
+                            status: EstimateStatus::Degraded {
+                                reason: DegradedReason::Panicked {
+                                    message: panic.message,
+                                },
+                            },
+                        }
+                    }
+                };
+                self.outcomes.tally(&out);
+                out
+            })
+            .collect()
     }
 }
 
@@ -297,6 +443,163 @@ mod tests {
             batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             with_cache.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         );
+    }
+
+    /// A quiet panic hook for isolation tests: the default hook prints a
+    /// backtrace banner per caught panic, which floods test output.
+    fn hushed<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn try_batch_matches_estimate_batch_when_unconstrained() {
+        let s = summary();
+        let queries: Vec<Query> = QUERIES
+            .iter()
+            .cycle()
+            .take(32)
+            .map(|q| parse_query(q).unwrap())
+            .collect();
+        for threads in [1, 4] {
+            let engine = EstimationEngine::new(&s).with_threads(threads);
+            let plain = engine.estimate_batch(&queries);
+            let outcomes = engine.try_estimate_batch(&queries);
+            assert_eq!(outcomes.len(), plain.len());
+            for (out, v) in outcomes.iter().zip(&plain) {
+                assert_eq!(out.status, crate::EstimateStatus::Ok);
+                assert_eq!(out.value.to_bits(), v.to_bits());
+            }
+            let stats = engine.kernel_stats();
+            assert_eq!(stats.outcomes_ok, queries.len() as u64);
+            assert_eq!(stats.outcomes_degraded, 0);
+            assert_eq!(stats.outcomes_rejected, 0);
+            assert_eq!(stats.worker_panics, 0);
+        }
+    }
+
+    #[test]
+    fn one_poisoned_query_degrades_only_its_slot() {
+        hushed(|| {
+            let s = summary();
+            let queries: Vec<Query> = QUERIES
+                .iter()
+                .cycle()
+                .take(24)
+                .map(|q| parse_query(q).unwrap())
+                .collect();
+            let poisoned = 7usize;
+            for threads in [1, 4] {
+                let engine = EstimationEngine::new(&s).with_threads(threads);
+                let serial = engine.estimate_batch(&queries);
+                let outcomes = engine.try_estimate_batch_with(&queries, |est, q| {
+                    if std::ptr::eq(q, &queries[poisoned]) {
+                        panic!("injected poison");
+                    }
+                    est.try_estimate(
+                        q,
+                        &crate::QueryLimits::unlimited(),
+                        &crate::Budget::unlimited(),
+                    )
+                });
+                assert_eq!(outcomes.len(), queries.len());
+                for (i, out) in outcomes.iter().enumerate() {
+                    if i == poisoned {
+                        match &out.status {
+                            crate::EstimateStatus::Degraded {
+                                reason: crate::DegradedReason::Panicked { message },
+                            } => assert!(message.contains("injected poison")),
+                            other => panic!("slot {i}: expected panic outcome, got {other:?}"),
+                        }
+                        // Even the poisoned slot reports the f(tag) bound.
+                        let cap = s.tag_total(&queries[i].node(queries[i].target()).tag);
+                        assert_eq!(out.value, cap);
+                    } else {
+                        assert_eq!(out.status, crate::EstimateStatus::Ok, "slot {i}");
+                        assert_eq!(
+                            out.value.to_bits(),
+                            serial[i].to_bits(),
+                            "slot {i} must be bit-identical despite the poisoned neighbor"
+                        );
+                    }
+                }
+                let stats = engine.kernel_stats();
+                assert_eq!(stats.worker_panics, 1, "threads={threads}");
+                assert_eq!(stats.outcomes_degraded, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn no_panic_escapes_try_estimate_batch() {
+        hushed(|| {
+            let s = summary();
+            let queries: Vec<Query> = QUERIES.iter().map(|q| parse_query(q).unwrap()).collect();
+            let engine = EstimationEngine::new(&s).with_threads(2);
+            let escaped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.try_estimate_batch_with(&queries, |_, _| panic!("every query dies"))
+            }));
+            let outcomes = escaped.expect("try_estimate_batch must never panic");
+            assert_eq!(outcomes.len(), queries.len());
+            assert!(outcomes.iter().all(|o| matches!(
+                o.status,
+                crate::EstimateStatus::Degraded {
+                    reason: crate::DegradedReason::Panicked { .. }
+                }
+            )));
+            assert_eq!(engine.kernel_stats().worker_panics, queries.len() as u64);
+        });
+    }
+
+    #[test]
+    fn engine_limits_and_budget_flow_through_batch() {
+        let s = summary();
+        let engine = EstimationEngine::new(&s)
+            .with_threads(2)
+            .with_limits(crate::QueryLimits {
+                max_nodes: Some(2),
+                ..crate::QueryLimits::unlimited()
+            });
+        let queries: Vec<Query> = ["//A//C", "//A[/C/F]/B/D"]
+            .iter()
+            .map(|q| parse_query(q).unwrap())
+            .collect();
+        let outcomes = engine.try_estimate_batch(&queries);
+        assert_eq!(outcomes[0].status, crate::EstimateStatus::Ok);
+        assert!(outcomes[1].status.is_rejected(), "{:?}", outcomes[1]);
+        let stats = engine.kernel_stats();
+        assert_eq!(stats.outcomes_ok, 1);
+        assert_eq!(stats.outcomes_rejected, 1);
+        // Rebuilding the cache keeps the policy.
+        let rebuilt = engine.with_join_cache_capacity(8);
+        assert_eq!(rebuilt.limits().max_nodes, Some(2));
+    }
+
+    #[test]
+    fn starved_budget_degrades_but_never_pollutes_the_join_cache() {
+        let s = summary();
+        let engine = EstimationEngine::new(&s)
+            .with_threads(1)
+            .with_budget(crate::Budget {
+                deadline: None,
+                max_join_edges: Some(0),
+            });
+        let query = parse_query("//A[/C/F]/B/D").unwrap();
+        let out = engine.try_estimate(&query);
+        assert_eq!(
+            out.status,
+            crate::EstimateStatus::Degraded {
+                reason: crate::DegradedReason::JoinBudget
+            }
+        );
+        // The truncated join was never published: a healthy engine
+        // sharing nothing still computes the exact value, and this
+        // engine's own infallible path is unaffected by the stale cache.
+        let exact = Estimator::new(&s).estimate(&query);
+        assert_eq!(engine.estimate(&query).to_bits(), exact.to_bits());
     }
 
     #[test]

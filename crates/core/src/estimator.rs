@@ -30,8 +30,12 @@ use xpe_xpath::{
 
 use crate::editor::{self, subtree_of};
 use crate::invariant::{finalize_estimate, safe_div};
-use crate::join::{path_join_cached, JoinResult, JoinScratch};
+use crate::join::{path_join_budgeted, JoinResult, JoinScratch};
 use crate::joincache::{skeleton_key, JoinCache};
+use crate::serve::{
+    Budget, BudgetExhausted, BudgetState, DegradedReason, EstimateOutcome, EstimateStatus,
+    QueryLimits,
+};
 
 /// Selectivity estimator over a prebuilt [`Summary`].
 ///
@@ -48,6 +52,9 @@ pub struct Estimator<'s> {
     adjacency: Arc<JoinIndexCache>,
     join_cache: Option<Arc<JoinCache>>,
     scratch: RefCell<JoinScratch>,
+    /// Live budget of the in-flight [`try_estimate`](Self::try_estimate)
+    /// call, threaded into every join it runs; `None` outside one.
+    budget: RefCell<Option<BudgetState>>,
 }
 
 /// A join result that is either owned by this estimator or aliased out of
@@ -109,6 +116,7 @@ impl<'s> Estimator<'s> {
             adjacency,
             join_cache,
             scratch: RefCell::new(JoinScratch::new()),
+            budget: RefCell::new(None),
         }
     }
 
@@ -134,19 +142,35 @@ impl<'s> Estimator<'s> {
         if let Some(hit) = cache.get(&key) {
             return Joined::Shared(hit);
         }
-        let result = Arc::new(self.run_join(query));
+        let result = self.run_join(query);
+        // A budget-truncated join is not the fixpoint — never publish it
+        // to the shared cache, where an unbudgeted estimator (or a later
+        // healthy query) would mistake it for the real result.
+        if self.budget_exhausted() {
+            return Joined::Owned(result);
+        }
+        let result = Arc::new(result);
         cache.insert(key, Arc::clone(&result));
         Joined::Shared(result)
     }
 
     fn run_join(&self, query: &Query) -> JoinResult {
-        path_join_cached(
+        let budget = self.budget.borrow();
+        path_join_budgeted(
             self.summary,
             query,
             Some(&self.masks),
             Some(&self.adjacency),
             Some(&mut self.scratch.borrow_mut()),
+            budget.as_ref(),
         )
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        self.budget
+            .borrow()
+            .as_ref()
+            .is_some_and(|b| b.exhausted().is_some())
     }
 
     /// Returns an owned join's allocations to the scratch pool; shared
@@ -172,6 +196,69 @@ impl<'s> Estimator<'s> {
     /// Parses and estimates a query string.
     pub fn estimate_str(&self, query: &str) -> Result<f64, QueryParseError> {
         Ok(self.estimate(&parse_query(query)?))
+    }
+
+    /// The `[0, f(tag)]` clamp ceiling for `query` — the target tag's
+    /// total frequency, which is both the upper bound every estimate is
+    /// clamped to and the value degraded/rejected outcomes report.
+    pub fn tag_cap(&self, query: &Query) -> f64 {
+        self.summary.tag_total(&query.node(query.target()).tag)
+    }
+
+    /// Fallible estimation under an admission policy and a resource
+    /// budget. Always returns a usable value inside `[0, f(tag)]`:
+    ///
+    /// * `Rejected` — `limits` refused the query before any kernel work;
+    ///   the value is the `f(tag)` upper bound.
+    /// * `Degraded` — the budget ran out mid-estimation (the join
+    ///   fixpoint stopped cooperatively); the value is the `f(tag)` upper
+    ///   bound, since a truncated join's frequencies are not trustworthy.
+    /// * `Ok` — the value is bit-identical to [`estimate`](Self::estimate).
+    pub fn try_estimate(
+        &self,
+        query: &Query,
+        limits: &QueryLimits,
+        budget: &Budget,
+    ) -> EstimateOutcome {
+        let cap = self.tag_cap(query);
+        let bound = finalize_estimate(cap, cap);
+        if let Err(reason) = limits.admit(self.summary, query) {
+            return EstimateOutcome {
+                value: bound,
+                status: EstimateStatus::Rejected { reason },
+            };
+        }
+        if !budget.is_bounded() {
+            return EstimateOutcome {
+                value: self.estimate(query),
+                status: EstimateStatus::Ok,
+            };
+        }
+        *self.budget.borrow_mut() = Some(BudgetState::start(budget));
+        let raw = self.estimate_depth(query, 0);
+        let state = self
+            .budget
+            .borrow_mut()
+            .take()
+            .expect("budget installed above");
+        match state.exhausted() {
+            None => EstimateOutcome {
+                value: finalize_estimate(raw, cap),
+                status: EstimateStatus::Ok,
+            },
+            Some(BudgetExhausted::Deadline) => EstimateOutcome {
+                value: bound,
+                status: EstimateStatus::Degraded {
+                    reason: DegradedReason::Deadline,
+                },
+            },
+            Some(BudgetExhausted::JoinEdges) => EstimateOutcome {
+                value: bound,
+                status: EstimateStatus::Degraded {
+                    reason: DegradedReason::JoinBudget,
+                },
+            },
+        }
     }
 
     fn estimate_depth(&self, query: &Query, depth: usize) -> f64 {

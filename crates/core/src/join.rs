@@ -38,6 +38,8 @@ use xpe_pathid::{
 use xpe_synopsis::Summary;
 use xpe_xpath::{Axis, Query, QueryNodeId};
 
+use crate::serve::BudgetState;
+
 /// Per-query-node surviving `(pid, estimated frequency)` lists.
 #[derive(Clone, Debug)]
 pub struct JoinResult {
@@ -171,7 +173,27 @@ pub fn path_join_cached(
     query: &Query,
     masks: Option<&RelationMaskCache>,
     adjacency: Option<&JoinIndexCache>,
+    scratch: Option<&mut JoinScratch>,
+) -> JoinResult {
+    path_join_budgeted(summary, query, masks, adjacency, scratch, None)
+}
+
+/// [`path_join_cached`] under a cooperative [`BudgetState`]: every
+/// worklist edge examination charges the budget, and on exhaustion the
+/// fixpoint stops where it stands. The interrupted result is a *superset*
+/// of the true fixpoint (pruning only ever removes pids), so its
+/// frequencies are over-estimates — callers treat any budget-exhausted
+/// join as degraded and fall back to the `f(tag)` bound rather than
+/// trusting the partial lists, and never publish it to a shared cache.
+/// With `budget` `None` (or an unexhaustible budget) this is exactly
+/// [`path_join_cached`].
+pub fn path_join_budgeted(
+    summary: &Summary,
+    query: &Query,
+    masks: Option<&RelationMaskCache>,
+    adjacency: Option<&JoinIndexCache>,
     mut scratch: Option<&mut JoinScratch>,
+    budget: Option<&BudgetState>,
 ) -> JoinResult {
     let mut lists = seed_lists(summary, query, scratch.as_deref_mut());
 
@@ -206,6 +228,11 @@ pub fn path_join_cached(
         None => &mut local,
     };
     while let Some(ei) = worklist.pop_front() {
+        if let Some(b) = budget {
+            if !b.charge_edge() {
+                break;
+            }
+        }
         queued[ei] = false;
         let edge = &edges[ei];
         let (u_list, v_list) = two_lists(&mut lists, edge.u.index(), edge.v.index());

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::join::JoinResult;
 use xpe_xpath::{Axis, Query};
@@ -129,7 +129,10 @@ impl JoinCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut shard = self.shard(key).lock().unwrap();
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let tick = shard.touch();
         match shard.map.get_mut(key) {
             Some(entry) => {
@@ -153,7 +156,10 @@ impl JoinCache {
         if self.shard_capacity == 0 {
             return;
         }
-        let mut shard = self.shard(&key).lock().unwrap();
+        let mut shard = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let tick = shard.touch();
         if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
             if let Some(oldest) = shard
@@ -172,7 +178,7 @@ impl JoinCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().map.len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
             .sum()
     }
 

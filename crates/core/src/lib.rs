@@ -44,6 +44,7 @@ mod join;
 mod joincache;
 mod metrics;
 mod planner;
+mod serve;
 
 pub use editor::{
     drop_subtrees, rebuild, spine_query, subtree_of, trim_below, without_constraints, Rebuilt,
@@ -51,7 +52,11 @@ pub use editor::{
 pub use engine::{EstimationEngine, KernelStats, DEFAULT_JOIN_CACHE_CAPACITY};
 pub use estimator::Estimator;
 pub use invariant::{finalize_estimate, safe_div};
-pub use join::{path_join, path_join_cached, JoinResult, JoinScratch};
+pub use join::{path_join, path_join_budgeted, path_join_cached, JoinResult, JoinScratch};
 pub use joincache::{skeleton_key, JoinCache, SkeletonKey};
 pub use metrics::{mean_relative_error, relative_error, ErrorStats};
 pub use planner::{PathCardinalities, PredicateRank};
+pub use serve::{
+    AdmissionError, Budget, BudgetExhausted, BudgetState, DegradedReason, EstimateOutcome,
+    EstimateStatus, QueryLimits,
+};

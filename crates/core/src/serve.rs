@@ -1,0 +1,608 @@
+//! The resilience layer of the serving path: admission control, per-query
+//! budgets, and the typed [`EstimateOutcome`] the fallible estimation
+//! entry points return.
+//!
+//! The ladder has four rungs, each catching what the previous one let
+//! through:
+//!
+//! 1. **Admission** ([`QueryLimits`]) — reject oversized queries *before*
+//!    any kernel work, with a typed [`AdmissionError`] naming the limit.
+//! 2. **Budget** ([`Budget`]/[`BudgetState`]) — a wall-clock deadline and
+//!    a fixpoint-edge cap polled cooperatively inside the worklist join
+//!    loop; exhaustion degrades the answer instead of hanging the worker.
+//! 3. **Isolation** (`xpe_par::par_map_init_chunked_isolated`) — a panic
+//!    in one batch item becomes a `Degraded` slot, not a dead batch.
+//! 4. **Integrity** (`xpe_synopsis::persist`) — corrupt summaries are
+//!    rejected at load with a checksum error, so the rungs above only
+//!    ever run against a trusted synopsis.
+//!
+//! Degraded answers stay inside the estimator's own invariant: the value
+//! reported is `finalize_estimate(f(tag), f(tag))` — the target tag's
+//! total frequency, the same `[0, f(tag)]` clamp every healthy estimate
+//! already passes through — so a degraded estimate is a *valid
+//! upper bound*, never garbage.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use xpe_synopsis::Summary;
+use xpe_xpath::Query;
+
+/// Admission-control policy checked before any estimation work runs.
+///
+/// Every field is an optional inclusive upper bound; `None` means
+/// unlimited. The default policy admits everything, preserving the
+/// infallible `estimate` behavior for callers that opt out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryLimits {
+    /// Maximum number of query nodes (steps).
+    pub max_nodes: Option<usize>,
+    /// Maximum number of predicate branches — edges beyond the first at
+    /// any node, summed over the query (a pure chain has zero).
+    pub max_branches: Option<usize>,
+    /// Maximum number of order constraints (`folls`/`pres`/`foll`/`prec`).
+    pub max_order_constraints: Option<usize>,
+    /// Maximum p-histogram fan-out of any single query node's tag — the
+    /// number of path ids its candidate list is seeded with, which bounds
+    /// the join's per-edge work quadratically.
+    pub max_pid_fanout: Option<usize>,
+}
+
+impl QueryLimits {
+    /// A policy that admits every query (all limits `None`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Checks `query` against this policy; `Err` names the violated
+    /// limit. Admission is a pure function of the query shape and the
+    /// summary's histogram sizes — it never runs the join.
+    pub fn admit(&self, summary: &Summary, query: &Query) -> Result<(), AdmissionError> {
+        if let Some(limit) = self.max_nodes {
+            let count = query.len();
+            if count > limit {
+                return Err(AdmissionError::TooManyNodes { count, limit });
+            }
+        }
+        if let Some(limit) = self.max_branches {
+            let count = query
+                .node_ids()
+                .map(|n| query.node(n).edges.len().saturating_sub(1))
+                .sum();
+            if count > limit {
+                return Err(AdmissionError::TooManyBranches { count, limit });
+            }
+        }
+        if let Some(limit) = self.max_order_constraints {
+            let count = query
+                .node_ids()
+                .map(|n| query.node(n).constraints.len())
+                .sum();
+            if count > limit {
+                return Err(AdmissionError::TooManyOrderConstraints { count, limit });
+            }
+        }
+        if let Some(limit) = self.max_pid_fanout {
+            for n in query.node_ids() {
+                let tag = &query.node(n).tag;
+                let fanout = summary
+                    .phistogram(tag)
+                    .map_or(0, |h| h.entries_slice().len());
+                if fanout > limit {
+                    return Err(AdmissionError::PidFanoutTooLarge {
+                        tag: tag.clone(),
+                        fanout,
+                        limit,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why admission control rejected a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The query has more steps than the policy allows.
+    TooManyNodes {
+        /// Steps in the query.
+        count: usize,
+        /// The policy's bound.
+        limit: usize,
+    },
+    /// The query has more predicate branches than the policy allows.
+    TooManyBranches {
+        /// Branch edges in the query.
+        count: usize,
+        /// The policy's bound.
+        limit: usize,
+    },
+    /// The query has more order constraints than the policy allows.
+    TooManyOrderConstraints {
+        /// Order constraints in the query.
+        count: usize,
+        /// The policy's bound.
+        limit: usize,
+    },
+    /// Some step's tag seeds more path ids than the policy allows.
+    PidFanoutTooLarge {
+        /// The offending step's tag.
+        tag: String,
+        /// Path ids the tag's p-histogram would seed.
+        fanout: usize,
+        /// The policy's bound.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::TooManyNodes { count, limit } => {
+                write!(f, "query has {count} nodes, limit is {limit}")
+            }
+            AdmissionError::TooManyBranches { count, limit } => {
+                write!(f, "query has {count} branches, limit is {limit}")
+            }
+            AdmissionError::TooManyOrderConstraints { count, limit } => {
+                write!(f, "query has {count} order constraints, limit is {limit}")
+            }
+            AdmissionError::PidFanoutTooLarge { tag, fanout, limit } => {
+                write!(
+                    f,
+                    "tag '{tag}' fans out to {fanout} path ids, limit is {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Per-query resource budget for one estimation.
+///
+/// `None` fields are unlimited; the default budget never exhausts, so
+/// budgeted and unbudgeted estimation are bit-identical on queries that
+/// stay within any finite budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline, measured from the moment estimation starts.
+    pub deadline: Option<Duration>,
+    /// Cap on worklist fixpoint edge examinations summed over every join
+    /// the estimate runs (branch and order formulas run several).
+    pub max_join_edges: Option<u64>,
+}
+
+impl Budget {
+    /// A budget that never exhausts.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Whether any bound is set at all — unbudgeted estimation skips the
+    /// per-edge accounting entirely.
+    pub fn is_bounded(&self) -> bool {
+        self.deadline.is_some() || self.max_join_edges.is_some()
+    }
+}
+
+/// Which budget dimension ran out first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetExhausted {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The fixpoint-edge cap was reached.
+    JoinEdges,
+}
+
+/// How often the wall clock is polled, in charged edges. Edge charges are
+/// nanosecond-cheap counter bumps; `Instant::now` is the expensive part,
+/// so it runs on the first charge (making a zero deadline trip
+/// deterministically on any query with at least one join edge) and every
+/// `POLL_INTERVAL` charges after that.
+const POLL_INTERVAL: u64 = 64;
+
+/// Live accounting for one query's [`Budget`] — created when a fallible
+/// estimate starts, charged cooperatively by the join kernel, inspected
+/// when the estimate finishes.
+///
+/// Interior mutability via [`Cell`] keeps the join kernel's signature
+/// `&BudgetState`: the state never crosses threads (one per estimator,
+/// estimators never cross threads), it is only ever *polled* from inside
+/// one query's call tree.
+#[derive(Debug)]
+pub struct BudgetState {
+    deadline: Option<Instant>,
+    max_join_edges: Option<u64>,
+    edges: Cell<u64>,
+    exhausted: Cell<Option<BudgetExhausted>>,
+}
+
+impl BudgetState {
+    /// Starts accounting for `budget`, anchoring the deadline at now.
+    pub fn start(budget: &Budget) -> Self {
+        BudgetState {
+            deadline: budget.deadline.map(|d| Instant::now() + d),
+            max_join_edges: budget.max_join_edges,
+            edges: Cell::new(0),
+            exhausted: Cell::new(None),
+        }
+    }
+
+    /// Charges one worklist edge examination. Returns `true` while the
+    /// budget holds; `false` once exhausted (and forever after — later
+    /// joins of the same query stop immediately).
+    pub fn charge_edge(&self) -> bool {
+        if self.exhausted.get().is_some() {
+            return false;
+        }
+        let n = self.edges.get() + 1;
+        self.edges.set(n);
+        if let Some(cap) = self.max_join_edges {
+            if n > cap {
+                self.exhausted.set(Some(BudgetExhausted::JoinEdges));
+                return false;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if (n == 1 || n % POLL_INTERVAL == 0) && Instant::now() >= deadline {
+                self.exhausted.set(Some(BudgetExhausted::Deadline));
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Edges charged so far.
+    pub fn edges_charged(&self) -> u64 {
+        self.edges.get()
+    }
+
+    /// Which dimension exhausted, if any.
+    pub fn exhausted(&self) -> Option<BudgetExhausted> {
+        self.exhausted.get()
+    }
+}
+
+/// Why an estimate was served degraded instead of computed exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// The wall-clock deadline passed mid-estimation.
+    Deadline,
+    /// The join-edge budget ran out mid-estimation.
+    JoinBudget,
+    /// The worker panicked on this query; the batch isolated it.
+    Panicked {
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+}
+
+impl fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradedReason::Deadline => write!(f, "deadline exceeded"),
+            DegradedReason::JoinBudget => write!(f, "join-edge budget exhausted"),
+            DegradedReason::Panicked { message } => write!(f, "worker panicked: {message}"),
+        }
+    }
+}
+
+/// The status half of an [`EstimateOutcome`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EstimateStatus {
+    /// The estimate completed normally; the value is exactly what the
+    /// infallible `estimate` would return.
+    Ok,
+    /// Estimation was cut short; the value is the tag-frequency upper
+    /// bound `f(tag)` — still inside the `[0, f(tag)]` invariant.
+    Degraded {
+        /// Why the estimate was cut short.
+        reason: DegradedReason,
+    },
+    /// Admission control refused to run the query; the value is the
+    /// tag-frequency upper bound `f(tag)`.
+    Rejected {
+        /// The violated limit.
+        reason: AdmissionError,
+    },
+}
+
+impl EstimateStatus {
+    /// Whether this is the `Ok` status.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EstimateStatus::Ok)
+    }
+
+    /// Whether this is a `Degraded` status.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, EstimateStatus::Degraded { .. })
+    }
+
+    /// Whether this is a `Rejected` status.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, EstimateStatus::Rejected { .. })
+    }
+}
+
+impl fmt::Display for EstimateStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateStatus::Ok => write!(f, "ok"),
+            EstimateStatus::Degraded { reason } => write!(f, "degraded: {reason}"),
+            EstimateStatus::Rejected { reason } => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+/// One fallible estimation's result: always a usable value (inside
+/// `[0, f(tag)]`) plus how trustworthy it is.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimateOutcome {
+    /// The selectivity estimate — exact for `Ok`, the `f(tag)` upper
+    /// bound for `Degraded`/`Rejected`.
+    pub value: f64,
+    /// How the value was produced.
+    pub status: EstimateStatus,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Estimator;
+    use xpe_synopsis::{Summary, SummaryConfig};
+    use xpe_xpath::parse_query;
+
+    fn summary() -> Summary {
+        Summary::build(
+            &xpe_xml::fixtures::paper_figure1(),
+            SummaryConfig::default(),
+        )
+    }
+
+    #[test]
+    fn unlimited_policy_admits_everything() {
+        let s = summary();
+        let q = parse_query("//A[/C[/F]/folls::$B/D]").unwrap();
+        assert_eq!(QueryLimits::unlimited().admit(&s, &q), Ok(()));
+    }
+
+    #[test]
+    fn node_limit_boundary() {
+        let s = summary();
+        let q = parse_query("//A/C/F").unwrap(); // 3 nodes
+        let at = QueryLimits {
+            max_nodes: Some(3),
+            ..QueryLimits::unlimited()
+        };
+        assert_eq!(at.admit(&s, &q), Ok(()));
+        let below = QueryLimits {
+            max_nodes: Some(2),
+            ..QueryLimits::unlimited()
+        };
+        assert_eq!(
+            below.admit(&s, &q),
+            Err(AdmissionError::TooManyNodes { count: 3, limit: 2 })
+        );
+    }
+
+    #[test]
+    fn branch_limit_counts_extra_edges() {
+        let s = summary();
+        // A has two outgoing edges (C-branch and B) → one branch.
+        let q = parse_query("//A[/C/F]/B/D").unwrap();
+        let none = QueryLimits {
+            max_branches: Some(0),
+            ..QueryLimits::unlimited()
+        };
+        assert_eq!(
+            none.admit(&s, &q),
+            Err(AdmissionError::TooManyBranches { count: 1, limit: 0 })
+        );
+        let one = QueryLimits {
+            max_branches: Some(1),
+            ..QueryLimits::unlimited()
+        };
+        assert_eq!(one.admit(&s, &q), Ok(()));
+        // A pure chain has zero branches even under the zero limit.
+        let chain = parse_query("//A/C/F").unwrap();
+        assert_eq!(none.admit(&s, &chain), Ok(()));
+    }
+
+    #[test]
+    fn order_constraint_limit() {
+        let s = summary();
+        let q = parse_query("//A[/C[/F]/folls::$B/D]").unwrap();
+        let zero = QueryLimits {
+            max_order_constraints: Some(0),
+            ..QueryLimits::unlimited()
+        };
+        assert_eq!(
+            zero.admit(&s, &q),
+            Err(AdmissionError::TooManyOrderConstraints { count: 1, limit: 0 })
+        );
+        let one = QueryLimits {
+            max_order_constraints: Some(1),
+            ..QueryLimits::unlimited()
+        };
+        assert_eq!(one.admit(&s, &q), Ok(()));
+    }
+
+    #[test]
+    fn pid_fanout_limit_names_the_tag() {
+        let s = summary();
+        let q = parse_query("//A//C").unwrap();
+        let a_fanout = s.phistogram("A").unwrap().entries_slice().len();
+        assert!(a_fanout >= 1);
+        let tight = QueryLimits {
+            max_pid_fanout: Some(0),
+            ..QueryLimits::unlimited()
+        };
+        match tight.admit(&s, &q) {
+            Err(AdmissionError::PidFanoutTooLarge { tag, fanout, limit }) => {
+                assert_eq!(tag, "A");
+                assert_eq!(fanout, a_fanout);
+                assert_eq!(limit, 0);
+            }
+            other => panic!("expected fan-out rejection, got {other:?}"),
+        }
+        // Unknown tags seed zero pids and always pass the fan-out gate.
+        let unknown = parse_query("//Zebra").unwrap();
+        assert_eq!(tight.admit(&s, &unknown), Ok(()));
+    }
+
+    #[test]
+    fn budget_state_edge_cap_is_exact() {
+        let b = Budget {
+            deadline: None,
+            max_join_edges: Some(3),
+        };
+        let state = BudgetState::start(&b);
+        assert!(state.charge_edge());
+        assert!(state.charge_edge());
+        assert!(state.charge_edge());
+        assert_eq!(state.exhausted(), None);
+        assert!(!state.charge_edge());
+        assert_eq!(state.exhausted(), Some(BudgetExhausted::JoinEdges));
+        // Exhaustion is sticky.
+        assert!(!state.charge_edge());
+        assert_eq!(state.edges_charged(), 4);
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_first_charge() {
+        let b = Budget {
+            deadline: Some(Duration::ZERO),
+            max_join_edges: None,
+        };
+        let state = BudgetState::start(&b);
+        assert!(!state.charge_edge());
+        assert_eq!(state.exhausted(), Some(BudgetExhausted::Deadline));
+    }
+
+    #[test]
+    fn generous_budget_never_exhausts_here() {
+        let b = Budget {
+            deadline: Some(Duration::from_secs(3600)),
+            max_join_edges: Some(u64::MAX),
+        };
+        let state = BudgetState::start(&b);
+        for _ in 0..10_000 {
+            assert!(state.charge_edge());
+        }
+        assert_eq!(state.exhausted(), None);
+    }
+
+    #[test]
+    fn unbounded_budget_reports_unbounded() {
+        assert!(!Budget::unlimited().is_bounded());
+        assert!(Budget {
+            deadline: Some(Duration::from_millis(5)),
+            max_join_edges: None
+        }
+        .is_bounded());
+    }
+
+    #[test]
+    fn try_estimate_ok_is_bit_identical_to_estimate() {
+        let s = summary();
+        let est = Estimator::new(&s);
+        let generous = Budget {
+            deadline: Some(Duration::from_secs(3600)),
+            max_join_edges: Some(u64::MAX),
+        };
+        for q in [
+            "//A//C",
+            "//A[/C/F]/B/D",
+            "//C[/$E]/F",
+            "//A[/C[/F]/folls::$B/D]",
+            "//A[/C/foll::$B]",
+        ] {
+            let query = parse_query(q).unwrap();
+            let plain = est.estimate(&query);
+            for budget in [Budget::unlimited(), generous] {
+                let out = est.try_estimate(&query, &QueryLimits::unlimited(), &budget);
+                assert_eq!(out.status, EstimateStatus::Ok, "{q}");
+                assert_eq!(out.value.to_bits(), plain.to_bits(), "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_outcome_reports_tag_bound() {
+        let s = summary();
+        let est = Estimator::new(&s);
+        let query = parse_query("//A//C").unwrap();
+        let limits = QueryLimits {
+            max_nodes: Some(1),
+            ..QueryLimits::unlimited()
+        };
+        let out = est.try_estimate(&query, &limits, &Budget::unlimited());
+        assert!(out.status.is_rejected());
+        // The value is f(C) — the same cap every healthy estimate obeys.
+        assert_eq!(out.value, s.tag_total("C"));
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_tag_bound() {
+        let s = summary();
+        let est = Estimator::new(&s);
+        let query = parse_query("//A[/C/F]/B/D").unwrap();
+        let starved = Budget {
+            deadline: None,
+            max_join_edges: Some(0),
+        };
+        let out = est.try_estimate(&query, &QueryLimits::unlimited(), &starved);
+        assert_eq!(
+            out.status,
+            EstimateStatus::Degraded {
+                reason: DegradedReason::JoinBudget
+            }
+        );
+        let cap = s.tag_total("D");
+        assert!(out.value >= 0.0 && out.value <= cap);
+        assert_eq!(out.value, cap);
+        // The estimator fully recovers: the next unbudgeted call is exact.
+        let healthy = est.try_estimate(&query, &QueryLimits::unlimited(), &Budget::unlimited());
+        assert_eq!(healthy.status, EstimateStatus::Ok);
+        assert_eq!(healthy.value.to_bits(), est.estimate(&query).to_bits());
+    }
+
+    #[test]
+    fn zero_deadline_degrades_with_deadline_reason() {
+        let s = summary();
+        let est = Estimator::new(&s);
+        let query = parse_query("//A//C").unwrap();
+        let b = Budget {
+            deadline: Some(Duration::ZERO),
+            max_join_edges: None,
+        };
+        let out = est.try_estimate(&query, &QueryLimits::unlimited(), &b);
+        assert_eq!(
+            out.status,
+            EstimateStatus::Degraded {
+                reason: DegradedReason::Deadline
+            }
+        );
+        assert_eq!(out.value, s.tag_total("C"));
+    }
+
+    #[test]
+    fn status_displays_are_distinct() {
+        let ok = EstimateStatus::Ok.to_string();
+        let deg = EstimateStatus::Degraded {
+            reason: DegradedReason::Deadline,
+        }
+        .to_string();
+        let rej = EstimateStatus::Rejected {
+            reason: AdmissionError::TooManyNodes { count: 9, limit: 4 },
+        }
+        .to_string();
+        assert_eq!(ok, "ok");
+        assert!(deg.contains("deadline"));
+        assert!(rej.contains("9 nodes"));
+        assert_ne!(deg, rej);
+    }
+}

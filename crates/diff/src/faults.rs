@@ -1,0 +1,647 @@
+//! Fault-injection harness for the resilience layer.
+//!
+//! [`run_diff`](crate::run_diff) proves the estimator is *numerically*
+//! trustworthy; this module proves it is *operationally* trustworthy: for
+//! every fault class the serving layer claims to survive, seeded random
+//! trials inject the fault and assert the contract — a **typed error** or
+//! a **`Degraded`/`Rejected` outcome bounded by `[0, f(tag)]`** — never a
+//! panic, never a hang, never silently-accepted corruption.
+//!
+//! | class | injection | required behavior |
+//! |---|---|---|
+//! | `bit-flip` | one bit of a persisted summary image flipped | `from_bytes` returns a typed [`LoadError`] |
+//! | `truncation` | image cut to a strict prefix | typed `LoadError` |
+//! | `version-flip` | version field rewritten to an unknown value | typed `LoadError` naming the version |
+//! | `trailing-garbage` | random bytes appended | typed `LoadError` with the byte count |
+//! | `worker-panic` | one batch query's estimate closure panics | that slot degrades, every other slot is bit-identical to serial |
+//! | `deadline` | zero wall-clock budget | `Ok` or `Degraded(Deadline)`, value in `[0, f(tag)]` |
+//! | `join-budget` | zero join-edge budget | `Ok` or `Degraded(JoinBudget)`, value in `[0, f(tag)]` |
+//! | `oversized-query` | admission limit below the query size | `Rejected` exactly when the limit is exceeded |
+//!
+//! Every trial also runs under `catch_unwind`, so an escaped panic in any
+//! layer is itself recorded as a harness failure. The report renders to
+//! JSON for CI's `fault-smoke` artifact, mirroring the diff report.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xpe_core::{Budget, DegradedReason, EstimateStatus, EstimationEngine, Estimator, QueryLimits};
+use xpe_datagen::{random_document, RandomDocConfig};
+use xpe_synopsis::{Summary, SummaryConfig};
+use xpe_xpath::Query;
+
+use crate::{json_escape, random_query, tag_paths};
+
+/// The injected fault classes, in report order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// One bit of a persisted summary image is flipped.
+    BitFlip,
+    /// The image is truncated to a strict prefix.
+    Truncation,
+    /// The image's version field is rewritten to an unknown version.
+    VersionFlip,
+    /// Random bytes are appended after a well-formed image.
+    TrailingGarbage,
+    /// One query's estimate closure panics inside a batch.
+    WorkerPanic,
+    /// Estimation runs under an already-expired wall-clock deadline.
+    Deadline,
+    /// Estimation runs under a zero join-edge budget.
+    JoinBudget,
+    /// Admission limits are set below the query's size.
+    OversizedQuery,
+}
+
+impl FaultClass {
+    /// Every fault class, in report order.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::BitFlip,
+        FaultClass::Truncation,
+        FaultClass::VersionFlip,
+        FaultClass::TrailingGarbage,
+        FaultClass::WorkerPanic,
+        FaultClass::Deadline,
+        FaultClass::JoinBudget,
+        FaultClass::OversizedQuery,
+    ];
+
+    /// Stable machine-readable name (used in the JSON report).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::BitFlip => "bit-flip",
+            FaultClass::Truncation => "truncation",
+            FaultClass::VersionFlip => "version-flip",
+            FaultClass::TrailingGarbage => "trailing-garbage",
+            FaultClass::WorkerPanic => "worker-panic",
+            FaultClass::Deadline => "deadline",
+            FaultClass::JoinBudget => "join-budget",
+            FaultClass::OversizedQuery => "oversized-query",
+        }
+    }
+
+    fn idx(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("in ALL")
+    }
+}
+
+/// Harness parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Master seed; equal plans replay identical runs.
+    pub seed: u64,
+    /// Trials per fault class.
+    pub cases_per_class: u64,
+    /// Suppress the default panic hook while injecting panics, so the
+    /// expected caught panics do not flood stderr with backtrace banners.
+    pub quiet: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            cases_per_class: 25,
+            quiet: true,
+        }
+    }
+}
+
+/// Per-class trial counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultTally {
+    /// Trials run.
+    pub cases: u64,
+    /// Trials where the fault surfaced as a typed load/decode error.
+    pub typed_errors: u64,
+    /// Trials that produced `Degraded` outcomes (all value-bounded).
+    pub degraded: u64,
+    /// Trials that produced `Rejected` outcomes.
+    pub rejected: u64,
+    /// Trials where the contract was broken (panic escaped, corruption
+    /// accepted, value out of bounds, wrong status).
+    pub failures: u64,
+}
+
+/// One broken-contract trial, with enough context to replay it.
+#[derive(Clone, Debug)]
+pub struct FaultFailure {
+    /// The fault class under injection.
+    pub class: FaultClass,
+    /// Trial index within the class (0-based).
+    pub case: u64,
+    /// What went wrong.
+    pub detail: String,
+}
+
+/// Outcome of a fault-injection run.
+#[derive(Clone, Debug)]
+pub struct FaultReport {
+    /// Seed the run used.
+    pub seed: u64,
+    /// Trials per class the run executed.
+    pub cases_per_class: u64,
+    /// Counters, indexed as [`FaultClass::ALL`].
+    pub tallies: [FaultTally; 8],
+    /// Broken-contract trials (the run passes iff this is empty).
+    pub failures: Vec<FaultFailure>,
+}
+
+impl FaultReport {
+    /// Counters for one class.
+    pub fn tally(&self, class: FaultClass) -> FaultTally {
+        self.tallies[class.idx()]
+    }
+
+    /// Total broken-contract trials across every class.
+    pub fn total_failures(&self) -> u64 {
+        self.tallies.iter().map(|t| t.failures).sum()
+    }
+
+    /// Whether every trial honored the resilience contract.
+    pub fn passed(&self) -> bool {
+        self.total_failures() == 0
+    }
+
+    /// Machine-readable JSON rendering for the CI artifact (hand-rolled,
+    /// like [`DiffReport::to_json`](crate::DiffReport::to_json)).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str("  \"tool\": \"xpe-faults\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!(
+            "  \"cases_per_class\": {},\n",
+            self.cases_per_class
+        ));
+        s.push_str(&format!(
+            "  \"total_failures\": {},\n",
+            self.total_failures()
+        ));
+        s.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        s.push_str("  \"classes\": [\n");
+        for (i, class) in FaultClass::ALL.iter().enumerate() {
+            let t = self.tally(*class);
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"cases\": {}, \"typed_errors\": {}, \
+                 \"degraded\": {}, \"rejected\": {}, \"failures\": {}}}{}\n",
+                class.name(),
+                t.cases,
+                t.typed_errors,
+                t.degraded,
+                t.rejected,
+                t.failures,
+                if i + 1 < FaultClass::ALL.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"failures\": [\n");
+        for (i, f) in self.failures.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"class\": \"{}\", \"case\": {}, \"detail\": \"{}\"}}{}\n",
+                f.class.name(),
+                f.case,
+                json_escape(&f.detail),
+                if i + 1 < self.failures.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// At most this many failures keep their full record; tallies count all.
+const MAX_RECORDED: usize = 50;
+
+/// One trial's world: a random document's summary and query workload.
+struct Trial {
+    summary: Summary,
+    queries: Vec<Query>,
+}
+
+fn make_trial(rng: &mut StdRng, queries: usize) -> Trial {
+    // Regenerate until the document has at least one element path; tiny
+    // configs occasionally produce a root-only document.
+    loop {
+        let doc = random_document(&RandomDocConfig {
+            seed: rng.gen::<u64>(),
+            max_depth: rng.gen_range(2..=5),
+            max_children: rng.gen_range(1..=4),
+            tag_count: rng.gen_range(1..=3),
+            layered: rng.gen_bool(0.5),
+        });
+        let paths = tag_paths(&doc);
+        if paths.is_empty() {
+            continue;
+        }
+        let queries = (0..queries).map(|_| random_query(rng, &paths)).collect();
+        return Trial {
+            summary: Summary::build(&doc, SummaryConfig::default()),
+            queries,
+        };
+    }
+}
+
+/// The `[0, f(tag)]` bound check every degraded/rejected value must obey.
+fn in_tag_bound(summary: &Summary, q: &Query, value: f64) -> bool {
+    let cap = summary.tag_total(&q.node(q.target()).tag);
+    value.is_finite() && value >= 0.0 && value <= cap * (1.0 + 1e-9) + 1e-9
+}
+
+/// Runs every fault class of `plan` and collects the report.
+pub fn run_faults(plan: &FaultPlan) -> FaultReport {
+    let mut report = FaultReport {
+        seed: plan.seed,
+        cases_per_class: plan.cases_per_class,
+        tallies: [FaultTally::default(); 8],
+        failures: Vec::new(),
+    };
+    let prev_hook = plan.quiet.then(std::panic::take_hook);
+    if prev_hook.is_some() {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    for class in FaultClass::ALL {
+        // Independent stream per class: adding cases to one class never
+        // shifts another class's trials.
+        let mut rng =
+            StdRng::seed_from_u64(plan.seed ^ 0x4641_554C_5453_u64 ^ ((class.idx() as u64) << 56));
+        for case in 0..plan.cases_per_class {
+            run_one(&mut report, class, case, &mut rng);
+        }
+    }
+    if let Some(hook) = prev_hook {
+        std::panic::set_hook(hook);
+    }
+    report
+}
+
+fn fail(report: &mut FaultReport, class: FaultClass, case: u64, detail: String) {
+    report.tallies[class.idx()].failures += 1;
+    if report.failures.len() < MAX_RECORDED {
+        report.failures.push(FaultFailure {
+            class,
+            case,
+            detail,
+        });
+    }
+}
+
+fn run_one(report: &mut FaultReport, class: FaultClass, case: u64, rng: &mut StdRng) {
+    report.tallies[class.idx()].cases += 1;
+    match class {
+        FaultClass::BitFlip
+        | FaultClass::Truncation
+        | FaultClass::VersionFlip
+        | FaultClass::TrailingGarbage => run_integrity(report, class, case, rng),
+        FaultClass::WorkerPanic => run_worker_panic(report, case, rng),
+        FaultClass::Deadline => run_budget(
+            report,
+            FaultClass::Deadline,
+            case,
+            rng,
+            Budget {
+                deadline: Some(Duration::ZERO),
+                max_join_edges: None,
+            },
+        ),
+        FaultClass::JoinBudget => run_budget(
+            report,
+            FaultClass::JoinBudget,
+            case,
+            rng,
+            Budget {
+                deadline: None,
+                max_join_edges: Some(0),
+            },
+        ),
+        FaultClass::OversizedQuery => run_oversized(report, case, rng),
+    }
+}
+
+/// Integrity classes: corrupt a persisted image and require a typed
+/// [`LoadError`](xpe_synopsis::LoadError) — decoding must neither panic
+/// nor accept the corruption.
+fn run_integrity(report: &mut FaultReport, class: FaultClass, case: u64, rng: &mut StdRng) {
+    let trial = make_trial(rng, 0);
+    let mut bytes = trial.summary.to_bytes();
+    match class {
+        FaultClass::BitFlip => {
+            let byte = rng.gen_range(0..bytes.len());
+            bytes[byte] ^= 1 << rng.gen_range(0..8u32);
+        }
+        FaultClass::Truncation => {
+            let keep = rng.gen_range(0..bytes.len());
+            bytes.truncate(keep);
+        }
+        FaultClass::VersionFlip => {
+            // Versions 1 and 2 are real; anything else must be refused.
+            // The version field is the little-endian u32 after the magic.
+            let bogus: u32 = loop {
+                let v = rng.gen_range(0..=255u32);
+                if v != 1 && v != 2 {
+                    break v;
+                }
+            };
+            bytes[4..8].copy_from_slice(&bogus.to_le_bytes());
+        }
+        FaultClass::TrailingGarbage => {
+            for _ in 0..rng.gen_range(1..=16usize) {
+                bytes.push(rng.gen::<u8>());
+            }
+        }
+        _ => unreachable!("integrity classes only"),
+    }
+    match catch_unwind(AssertUnwindSafe(|| Summary::from_bytes(&bytes))) {
+        Ok(Err(_)) => report.tallies[class.idx()].typed_errors += 1,
+        Ok(Ok(_)) => fail(
+            report,
+            class,
+            case,
+            "corrupted image decoded without an error".to_owned(),
+        ),
+        Err(_) => fail(
+            report,
+            class,
+            case,
+            "decoding a corrupted image panicked".to_owned(),
+        ),
+    }
+}
+
+/// Worker-panic class: poison one query of a batch and require exactly
+/// that slot to degrade while every other slot stays bit-identical to the
+/// serial estimates — and no panic escapes the batch call.
+fn run_worker_panic(report: &mut FaultReport, case: u64, rng: &mut StdRng) {
+    let trial = make_trial(rng, 8);
+    let poisoned = rng.gen_range(0..trial.queries.len());
+    let threads = rng.gen_range(1..=4usize);
+    let engine = EstimationEngine::new(&trial.summary).with_threads(threads);
+    let serial: Vec<f64> = {
+        let est = Estimator::new(&trial.summary);
+        trial.queries.iter().map(|q| est.estimate(q)).collect()
+    };
+    let queries = &trial.queries;
+    let outcomes = catch_unwind(AssertUnwindSafe(|| {
+        engine.try_estimate_batch_with(queries, |est, q| {
+            if std::ptr::eq(q, &queries[poisoned]) {
+                panic!("injected worker panic");
+            }
+            est.try_estimate(q, &QueryLimits::unlimited(), &Budget::unlimited())
+        })
+    }));
+    let outcomes = match outcomes {
+        Ok(o) => o,
+        Err(_) => {
+            fail(
+                report,
+                FaultClass::WorkerPanic,
+                case,
+                "a panic escaped try_estimate_batch".to_owned(),
+            );
+            return;
+        }
+    };
+    if outcomes.len() != queries.len() {
+        fail(
+            report,
+            FaultClass::WorkerPanic,
+            case,
+            format!("{} outcomes for {} queries", outcomes.len(), queries.len()),
+        );
+        return;
+    }
+    let mut ok = true;
+    for (i, out) in outcomes.iter().enumerate() {
+        if i == poisoned {
+            let degraded_panic = matches!(
+                out.status,
+                EstimateStatus::Degraded {
+                    reason: DegradedReason::Panicked { .. }
+                }
+            );
+            if !degraded_panic || !in_tag_bound(&trial.summary, &queries[i], out.value) {
+                fail(
+                    report,
+                    FaultClass::WorkerPanic,
+                    case,
+                    format!("poisoned slot {i} returned {out:?}"),
+                );
+                ok = false;
+            }
+        } else if out.status != EstimateStatus::Ok || out.value.to_bits() != serial[i].to_bits() {
+            fail(
+                report,
+                FaultClass::WorkerPanic,
+                case,
+                format!("healthy slot {i} returned {:?} (serial {})", out, serial[i]),
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        report.tallies[FaultClass::WorkerPanic.idx()].degraded += 1;
+    }
+}
+
+/// Budget classes: estimation under an exhausted budget must return `Ok`
+/// (for queries cheap enough to never charge the budget) or the matching
+/// `Degraded` reason, always inside `[0, f(tag)]`, and never panic.
+fn run_budget(
+    report: &mut FaultReport,
+    class: FaultClass,
+    case: u64,
+    rng: &mut StdRng,
+    budget: Budget,
+) {
+    let trial = make_trial(rng, 6);
+    let est = Estimator::new(&trial.summary);
+    for q in &trial.queries {
+        let out = match catch_unwind(AssertUnwindSafe(|| {
+            est.try_estimate(q, &QueryLimits::unlimited(), &budget)
+        })) {
+            Ok(out) => out,
+            Err(_) => {
+                fail(
+                    report,
+                    class,
+                    case,
+                    "budgeted estimation panicked".to_owned(),
+                );
+                continue;
+            }
+        };
+        let expected_reason = match class {
+            FaultClass::Deadline => DegradedReason::Deadline,
+            _ => DegradedReason::JoinBudget,
+        };
+        match &out.status {
+            EstimateStatus::Ok => {}
+            EstimateStatus::Degraded { reason } if *reason == expected_reason => {
+                report.tallies[class.idx()].degraded += 1;
+            }
+            other => {
+                fail(report, class, case, format!("unexpected status {other:?}"));
+                continue;
+            }
+        }
+        if !in_tag_bound(&trial.summary, q, out.value) {
+            fail(
+                report,
+                class,
+                case,
+                format!("value {} escapes [0, f(tag)] for {}", out.value, q),
+            );
+        }
+    }
+}
+
+/// Oversized-query class: with admission limits in force, `Rejected` must
+/// fire exactly on the queries that exceed them, with bounded values.
+fn run_oversized(report: &mut FaultReport, case: u64, rng: &mut StdRng) {
+    let trial = make_trial(rng, 6);
+    let est = Estimator::new(&trial.summary);
+    let max_nodes = rng.gen_range(1..=2usize);
+    let limits = QueryLimits {
+        max_nodes: Some(max_nodes),
+        ..QueryLimits::unlimited()
+    };
+    for q in &trial.queries {
+        let out = match catch_unwind(AssertUnwindSafe(|| {
+            est.try_estimate(q, &limits, &Budget::unlimited())
+        })) {
+            Ok(out) => out,
+            Err(_) => {
+                fail(
+                    report,
+                    FaultClass::OversizedQuery,
+                    case,
+                    "admission-checked estimation panicked".to_owned(),
+                );
+                continue;
+            }
+        };
+        let should_reject = q.len() > max_nodes;
+        match (&out.status, should_reject) {
+            (EstimateStatus::Rejected { .. }, true) => {
+                report.tallies[FaultClass::OversizedQuery.idx()].rejected += 1;
+            }
+            (EstimateStatus::Ok, false) => {}
+            (status, _) => {
+                fail(
+                    report,
+                    FaultClass::OversizedQuery,
+                    case,
+                    format!(
+                        "query with {} nodes under limit {max_nodes} returned {status:?}",
+                        q.len()
+                    ),
+                );
+                continue;
+            }
+        }
+        if !in_tag_bound(&trial.summary, q, out.value) {
+            fail(
+                report,
+                FaultClass::OversizedQuery,
+                case,
+                format!("value {} escapes [0, f(tag)] for {}", out.value, q),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fault_class_honors_the_contract() {
+        let report = run_faults(&FaultPlan {
+            seed: 0x00C0_FFEE,
+            cases_per_class: 8,
+            quiet: true,
+        });
+        assert!(
+            report.passed(),
+            "contract failures:\n{:#?}",
+            report.failures
+        );
+        for class in FaultClass::ALL {
+            assert_eq!(report.tally(class).cases, 8, "{}", class.name());
+        }
+        // The injections actually bit: integrity classes saw typed
+        // errors, the panic class saw isolation, budgets degraded, and
+        // oversized queries were rejected.
+        for class in [
+            FaultClass::BitFlip,
+            FaultClass::Truncation,
+            FaultClass::VersionFlip,
+            FaultClass::TrailingGarbage,
+        ] {
+            assert!(
+                report.tally(class).typed_errors > 0,
+                "{} never produced a typed error",
+                class.name()
+            );
+        }
+        assert!(report.tally(FaultClass::WorkerPanic).degraded > 0);
+        assert!(report.tally(FaultClass::Deadline).degraded > 0);
+        assert!(report.tally(FaultClass::JoinBudget).degraded > 0);
+        assert!(report.tally(FaultClass::OversizedQuery).rejected > 0);
+    }
+
+    #[test]
+    fn report_replays_deterministically() {
+        let plan = FaultPlan {
+            seed: 7,
+            cases_per_class: 4,
+            quiet: true,
+        };
+        let a = run_faults(&plan);
+        let b = run_faults(&plan);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn fault_json_is_well_formed() {
+        let report = run_faults(&FaultPlan {
+            seed: 3,
+            cases_per_class: 2,
+            quiet: true,
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"tool\": \"xpe-faults\""));
+        assert!(json.contains("\"worker-panic\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn harness_detects_a_broken_contract() {
+        // Feed the integrity checker an image that "decodes" corruption:
+        // simulate by checking that an *uncorrupted* image would be
+        // flagged — i.e., prove `fail` wiring by invoking the checker on
+        // a healthy summary and asserting no failure is (wrongly) logged,
+        // then force a failure record and see it in the JSON.
+        let mut report = FaultReport {
+            seed: 0,
+            cases_per_class: 0,
+            tallies: [FaultTally::default(); 8],
+            failures: Vec::new(),
+        };
+        fail(
+            &mut report,
+            FaultClass::BitFlip,
+            3,
+            "synthetic failure".to_owned(),
+        );
+        assert!(!report.passed());
+        assert!(report.to_json().contains("synthetic failure"));
+    }
+}

@@ -30,6 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
+
+pub use faults::{run_faults, FaultClass, FaultFailure, FaultPlan, FaultReport, FaultTally};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -268,7 +272,7 @@ fn json_num(v: f64) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

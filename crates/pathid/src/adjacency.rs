@@ -176,7 +176,12 @@ impl JoinIndexCache {
         child_axis: bool,
     ) -> Arc<ContainmentAdjacency> {
         let key = (tag_u, tag_v, child_axis);
-        if let Some(a) = self.map.read().expect("adjacency cache poisoned").get(&key) {
+        if let Some(a) = self
+            .map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             return Arc::clone(a);
         }
         let t0 = Instant::now();
@@ -188,13 +193,19 @@ impl JoinIndexCache {
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.pairs
             .fetch_add(built.pair_count() as u64, Ordering::Relaxed);
-        let mut w = self.map.write().expect("adjacency cache poisoned");
+        let mut w = self
+            .map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(w.entry(key).or_insert(built))
     }
 
     /// Number of memoized adjacencies.
     pub fn len(&self) -> usize {
-        self.map.read().expect("adjacency cache poisoned").len()
+        self.map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether no adjacency has been built yet.

@@ -91,17 +91,28 @@ impl RelationMaskCache {
         child_axis: bool,
     ) -> std::sync::Arc<crate::bits::PathIdBits> {
         let key = (tag_u, tag_v, child_axis);
-        if let Some(m) = self.masks.read().expect("mask cache poisoned").get(&key) {
+        if let Some(m) = self
+            .masks
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             return std::sync::Arc::clone(m);
         }
         let computed = std::sync::Arc::new(relation_mask(encoding, tag_u, tag_v, child_axis));
-        let mut w = self.masks.write().expect("mask cache poisoned");
+        let mut w = self
+            .masks
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         std::sync::Arc::clone(w.entry(key).or_insert(computed))
     }
 
     /// Number of memoized masks.
     pub fn len(&self) -> usize {
-        self.masks.read().expect("mask cache poisoned").len()
+        self.masks
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether no mask has been memoized yet.

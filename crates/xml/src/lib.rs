@@ -44,7 +44,7 @@ pub mod nav;
 pub mod stats;
 pub mod wire;
 
-pub use parse::{parse, parse_document, ParseError, ParseErrorKind, MAX_DEPTH};
+pub use parse::{parse, parse_document, ParseError, ParseErrorKind, MAX_DEPTH, MAX_NAME_LEN};
 pub use serialize::{to_string, to_string_pretty};
 pub use tag::{TagId, TagInterner};
 pub use tree::{Document, Node, NodeId, TreeBuilder, TreeError};

@@ -17,6 +17,12 @@ use crate::tree::{Document, TreeBuilder, TreeError};
 /// `element`/`content` frame pair per level).
 pub const MAX_DEPTH: usize = 256;
 
+/// Maximum length, in bytes, of a single tag, attribute or entity name.
+/// Real-world names are tens of bytes; the cap bounds the memory a hostile
+/// document can force into interner tables and error messages through one
+/// token.
+pub const MAX_NAME_LEN: usize = 1024;
+
 /// Position-annotated parse failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -49,6 +55,8 @@ pub enum ParseErrorKind {
     /// Element nesting exceeded [`MAX_DEPTH`] (the parser is recursive;
     /// the limit keeps hostile inputs from exhausting the stack).
     TooDeep,
+    /// A single name token exceeded [`MAX_NAME_LEN`] bytes.
+    TokenTooLong,
     /// Content found after the root element closed.
     TrailingContent,
 }
@@ -67,6 +75,9 @@ impl fmt::Display for ParseError {
             ParseErrorKind::Tree(e) => write!(f, "{e}"),
             ParseErrorKind::TooDeep => {
                 write!(f, "element nesting exceeds {MAX_DEPTH} levels")
+            }
+            ParseErrorKind::TokenTooLong => {
+                write!(f, "name token exceeds {MAX_NAME_LEN} bytes")
             }
             ParseErrorKind::TrailingContent => write!(f, "content after root element"),
         }
@@ -231,6 +242,12 @@ impl<'a> Parser<'a> {
             let ok =
                 c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') || c >= 0x80;
             if ok {
+                if self.pos - start >= MAX_NAME_LEN {
+                    return Err(ParseError {
+                        offset: start,
+                        kind: ParseErrorKind::TokenTooLong,
+                    });
+                }
                 self.pos += 1;
             } else {
                 break;
@@ -372,6 +389,12 @@ impl<'a> Parser<'a> {
             }
             if !c.is_ascii_alphanumeric() && c != b'#' && c != b'x' {
                 break;
+            }
+            if self.pos - start >= MAX_NAME_LEN {
+                return Err(ParseError {
+                    offset: start,
+                    kind: ParseErrorKind::TokenTooLong,
+                });
             }
             self.pos += 1;
         }
@@ -538,6 +561,99 @@ mod tests {
             .expect("spawn")
             .join()
             .expect("no panic");
+    }
+
+    /// Depth cap boundary, exhaustively: one below the limit and exactly
+    /// at the limit parse; one past the limit is the typed `TooDeep`
+    /// error. (The ±1 cases pin the off-by-one a refactor of the open
+    /// stack would introduce.)
+    #[test]
+    fn depth_cap_boundary_plus_minus_one() {
+        std::thread::Builder::new()
+            .stack_size(16 * 1024 * 1024)
+            .spawn(|| {
+                let nested = |depth: usize| {
+                    let mut s = String::with_capacity(depth * 7);
+                    for _ in 0..depth {
+                        s.push_str("<a>");
+                    }
+                    for _ in 0..depth {
+                        s.push_str("</a>");
+                    }
+                    s
+                };
+                assert_eq!(parse(&nested(MAX_DEPTH - 1)).unwrap().len(), MAX_DEPTH - 1);
+                assert_eq!(parse(&nested(MAX_DEPTH)).unwrap().len(), MAX_DEPTH);
+                assert!(matches!(
+                    parse(&nested(MAX_DEPTH + 1)).unwrap_err().kind,
+                    ParseErrorKind::TooDeep
+                ));
+            })
+            .expect("spawn")
+            .join()
+            .expect("no panic");
+    }
+
+    /// Name-token cap boundary: names of `MAX_NAME_LEN - 1` and exactly
+    /// `MAX_NAME_LEN` bytes parse; one byte more is the typed
+    /// `TokenTooLong` error — for tags, attributes, and entity names.
+    #[test]
+    fn oversized_tokens_rejected_at_boundary() {
+        for len in [MAX_NAME_LEN - 1, MAX_NAME_LEN] {
+            let tag = "t".repeat(len);
+            let doc = parse(&format!("<{tag}></{tag}>")).unwrap();
+            assert_eq!(doc.tag_name(doc.root()).len(), len);
+        }
+        let long = "t".repeat(MAX_NAME_LEN + 1);
+        assert!(matches!(
+            parse(&format!("<{long}/>")).unwrap_err().kind,
+            ParseErrorKind::TokenTooLong
+        ));
+        // Oversized attribute name.
+        let e = parse(&format!("<a {long}=\"v\"/>")).unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::TokenTooLong));
+        // Oversized entity name (never a valid entity, but must fail with
+        // a bounded typed error, not an unbounded scan-and-allocate).
+        let e = parse(&format!("<a>&{long};</a>")).unwrap_err();
+        assert!(matches!(e.kind, ParseErrorKind::TokenTooLong));
+    }
+
+    /// Truncated documents of every flavor produce `UnexpectedEof`, never
+    /// a panic: cut mid-tag, mid-attribute, mid-text, mid-comment,
+    /// mid-CDATA, mid-entity, and every prefix of a well-formed document.
+    #[test]
+    fn truncated_documents_yield_typed_errors() {
+        for input in [
+            "<",
+            "<a",
+            "<a ",
+            "<a x",
+            "<a x=",
+            "<a x=\"v",
+            "<a><b>text",
+            "<a><!-- comment",
+            "<a><![CDATA[data",
+            "<a>&am",
+            "<a></a",
+            "<?xml",
+            "<!DOCTYPE a [",
+        ] {
+            // EOF inside a name surfaces as `BadName` (no name bytes were
+            // consumed); everywhere else truncation is `UnexpectedEof`.
+            assert!(
+                matches!(
+                    parse(input).unwrap_err().kind,
+                    ParseErrorKind::UnexpectedEof | ParseErrorKind::BadName
+                ),
+                "{input:?}"
+            );
+        }
+        let full = r#"<a x="1"><b>hi &amp; <![CDATA[raw]]></b><!-- c --></a>"#;
+        assert!(parse(full).is_ok());
+        for cut in 1..full.len() {
+            // Every strict prefix must fail with some typed error.
+            assert!(parse(&full[..cut]).is_err(), "prefix of length {cut}");
+        }
     }
 
     #[test]

@@ -9,6 +9,39 @@
 
 use std::fmt;
 
+/// CRC-32 (IEEE 802.3, the ubiquitous zlib/PNG polynomial) lookup table,
+/// built at compile time so the checksum needs no runtime initialization.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the integrity trailer summary persistence
+/// appends so a bit-flipped or silently-truncated file is rejected with a
+/// typed error instead of decoding into a subtly wrong synopsis.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// Appends a `u32`.
 pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -182,6 +215,31 @@ mod tests {
             r.expect_exhausted(),
             Err(WireError::TrailingBytes { remaining: 3 })
         );
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Reference values of the IEEE polynomial (same as zlib's crc32).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut data = b"xpe summary payload bytes".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at byte {byte} bit {bit}");
+                data[byte] ^= 1 << bit;
+            }
+        }
+        assert_eq!(crc32(&data), clean);
     }
 
     #[test]

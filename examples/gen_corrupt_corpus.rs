@@ -1,0 +1,67 @@
+//! Regenerates the checked-in corrupted-summary corpus under
+//! `tests/corrupt/`.
+//!
+//! The corpus pins one concrete corrupted image per integrity-fault class
+//! so the CLI integration tests can assert that `xpe estimate` fails with
+//! a distinct, typed diagnostic on each — independent of the randomized
+//! sweep in `xpe faults`. Re-run after any wire-format change:
+//!
+//! ```text
+//! cargo run --example gen_corrupt_corpus
+//! ```
+//!
+//! The base document is deterministic, so regeneration is reproducible.
+
+use xpe::prelude::*;
+
+fn main() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corrupt");
+    std::fs::create_dir_all(dir).expect("create tests/corrupt");
+
+    let doc = parse_document(
+        "<library>\
+           <book><title/><preface/><chapter/><chapter/><appendix/></book>\
+           <book><title/><chapter/><appendix/><chapter/></book>\
+           <book><title/><preface/><chapter/></book>\
+         </library>",
+    )
+    .expect("well-formed");
+    let summary = Summary::build(&doc, SummaryConfig::default());
+    let base = summary.to_bytes();
+    assert!(
+        base.len() > 32,
+        "need header + payload + trailer to corrupt"
+    );
+
+    let write = |name: &str, bytes: &[u8]| {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, bytes).expect("write corpus file");
+        println!("{path}: {} bytes", bytes.len());
+    };
+
+    // Pristine image: the tests load this one first to prove the corpus
+    // base is valid, so a failure on a sibling is the corruption talking.
+    write("valid.xps", &base);
+
+    // One bit flipped in the payload region (past the 16-byte header) —
+    // must surface as a checksum mismatch.
+    let mut bitflip = base.clone();
+    bitflip[24] ^= 0x10;
+    write("bitflip.xps", &bitflip);
+
+    // Strict prefix: the payload length field promises more bytes than
+    // the file holds — must surface as a truncation error.
+    write("truncated.xps", &base[..base.len() / 2]);
+
+    // Version field (bytes 4..8, little-endian) rewritten to an unknown
+    // revision — must surface as an unsupported-version error.
+    let mut version = base.clone();
+    version[4..8].copy_from_slice(&99u32.to_le_bytes());
+    write("version.xps", &version);
+
+    // Valid image with junk appended — must surface as trailing bytes,
+    // not be silently ignored.
+    let mut trailing = base;
+    trailing.extend_from_slice(b"\xDE\xAD\xBE\xEF junk");
+    write("trailing.xps", &trailing);
+}
