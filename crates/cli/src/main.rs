@@ -3,7 +3,7 @@
 //! ```text
 //! xpe stats <file.xml>                         structural statistics
 //! xpe build <file.xml> -o <summary.xps>        build + save a summary
-//!     [--p-variance V] [--o-variance V] [--jobs N]
+//!     [--p-variance V] [--o-variance V] [--jobs N] [--stream]
 //! xpe estimate <summary.xps> <query>...        estimate selectivities
 //!     [--jobs N] [--join-cache N]
 //!     [--deadline-ms N] [--max-query-nodes N]
@@ -48,7 +48,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   xpe stats <file.xml>
-  xpe build <file.xml> -o <summary.xps> [--p-variance V] [--o-variance V] [--jobs N]
+  xpe build <file.xml> -o <summary.xps> [--p-variance V] [--o-variance V]
+      [--jobs N] [--stream]
   xpe estimate <summary.xps> [--jobs N] [--join-cache N]
       [--deadline-ms N] [--max-query-nodes N] <query>...
   xpe exact <file.xml> <query>...
@@ -58,6 +59,9 @@ const USAGE: &str = "usage:
 
 --jobs N parallelizes summary construction (build) or batches queries
 across N workers (estimate); 0 = one worker per core, default 1.
+--stream builds the summary from the raw bytes in two streaming passes
+instead of materializing the document tree; the output is byte-identical
+and peak memory is bounded by depth x path count, not node count.
 --join-cache N caps the workload-level join cache at N memoized join
 results (estimate); 0 disables it. Caches never change estimates.
 --deadline-ms N gives each estimate a wall-clock budget; a query that
@@ -77,13 +81,21 @@ fn load_doc(path: &str) -> Result<Document, String> {
 /// Parsed command-line flags as `(name, value)` pairs.
 type Flags = Vec<(String, String)>;
 
-/// Extracts `--flag value` pairs, returning remaining positionals.
+/// Flags that take no value; present means enabled.
+const BOOLEAN_FLAGS: &[&str] = &["stream"];
+
+/// Extracts `--flag value` pairs (and bare boolean flags), returning
+/// remaining positionals.
 fn split_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
     let mut flags = Vec::new();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&name) {
+                flags.push((name.to_owned(), "true".to_owned()));
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.push((name.to_owned(), value.clone()));
         } else if a == "-o" {
@@ -157,9 +169,16 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         p_variance: parse_flag(&flags, "p-variance", 0.0)?,
         o_variance: parse_flag(&flags, "o-variance", 0.0)?,
         threads: parse_flag(&flags, "jobs", 1usize)?,
+        ..SummaryConfig::default()
     };
-    let doc = load_doc(path)?;
-    let summary = Syn::build(&doc, config);
+    let summary = if flag(&flags, "stream").is_some() {
+        // Streaming ingest: two tokenizer passes, no DOM; byte-identical
+        // output with memory bounded by depth × distinct-path count.
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        Syn::build_streaming(&text, config).map_err(|e| format!("parsing {path}: {e}"))?
+    } else {
+        Syn::build(&load_doc(path)?, config)
+    };
     let sizes = summary.sizes();
     summary
         .save_to_file(out)
@@ -413,6 +432,17 @@ mod tests {
     fn split_flags_rejects_dangling_flag() {
         assert!(split_flags(&args(&["--scale"])).is_err());
         assert!(split_flags(&args(&["-o"])).is_err());
+    }
+
+    #[test]
+    fn split_flags_boolean_stream_takes_no_value() {
+        let (flags, pos) = split_flags(&args(&["file.xml", "--stream", "-o", "out.xps"])).unwrap();
+        assert_eq!(pos, vec!["file.xml"]);
+        assert_eq!(flag(&flags, "stream"), Some("true"));
+        assert_eq!(flag(&flags, "out"), Some("out.xps"));
+        // Trailing --stream is fine too (no value to consume).
+        let (flags, _) = split_flags(&args(&["file.xml", "--stream"])).unwrap();
+        assert_eq!(flag(&flags, "stream"), Some("true"));
     }
 
     #[test]

@@ -338,3 +338,44 @@ fn diff_subcommand_reports_and_writes_json() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn stream_build_is_byte_identical_to_dom_build() {
+    let dir = tmpdir("stream");
+    let xml = dir.join("d.xml");
+
+    // One generated corpus per dataset family; both build paths must
+    // persist the exact same bytes.
+    for (name, scale) in [("ssplays", "0.02"), ("dblp", "0.01"), ("xmark", "0.01")] {
+        let o = xpe(&[
+            "generate",
+            name,
+            "--scale",
+            scale,
+            "--seed",
+            "9",
+            "-o",
+            xml.to_str().unwrap(),
+        ]);
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+
+        let dom = dir.join(format!("{name}-dom.xps"));
+        let stream = dir.join(format!("{name}-stream.xps"));
+        let o = xpe(&["build", xml.to_str().unwrap(), "-o", dom.to_str().unwrap()]);
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+        let o = xpe(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            stream.to_str().unwrap(),
+            "--stream",
+        ]);
+        assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+
+        let dom_bytes = std::fs::read(&dom).unwrap();
+        let stream_bytes = std::fs::read(&stream).unwrap();
+        assert_eq!(dom_bytes, stream_bytes, "{name}: streaming diverged");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

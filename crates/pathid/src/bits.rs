@@ -104,21 +104,17 @@ impl PathIdBits {
     }
 
     /// Iterates over set bit positions, 1-based from the left, ascending.
-    pub fn ones(&self) -> impl Iterator<Item = u32> + '_ {
-        let nbits = self.nbits;
-        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
-            let mut bits = Vec::new();
-            let mut v = w;
-            while v != 0 {
-                let lz = v.leading_zeros();
-                let pos = wi as u32 * 64 + lz + 1;
-                if pos <= nbits {
-                    bits.push(pos);
-                }
-                v &= !(1u64 << (63 - lz));
-            }
-            bits
-        })
+    ///
+    /// Allocation-free: the iterator walks the words in place, clearing
+    /// one set bit per step. (This sits on the persistence hot path —
+    /// [`crate::PidInterner`] serializes every id as its position list.)
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            nbits: self.nbits,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// The first (leftmost) set bit position, if any.
@@ -143,6 +139,41 @@ impl PathIdBits {
     /// (`⌈width / 8⌉`; e.g. XMark's 344-bit ids take 43 bytes).
     pub fn size_bytes(&self) -> usize {
         (self.nbits as usize).div_ceil(8)
+    }
+}
+
+/// Iterator over the set bit positions of a [`PathIdBits`], 1-based from
+/// the left, ascending. Returned by [`PathIdBits::ones`].
+#[derive(Clone, Debug)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    nbits: u32,
+    word_index: usize,
+    /// Remaining (not yet yielded) set bits of `words[word_index]`.
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.current != 0 {
+                let lz = self.current.leading_zeros();
+                self.current &= !(1u64 << (63 - lz));
+                let pos = self.word_index as u32 * 64 + lz + 1;
+                if pos <= self.nbits {
+                    return Some(pos);
+                }
+                // Bits past `nbits` are padding in the final word; skip.
+            } else {
+                self.word_index += 1;
+                if self.word_index >= self.words.len() {
+                    return None;
+                }
+                self.current = self.words[self.word_index];
+            }
+        }
     }
 }
 
@@ -250,5 +281,39 @@ mod tests {
     fn set_out_of_range_panics() {
         let mut b = PathIdBits::zero(4);
         b.set(5);
+    }
+
+    /// Positional spec of `ones()` (what the old per-word `flat_map`
+    /// implementation computed): every `i` with bit `i` set, ascending.
+    fn ones_reference(b: &PathIdBits) -> Vec<u32> {
+        (1..=b.nbits()).filter(|&i| b.get(i)).collect()
+    }
+
+    #[test]
+    fn ones_matches_reference_across_widths() {
+        for width in [1u32, 64, 65, 200] {
+            // Empty, full, and a family of stride patterns that exercise
+            // word boundaries (positions 1, 64, 65, 128, 129, …).
+            let mut patterns: Vec<PathIdBits> = vec![PathIdBits::zero(width)];
+            let mut full = PathIdBits::zero(width);
+            for i in 1..=width {
+                full.set(i);
+            }
+            patterns.push(full);
+            for stride in [1u32, 2, 3, 7, 63, 64, 65] {
+                let mut b = PathIdBits::zero(width);
+                let mut i = 1;
+                while i <= width {
+                    b.set(i);
+                    i += stride;
+                }
+                patterns.push(b);
+            }
+            for (offset, b) in patterns.iter().enumerate() {
+                let got: Vec<u32> = b.ones().collect();
+                assert_eq!(got, ones_reference(b), "width {width}, pattern {offset}");
+                assert_eq!(got.len() as u32, b.count_ones());
+            }
+        }
     }
 }

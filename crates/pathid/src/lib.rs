@@ -41,12 +41,14 @@ mod encoding;
 mod interner;
 mod label;
 mod rel;
+mod stream;
 mod tree;
 
 pub use adjacency::{ContainmentAdjacency, JoinIndexCache};
-pub use bits::PathIdBits;
+pub use bits::{Ones, PathIdBits};
 pub use encoding::{EncodingTable, PathEncoding};
 pub use interner::{Pid, PidInterner};
 pub use label::Labeling;
 pub use rel::{axis_compatible, axis_compatible_masked, relation_mask, RelationMaskCache};
+pub use stream::{PathScan, StreamLabeler, StreamLabeling, StreamSink};
 pub use tree::PathIdTree;

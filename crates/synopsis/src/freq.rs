@@ -43,6 +43,26 @@ impl PathIdFrequencyTable {
         PathIdFrequencyTable { rows }
     }
 
+    /// Assembles a table from already-aggregated rows, one per tag in
+    /// `TagId` index order; within a row, pids must be in the document's
+    /// first-encounter order (what [`build`](Self::build) produces and the
+    /// p-histogram's stable frequency sort ties break on). The streaming
+    /// ingest path collects rows from close events and reorders them by
+    /// minimal pre-order index before calling this.
+    pub fn from_rows(rows: Vec<Vec<(Pid, u64)>>) -> Self {
+        PathIdFrequencyTable { rows }
+    }
+
+    /// Total element count (every element carries exactly one tag and one
+    /// pid, so the frequencies sum to the document size).
+    pub fn total_elements(&self) -> u64 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&(_, f)| f)
+            .sum()
+    }
+
     /// The `(pid, frequency)` row of `tag`.
     pub fn row(&self, tag: TagId) -> &[(Pid, u64)] {
         self.rows.get(tag.index()).map(Vec::as_slice).unwrap_or(&[])

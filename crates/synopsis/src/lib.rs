@@ -41,6 +41,7 @@ mod order;
 mod persist;
 mod phistogram;
 mod rootpids;
+mod stream;
 mod summary;
 
 pub use freq::PathIdFrequencyTable;
@@ -49,4 +50,4 @@ pub use order::{OrderCell, PathOrderTable};
 pub use persist::LoadError;
 pub use phistogram::{PBucket, PHistogram, PHistogramSet};
 pub use rootpids::RootPidIndex;
-pub use summary::{BuildTimings, Summary, SummaryConfig, SummarySizes};
+pub use summary::{BuildTimings, Summary, SummaryConfig, SummarySizes, DEFAULT_PARALLEL_THRESHOLD};

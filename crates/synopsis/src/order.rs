@@ -75,6 +75,16 @@ impl PathOrderTable {
         PathOrderTable { rows }
     }
 
+    /// Assembles a table from already-aggregated rows, one per tag in
+    /// `TagId` index order. Cell iteration order is irrelevant downstream
+    /// (the o-histogram lays cells out positionally by the p-histogram's
+    /// pid order), so only the contents must match what
+    /// [`build`](Self::build) computes — which is how the streaming ingest
+    /// path can aggregate cells at element close events.
+    pub fn from_rows(rows: Vec<HashMap<(Pid, TagId), OrderCell>>) -> Self {
+        PathOrderTable { rows }
+    }
+
     /// The cell for `X` elements with `pid` relative to sibling tag `y`.
     pub fn cell(&self, x: TagId, pid: Pid, y: TagId) -> OrderCell {
         self.rows

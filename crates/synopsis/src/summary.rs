@@ -32,13 +32,40 @@ pub struct SummaryConfig {
     /// value is taken literally. Per-tag histograms are independent, so
     /// the parallel build is bit-identical to the serial one.
     pub threads: usize,
+    /// Documents below this many elements always build serially, whatever
+    /// `threads` says: at small scale thread spawn/join overhead exceeds
+    /// the per-tag histogram work (the bench harness measured parallel ≥
+    /// serial on every small dataset), and serial and parallel builds are
+    /// bit-identical anyway. Set to 0 to honor `threads` unconditionally.
+    pub parallel_threshold: usize,
 }
+
+/// Default for [`SummaryConfig::parallel_threshold`]: roughly where the
+/// per-tag histogram work starts to dwarf worker spawn/join overhead.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 50_000;
 
 impl SummaryConfig {
     /// Returns the config with the construction thread count set.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Returns the config with the serial-fallback threshold set.
+    pub fn with_parallel_threshold(mut self, parallel_threshold: usize) -> Self {
+        self.parallel_threshold = parallel_threshold;
+        self
+    }
+
+    /// The thread count to actually build with for a document of
+    /// `elements` elements: `threads`, demoted to serial below the
+    /// threshold.
+    pub fn effective_threads(&self, elements: usize) -> usize {
+        if elements < self.parallel_threshold {
+            1
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -48,13 +75,14 @@ impl Default for SummaryConfig {
             p_variance: 0.0,
             o_variance: 0.0,
             threads: 1,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
         }
     }
 }
 
-/// `threads` is an execution knob, not a semantic parameter: it never
-/// changes the summary that gets built (and is not persisted), so two
-/// configs differing only in thread count compare equal.
+/// `threads` and `parallel_threshold` are execution knobs, not semantic
+/// parameters: they never change the summary that gets built (and are not
+/// persisted), so configs differing only in them compare equal.
 impl PartialEq for SummaryConfig {
     fn eq(&self, other: &Self) -> bool {
         self.p_variance == other.p_variance && self.o_variance == other.o_variance
@@ -132,6 +160,7 @@ pub struct Summary {
 impl Summary {
     /// Builds the full summary for `doc`.
     pub fn build(doc: &Document, config: SummaryConfig) -> Self {
+        let threads = config.effective_threads(doc.len());
         let t0 = Instant::now();
         let labeling = Labeling::compute(doc);
         let freq = PathIdFrequencyTable::build(doc, &labeling);
@@ -141,7 +170,7 @@ impl Summary {
         // histogram phase fans out — so each BuildTimings field remains
         // that phase's wall-clock time under any thread count.
         let t1 = Instant::now();
-        let phist = PHistogramSet::build_with_threads(&freq, config.p_variance, config.threads);
+        let phist = PHistogramSet::build_with_threads(&freq, config.p_variance, threads);
         let build_p = t1.elapsed();
 
         let t2 = Instant::now();
@@ -154,7 +183,7 @@ impl Summary {
             &phist,
             doc.tags(),
             config.o_variance,
-            config.threads,
+            threads,
         );
         let build_o = t3.elapsed();
 
@@ -206,17 +235,13 @@ impl Summary {
         order: &PathOrderTable,
         config: SummaryConfig,
     ) -> Self {
+        let threads = config.effective_threads(freq.total_elements() as usize);
         let t1 = Instant::now();
-        let phist = PHistogramSet::build_with_threads(freq, config.p_variance, config.threads);
+        let phist = PHistogramSet::build_with_threads(freq, config.p_variance, threads);
         let build_p = t1.elapsed();
         let t3 = Instant::now();
-        let ohist = OHistogramSet::build_with_threads(
-            order,
-            &phist,
-            tags,
-            config.o_variance,
-            config.threads,
-        );
+        let ohist =
+            OHistogramSet::build_with_threads(order, &phist, tags, config.o_variance, threads);
         let build_o = t3.elapsed();
         Summary {
             tags: tags.clone(),

@@ -10,6 +10,10 @@
 //! * [`Document`] — an arena-backed ordered element tree with interned tags,
 //!   built either through [`TreeBuilder`] or by parsing XML text with
 //!   [`parse`]/[`parse_document`].
+//! * [`StreamParser`] / [`StreamEvent`] — a pull-based tokenizer over raw
+//!   bytes with O(depth) state, sharing the DOM parser's grammar and
+//!   resource caps (the DOM parser is a driver over it), for consumers
+//!   that never need the materialized tree.
 //! * [`TagInterner`] / [`TagId`] — compact tag identifiers shared by every
 //!   downstream table and histogram.
 //! * [`nav`] — navigation and document-order utilities (descendant
@@ -36,6 +40,7 @@
 
 mod parse;
 mod serialize;
+mod stream;
 mod tag;
 mod tree;
 
@@ -46,5 +51,6 @@ pub mod wire;
 
 pub use parse::{parse, parse_document, ParseError, ParseErrorKind, MAX_DEPTH, MAX_NAME_LEN};
 pub use serialize::{to_string, to_string_pretty};
+pub use stream::{StreamEvent, StreamParser};
 pub use tag::{TagId, TagInterner};
 pub use tree::{Document, Node, NodeId, TreeBuilder, TreeError};

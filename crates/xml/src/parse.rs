@@ -7,14 +7,21 @@
 //! declaration (skipped). Namespaces are treated lexically (prefixes stay
 //! part of the tag name), matching how the estimation tables key on raw tag
 //! strings.
+//!
+//! Tokenization lives in [`crate::stream`]: [`parse_document`] is a thin
+//! driver that feeds [`StreamParser`](crate::StreamParser) events into a
+//! [`TreeBuilder`], so the DOM and streaming ingest paths share one
+//! grammar, one set of resource caps and one error surface.
 
 use std::fmt;
 
+use crate::stream::{StreamEvent, StreamParser};
 use crate::tree::{Document, TreeBuilder, TreeError};
 
 /// Maximum element nesting depth the parser accepts. Real corpora stay in
-/// the tens; the cap only exists to bound parser recursion (one
-/// `element`/`content` frame pair per level).
+/// the tens; the cap bounds the open-element stack a hostile document can
+/// force on the tokenizer (and on every streaming consumer whose state is
+/// proportional to depth).
 pub const MAX_DEPTH: usize = 256;
 
 /// Maximum length, in bytes, of a single tag, attribute or entity name.
@@ -52,8 +59,8 @@ pub enum ParseErrorKind {
     BadEntity(String),
     /// Structural violation (unbalanced, multiple roots, empty document).
     Tree(TreeError),
-    /// Element nesting exceeded [`MAX_DEPTH`] (the parser is recursive;
-    /// the limit keeps hostile inputs from exhausting the stack).
+    /// Element nesting exceeded [`MAX_DEPTH`] (the limit keeps hostile
+    /// inputs from growing the open-element stack without bound).
     TooDeep,
     /// A single name token exceeded [`MAX_NAME_LEN`] bytes.
     TokenTooLong,
@@ -103,334 +110,24 @@ pub fn parse(input: &str) -> Result<Document, ParseError> {
 /// assert_eq!(doc.tag_name(doc.root()), "PLAY");
 /// ```
 pub fn parse_document(input: &str) -> Result<Document, ParseError> {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-        builder: TreeBuilder::new(),
-        open: Vec::new(),
-    };
-    p.document()?;
-    let offset = p.pos;
-    p.builder.finish().map_err(|e| ParseError {
-        offset,
+    let mut parser = StreamParser::new(input.as_bytes());
+    let mut builder = TreeBuilder::new();
+    while let Some(event) = parser.next_event()? {
+        match event {
+            StreamEvent::Open { name } => {
+                builder.begin_element(&name);
+            }
+            StreamEvent::Close => builder.end_element().map_err(|e| ParseError {
+                offset: parser.pos(),
+                kind: ParseErrorKind::Tree(e),
+            })?,
+            StreamEvent::Text(text) => builder.text(&text),
+        }
+    }
+    builder.finish().map_err(|e| ParseError {
+        offset: parser.pos(),
         kind: ParseErrorKind::Tree(e),
     })
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    builder: TreeBuilder,
-    open: Vec<String>,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, kind: ParseErrorKind) -> ParseError {
-        ParseError {
-            offset: self.pos,
-            kind,
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn starts_with(&self, s: &str) -> bool {
-        self.bytes[self.pos..].starts_with(s.as_bytes())
-    }
-
-    fn bump(&mut self, n: usize) {
-        self.pos += n;
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else if self.peek().is_none() {
-            Err(self.err(ParseErrorKind::UnexpectedEof))
-        } else {
-            Err(self.err(ParseErrorKind::Expected(c as char)))
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.pos += 1;
-        }
-    }
-
-    fn skip_until(&mut self, end: &str) -> Result<(), ParseError> {
-        match find_sub(&self.bytes[self.pos..], end.as_bytes()) {
-            Some(i) => {
-                self.pos += i + end.len();
-                Ok(())
-            }
-            None => {
-                self.pos = self.bytes.len();
-                Err(self.err(ParseErrorKind::UnexpectedEof))
-            }
-        }
-    }
-
-    fn document(&mut self) -> Result<(), ParseError> {
-        self.prolog()?;
-        self.element()?;
-        // Misc after the root: whitespace, comments, PIs only.
-        loop {
-            self.skip_ws();
-            if self.pos >= self.bytes.len() {
-                return Ok(());
-            }
-            if self.starts_with("<!--") {
-                self.bump(4);
-                self.skip_until("-->")?;
-            } else if self.starts_with("<?") {
-                self.bump(2);
-                self.skip_until("?>")?;
-            } else {
-                return Err(self.err(ParseErrorKind::TrailingContent));
-            }
-        }
-    }
-
-    fn prolog(&mut self) -> Result<(), ParseError> {
-        loop {
-            self.skip_ws();
-            if self.starts_with("<?") {
-                self.bump(2);
-                self.skip_until("?>")?;
-            } else if self.starts_with("<!--") {
-                self.bump(4);
-                self.skip_until("-->")?;
-            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
-                self.doctype()?;
-            } else {
-                return Ok(());
-            }
-        }
-    }
-
-    /// Skips a DOCTYPE declaration, including a bracketed internal subset.
-    fn doctype(&mut self) -> Result<(), ParseError> {
-        self.bump("<!DOCTYPE".len());
-        let mut depth = 0usize;
-        loop {
-            match self.peek() {
-                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                Some(b'[') => {
-                    depth += 1;
-                    self.pos += 1;
-                }
-                Some(b']') => {
-                    depth = depth.saturating_sub(1);
-                    self.pos += 1;
-                }
-                Some(b'>') if depth == 0 => {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                Some(_) => self.pos += 1,
-            }
-        }
-    }
-
-    fn name(&mut self) -> Result<String, ParseError> {
-        let start = self.pos;
-        while let Some(c) = self.peek() {
-            let ok =
-                c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') || c >= 0x80;
-            if ok {
-                if self.pos - start >= MAX_NAME_LEN {
-                    return Err(ParseError {
-                        offset: start,
-                        kind: ParseErrorKind::TokenTooLong,
-                    });
-                }
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        if self.pos == start {
-            return Err(self.err(ParseErrorKind::BadName));
-        }
-        // Names must not start with a digit, '-' or '.'.
-        let first = self.bytes[start];
-        if first.is_ascii_digit() || first == b'-' || first == b'.' {
-            return Err(ParseError {
-                offset: start,
-                kind: ParseErrorKind::BadName,
-            });
-        }
-        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
-    }
-
-    fn element(&mut self) -> Result<(), ParseError> {
-        if self.open.len() >= MAX_DEPTH {
-            return Err(self.err(ParseErrorKind::TooDeep));
-        }
-        self.expect(b'<')?;
-        let tag = self.name()?;
-        self.builder.begin_element(&tag);
-        self.open.push(tag);
-        self.attributes()?;
-        self.skip_ws();
-        if self.starts_with("/>") {
-            self.bump(2);
-            self.close_current()?;
-            return Ok(());
-        }
-        self.expect(b'>')?;
-        self.content()
-    }
-
-    fn attributes(&mut self) -> Result<(), ParseError> {
-        loop {
-            self.skip_ws();
-            match self.peek() {
-                Some(b'>') | Some(b'/') | None => return Ok(()),
-                _ => {}
-            }
-            self.name()?;
-            self.skip_ws();
-            self.expect(b'=')?;
-            self.skip_ws();
-            let quote = match self.peek() {
-                Some(q @ (b'"' | b'\'')) => q,
-                Some(_) => return Err(self.err(ParseErrorKind::Expected('"'))),
-                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-            };
-            self.pos += 1;
-            // Attribute values are validated but not stored: the estimation
-            // system summarises element structure only.
-            while let Some(c) = self.peek() {
-                if c == quote {
-                    break;
-                }
-                self.pos += 1;
-            }
-            self.expect(quote)?;
-        }
-    }
-
-    fn content(&mut self) -> Result<(), ParseError> {
-        let mut text = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                Some(b'<') => {
-                    if !text.is_empty() {
-                        self.builder.text(&text);
-                        text.clear();
-                    }
-                    if self.starts_with("</") {
-                        self.bump(2);
-                        let tag = self.name()?;
-                        self.skip_ws();
-                        self.expect(b'>')?;
-                        let open = self.open.last().cloned().unwrap_or_default();
-                        if open != tag {
-                            return Err(
-                                self.err(ParseErrorKind::MismatchedTag { open, found: tag })
-                            );
-                        }
-                        self.close_current()?;
-                        return Ok(());
-                    } else if self.starts_with("<!--") {
-                        self.bump(4);
-                        self.skip_until("-->")?;
-                    } else if self.starts_with("<![CDATA[") {
-                        self.bump(9);
-                        let start = self.pos;
-                        match find_sub(&self.bytes[self.pos..], b"]]>") {
-                            Some(i) => {
-                                self.builder
-                                    .text(&String::from_utf8_lossy(&self.bytes[start..start + i]));
-                                self.pos = start + i + 3;
-                            }
-                            None => {
-                                self.pos = self.bytes.len();
-                                return Err(self.err(ParseErrorKind::UnexpectedEof));
-                            }
-                        }
-                    } else if self.starts_with("<?") {
-                        self.bump(2);
-                        self.skip_until("?>")?;
-                    } else {
-                        self.element()?;
-                    }
-                }
-                Some(b'&') => {
-                    text.push(self.entity()?);
-                }
-                Some(_) => {
-                    let start = self.pos;
-                    while let Some(c) = self.peek() {
-                        if c == b'<' || c == b'&' {
-                            break;
-                        }
-                        self.pos += 1;
-                    }
-                    text.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
-                }
-            }
-        }
-    }
-
-    fn entity(&mut self) -> Result<char, ParseError> {
-        debug_assert_eq!(self.peek(), Some(b'&'));
-        self.pos += 1;
-        let start = self.pos;
-        while let Some(c) = self.peek() {
-            if c == b';' {
-                break;
-            }
-            if !c.is_ascii_alphanumeric() && c != b'#' && c != b'x' {
-                break;
-            }
-            if self.pos - start >= MAX_NAME_LEN {
-                return Err(ParseError {
-                    offset: start,
-                    kind: ParseErrorKind::TokenTooLong,
-                });
-            }
-            self.pos += 1;
-        }
-        let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
-        self.expect(b';')?;
-        match name.as_str() {
-            "lt" => Ok('<'),
-            "gt" => Ok('>'),
-            "amp" => Ok('&'),
-            "apos" => Ok('\''),
-            "quot" => Ok('"'),
-            _ if name.starts_with("#x") || name.starts_with("#X") => {
-                u32::from_str_radix(&name[2..], 16)
-                    .ok()
-                    .and_then(char::from_u32)
-                    .ok_or_else(|| self.err(ParseErrorKind::BadEntity(name.clone())))
-            }
-            _ if name.starts_with('#') => name[1..]
-                .parse::<u32>()
-                .ok()
-                .and_then(char::from_u32)
-                .ok_or_else(|| self.err(ParseErrorKind::BadEntity(name.clone()))),
-            _ => Err(self.err(ParseErrorKind::BadEntity(name))),
-        }
-    }
-
-    fn close_current(&mut self) -> Result<(), ParseError> {
-        self.open.pop();
-        self.builder
-            .end_element()
-            .map_err(|e| self.err(ParseErrorKind::Tree(e)))
-    }
-}
-
-fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 #[cfg(test)]

@@ -35,7 +35,11 @@ proptest! {
         ]),
     ) {
         let doc = random_doc(seed, scale_step);
-        let base = SummaryConfig { p_variance, o_variance: p_variance, ..SummaryConfig::default() };
+        // Threshold 0 forces the parallel path even for these small
+        // documents — otherwise the size fallback would silently make
+        // every case serial and the property vacuous.
+        let base = SummaryConfig { p_variance, o_variance: p_variance, ..SummaryConfig::default() }
+            .with_parallel_threshold(0);
         let serial = Summary::build(&doc, base.with_threads(1)).to_bytes();
         for threads in [0usize, 2, 4] {
             let parallel = Summary::build(&doc, base.with_threads(threads)).to_bytes();
