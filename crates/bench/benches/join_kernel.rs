@@ -14,11 +14,20 @@
 //! * `indexed_cold` — plus containment adjacency, index built inside the
 //!   timed region (what the first workload pass pays);
 //! * `indexed_warm` — the steady state: warm masks, warm adjacency,
-//!   pooled scratch.
+//!   pooled scratch;
+//! * `bitmap_cold` / `bitmap_warm` — the bit-parallel kernel
+//!   ([`path_join_bitmap`]): dense pid-index bitmaps for the surviving
+//!   sets, adjacency-row semi-joins, per-(tag, axis) candidate screens —
+//!   cold builds every bitmap structure inside the timed region, warm is
+//!   the steady state;
+//! * `bitmap_warm_unscreened` — the bitmap kernel with the candidate
+//!   pre-screen ablated, isolating what the per-(tag, axis) bitmaps buy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use xpe_core::{path_join, path_join_cached, JoinScratch};
+use xpe_core::{
+    path_join, path_join_bitmap, path_join_bitmap_unscreened, path_join_cached, JoinScratch,
+};
 use xpe_datagen::{generate_workload, Dataset, DatasetSpec, WorkloadConfig};
 use xpe_pathid::{JoinIndexCache, Labeling, RelationMaskCache};
 use xpe_synopsis::{Summary, SummaryConfig};
@@ -70,6 +79,26 @@ fn join_all(
     sum
 }
 
+fn join_all_bitmap(
+    summary: &Summary,
+    queries: &[Query],
+    index: &JoinIndexCache,
+    scratch: &mut JoinScratch,
+    screened: bool,
+) -> f64 {
+    let mut sum = 0.0;
+    for q in queries {
+        let j = if screened {
+            path_join_bitmap(summary, q, index, Some(scratch))
+        } else {
+            path_join_bitmap_unscreened(summary, q, index, Some(scratch))
+        };
+        sum += j.frequency(q.target());
+        scratch.recycle(j);
+    }
+    sum
+}
+
 fn bench_join_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_kernel");
     group.sample_size(10);
@@ -108,6 +137,25 @@ fn bench_join_kernel(c: &mut Criterion) {
         let mut scratch = JoinScratch::new();
         join_all(&summary, &queries, Some(&masks), Some(&index), &mut scratch);
         b.iter(|| join_all(&summary, &queries, Some(&masks), Some(&index), &mut scratch))
+    });
+    group.bench_function(BenchmarkId::new("bitmap_cold", &label), |b| {
+        let mut scratch = JoinScratch::new();
+        b.iter(|| {
+            let index = JoinIndexCache::new();
+            join_all_bitmap(&summary, &queries, &index, &mut scratch, true)
+        })
+    });
+    group.bench_function(BenchmarkId::new("bitmap_warm", &label), |b| {
+        let index = JoinIndexCache::new();
+        let mut scratch = JoinScratch::new();
+        join_all_bitmap(&summary, &queries, &index, &mut scratch, true);
+        b.iter(|| join_all_bitmap(&summary, &queries, &index, &mut scratch, true))
+    });
+    group.bench_function(BenchmarkId::new("bitmap_warm_unscreened", &label), |b| {
+        let index = JoinIndexCache::new();
+        let mut scratch = JoinScratch::new();
+        join_all_bitmap(&summary, &queries, &index, &mut scratch, false);
+        b.iter(|| join_all_bitmap(&summary, &queries, &index, &mut scratch, false))
     });
     group.finish();
 }

@@ -1,15 +1,19 @@
 //! Machine-readable performance snapshot for the batched estimation
 //! engine and the parallel summary build.
 //!
-//! Measures, per dataset:
+//! Measures, per dataset and per join kernel (`indexed` and `bitmap`):
 //!
 //! * queries/sec of the serial per-query `Estimator` loop versus
 //!   `EstimationEngine::estimate_batch` (one worker and one per core)
 //!   over the full ≥500-query workload;
-//! * `Summary::build` wall time at one worker versus one per core;
+//! * `Summary::build` wall time at one worker versus one per core
+//!   (kernel-independent, measured once per dataset);
 //! * kernel counters from one cold workload pass: join-cache hit rate,
 //!   containment adjacencies built and the milliseconds spent building
-//!   them.
+//!   them;
+//! * a per-phase join breakdown from one instrumented serial pass —
+//!   screen (worklist seeding + candidate setup), fixpoint (the edge
+//!   sweep), and finalize (rebuilding the surviving lists).
 //!
 //! Writes `results/BENCH_estimation.json` (hand-rolled JSON — the
 //! workspace carries no serde) and prints the same numbers as a table.
@@ -19,13 +23,18 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use xpe_bench::{load, print_table, ExpContext};
-use xpe_core::{EstimationEngine, Estimator};
+use xpe_core::{EstimationEngine, Estimator, JoinKernel};
 use xpe_datagen::Dataset;
 use xpe_synopsis::{Summary, SummaryConfig};
 use xpe_xpath::Query;
 
 /// Repetitions per measurement; the best run is reported to damp noise.
 const REPS: usize = 3;
+
+/// Kernels the snapshot covers. The naive reference kernel is excluded:
+/// it exists for differential testing, not serving, and its quadratic
+/// sweeps would dominate the run time of every other measurement.
+const KERNELS: [JoinKernel; 2] = [JoinKernel::Indexed, JoinKernel::Bitmap];
 
 fn best_secs<R>(mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
@@ -39,6 +48,7 @@ fn best_secs<R>(mut f: impl FnMut() -> R) -> f64 {
 
 struct Row {
     dataset: &'static str,
+    kernel: &'static str,
     queries: usize,
     serial_qps: f64,
     batch1_qps: f64,
@@ -49,6 +59,9 @@ struct Row {
     adjacency_build_ms: f64,
     adjacency_builds: u64,
     adjacency_pairs: u64,
+    screen_ms: f64,
+    fixpoint_ms: f64,
+    finalize_ms: f64,
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -84,18 +97,7 @@ fn main() {
         let summary = Summary::build(&b.doc, SummaryConfig::default());
         let n = queries.len() as f64;
 
-        let serial = best_secs(|| {
-            let est = Estimator::new(&summary);
-            queries.iter().map(|q| est.estimate(q)).sum::<f64>()
-        });
-        let batch1 = best_secs(|| {
-            let engine = EstimationEngine::new(&summary).with_threads(1);
-            engine.estimate_batch(&queries).iter().sum::<f64>()
-        });
-        let batch_auto = best_secs(|| {
-            let engine = EstimationEngine::new(&summary).with_threads(0);
-            engine.estimate_batch(&queries).iter().sum::<f64>()
-        });
+        // Summary construction is kernel-independent; measure once.
         let build_serial =
             best_secs(|| Summary::build(&b.doc, SummaryConfig::default().with_threads(1)));
         // Threshold 0 forces the parallel path so the measurement stays a
@@ -110,43 +112,107 @@ fn main() {
             )
         });
 
-        // Kernel counters from one untimed batch on a fresh engine: the
-        // join-cache hit rate and the cost of cold adjacency construction
-        // a single workload pass pays.
-        let stats_engine = EstimationEngine::new(&summary).with_threads(0);
-        stats_engine.estimate_batch(&queries);
-        let kernel = stats_engine.kernel_stats();
-        println!(
-            "  {}: join cache {}/{} hits ({:.1}%), {} adjacencies \
-             ({} pairs) built in {:.2} ms",
-            ds.name(),
-            kernel.join_cache_hits,
-            kernel.join_cache_hits + kernel.join_cache_misses,
-            kernel.join_cache_hit_rate * 100.0,
-            kernel.adjacency_builds,
-            kernel.adjacency_pairs,
-            kernel.adjacency_build_ms,
-        );
+        for kernel in KERNELS {
+            let serial = best_secs(|| {
+                let est = Estimator::new(&summary).with_kernel(kernel);
+                queries.iter().map(|q| est.estimate(q)).sum::<f64>()
+            });
+            let batch1 = best_secs(|| {
+                let engine = EstimationEngine::new(&summary)
+                    .with_threads(1)
+                    .with_kernel(kernel);
+                engine.estimate_batch(&queries).iter().sum::<f64>()
+            });
+            let batch_auto = best_secs(|| {
+                let engine = EstimationEngine::new(&summary)
+                    .with_threads(0)
+                    .with_kernel(kernel);
+                engine.estimate_batch(&queries).iter().sum::<f64>()
+            });
 
-        rows.push(Row {
-            dataset: ds.name(),
-            queries: queries.len(),
-            serial_qps: n / serial,
-            batch1_qps: n / batch1,
-            batch_auto_qps: n / batch_auto,
-            build_serial_ms: build_serial * 1e3,
-            build_parallel_ms: build_parallel * 1e3,
-            join_cache_hit_rate: kernel.join_cache_hit_rate,
-            adjacency_build_ms: kernel.adjacency_build_ms,
-            adjacency_builds: kernel.adjacency_builds,
-            adjacency_pairs: kernel.adjacency_pairs,
-        });
+            // Kernel counters from an untimed cold batch on a fresh
+            // engine: the join-cache hit rate and the cost of cold
+            // adjacency construction a single workload pass pays. One
+            // worker — with more, threads racing on cold keys build
+            // duplicates and the cumulative build time double-counts the
+            // contended wall clock. Best of `REPS` fresh engines, like
+            // every timed loop.
+            let mut stats: Option<xpe_core::KernelStats> = None;
+            for _ in 0..REPS {
+                let e = EstimationEngine::new(&summary)
+                    .with_threads(1)
+                    .with_kernel(kernel);
+                e.estimate_batch(&queries);
+                let k = e.kernel_stats();
+                stats = match stats {
+                    Some(prev) if prev.adjacency_build_ms <= k.adjacency_build_ms => Some(prev),
+                    _ => Some(k),
+                };
+            }
+            let stats = stats.expect("REPS >= 1");
+
+            // Per-phase breakdown from an instrumented serial pass over
+            // the workload (warm caches — the phases, not the adjacency
+            // builds, are what this prices). Best total of `REPS` passes.
+            let mut phases = None;
+            for _ in 0..REPS {
+                let est = Estimator::new(&summary).with_kernel(kernel);
+                est.set_join_timing(true);
+                for q in &queries {
+                    std::hint::black_box(est.estimate(q));
+                }
+                let p = est.join_phase_stats();
+                let total =
+                    |s: &xpe_core::JoinPhaseStats| s.screen_ns + s.fixpoint_ns + s.finalize_ns;
+                phases = match phases {
+                    Some(prev) if total(&prev) <= total(&p) => Some(prev),
+                    _ => Some(p),
+                };
+            }
+            let phases = phases.expect("REPS >= 1");
+
+            println!(
+                "  {} [{}]: join cache {}/{} hits ({:.1}%), {} adjacencies \
+                 ({} pairs) built in {:.2} ms; phases screen {:.2} ms, \
+                 fixpoint {:.2} ms, finalize {:.2} ms",
+                ds.name(),
+                kernel.name(),
+                stats.join_cache_hits,
+                stats.join_cache_hits + stats.join_cache_misses,
+                stats.join_cache_hit_rate * 100.0,
+                stats.adjacency_builds,
+                stats.adjacency_pairs,
+                stats.adjacency_build_ms,
+                phases.screen_ns as f64 / 1e6,
+                phases.fixpoint_ns as f64 / 1e6,
+                phases.finalize_ns as f64 / 1e6,
+            );
+
+            rows.push(Row {
+                dataset: ds.name(),
+                kernel: kernel.name(),
+                queries: queries.len(),
+                serial_qps: n / serial,
+                batch1_qps: n / batch1,
+                batch_auto_qps: n / batch_auto,
+                build_serial_ms: build_serial * 1e3,
+                build_parallel_ms: build_parallel * 1e3,
+                join_cache_hit_rate: stats.join_cache_hit_rate,
+                adjacency_build_ms: stats.adjacency_build_ms,
+                adjacency_builds: stats.adjacency_builds,
+                adjacency_pairs: stats.adjacency_pairs,
+                screen_ms: phases.screen_ns as f64 / 1e6,
+                fixpoint_ms: phases.fixpoint_ns as f64 / 1e6,
+                finalize_ms: phases.finalize_ns as f64 / 1e6,
+            });
+        }
     }
 
     print_table(
         "Batched estimation + parallel construction",
         &[
             "Dataset",
+            "Kernel",
             "Queries",
             "Serial q/s",
             "Batch(1) q/s",
@@ -159,6 +225,7 @@ fn main() {
             .map(|r| {
                 vec![
                     r.dataset.to_owned(),
+                    r.kernel.to_owned(),
                     r.queries.to_string(),
                     format!("{:.0}", r.serial_qps),
                     format!("{:.0}", r.batch1_qps),
@@ -185,13 +252,15 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"dataset\": \"{}\", \"queries\": {}, \
+            "    {{\"dataset\": \"{}\", \"kernel\": \"{}\", \"queries\": {}, \
              \"serial_qps\": {:.1}, \"batch_jobs1_qps\": {:.1}, \
              \"batch_auto_qps\": {:.1}, \"speedup_auto_vs_serial\": {:.2}, \
              \"build_serial_ms\": {:.3}, \"build_parallel_ms\": {:.3}, \
              \"join_cache_hit_rate\": {:.4}, \"adjacency_build_ms\": {:.3}, \
-             \"adjacency_builds\": {}, \"adjacency_pairs\": {}}}",
+             \"adjacency_builds\": {}, \"adjacency_pairs\": {}, \
+             \"screen_ms\": {:.3}, \"fixpoint_ms\": {:.3}, \"finalize_ms\": {:.3}}}",
             json_escape_free(r.dataset),
+            json_escape_free(r.kernel),
             r.queries,
             r.serial_qps,
             r.batch1_qps,
@@ -203,6 +272,9 @@ fn main() {
             r.adjacency_build_ms,
             r.adjacency_builds,
             r.adjacency_pairs,
+            r.screen_ms,
+            r.fixpoint_ms,
+            r.finalize_ms,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

@@ -51,6 +51,7 @@ const USAGE: &str = "usage:
   xpe build <file.xml> -o <summary.xps> [--p-variance V] [--o-variance V]
       [--jobs N] [--stream]
   xpe estimate <summary.xps> [--jobs N] [--join-cache N]
+      [--kernel naive|indexed|bitmap]
       [--deadline-ms N] [--max-query-nodes N] <query>...
   xpe exact <file.xml> <query>...
   xpe generate <ssplays|dblp|xmark> -o <out.xml> [--scale S] [--seed N]
@@ -64,6 +65,9 @@ instead of materializing the document tree; the output is byte-identical
 and peak memory is bounded by depth x path count, not node count.
 --join-cache N caps the workload-level join cache at N memoized join
 results (estimate); 0 disables it. Caches never change estimates.
+--kernel selects the path-join kernel (estimate): 'bitmap' (default,
+word-parallel pid bitmaps), 'indexed' (adjacency-row lists), or 'naive'
+(the paper's Figure-3 reference). All three print identical estimates.
 --deadline-ms N gives each estimate a wall-clock budget; a query that
 exceeds it prints its tag-frequency upper bound flagged 'degraded'.
 --max-query-nodes N rejects queries with more steps before estimating.
@@ -217,10 +221,16 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         Some(v) => Some(v.parse().map_err(|_| "bad value for --max-query-nodes")?),
         None => None,
     };
+    let kernel = match flag(&flags, "kernel") {
+        Some(v) => xpe::estimator::JoinKernel::parse(v)
+            .ok_or_else(|| format!("bad value for --kernel (naive|indexed|bitmap): {v}"))?,
+        None => xpe::estimator::JoinKernel::default(),
+    };
     let summary = Syn::load_from_file(path).map_err(|e| format!("loading {path}: {e}"))?;
     let engine = EstimationEngine::new(&summary)
         .with_threads(jobs)
         .with_join_cache_capacity(join_cache)
+        .with_kernel(kernel)
         .with_budget(xpe::estimator::Budget {
             deadline: deadline_ms.map(std::time::Duration::from_millis),
             max_join_edges: None,

@@ -79,6 +79,55 @@ fn full_pipeline() {
 }
 
 #[test]
+fn kernel_flag_selects_without_changing_estimates() {
+    let dir = tmpdir("kernel");
+    let xml = dir.join("d.xml");
+    let xps = dir.join("d.xps");
+    let o = xpe(&[
+        "generate",
+        "ssplays",
+        "--scale",
+        "0.01",
+        "--seed",
+        "9",
+        "-o",
+        xml.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+    let o = xpe(&["build", xml.to_str().unwrap(), "-o", xps.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", String::from_utf8_lossy(&o.stderr));
+
+    let queries = ["//ACT/SCENE", "//PLAY//SPEECH", "//SCENE[/TITLE]/SPEECH"];
+    let mut outputs = Vec::new();
+    for kernel in ["naive", "indexed", "bitmap"] {
+        let mut args = vec!["estimate", xps.to_str().unwrap(), "--kernel", kernel];
+        args.extend(queries);
+        let o = xpe(&args);
+        assert!(
+            o.status.success(),
+            "kernel {kernel}: {}",
+            String::from_utf8_lossy(&o.stderr)
+        );
+        outputs.push(stdout(&o));
+    }
+    assert_eq!(outputs[0], outputs[1], "naive vs indexed");
+    assert_eq!(outputs[0], outputs[2], "naive vs bitmap");
+
+    // An unknown kernel name is a clean usage error.
+    let o = xpe(&[
+        "estimate",
+        xps.to_str().unwrap(),
+        "--kernel",
+        "warp",
+        "//ACT",
+    ]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("--kernel"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn helpful_errors() {
     let o = xpe(&[]);
     assert!(o.status.success(), "bare invocation prints usage");

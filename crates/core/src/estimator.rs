@@ -30,7 +30,10 @@ use xpe_xpath::{
 
 use crate::editor::{self, subtree_of};
 use crate::invariant::{finalize_estimate, safe_div};
-use crate::join::{path_join_budgeted, JoinResult, JoinScratch};
+use crate::join::{
+    path_join, path_join_bitmap_budgeted, path_join_budgeted, JoinKernel, JoinPhaseStats,
+    JoinResult, JoinScratch,
+};
 use crate::joincache::{skeleton_key, JoinCache};
 use crate::serve::{
     Budget, BudgetExhausted, BudgetState, DegradedReason, EstimateOutcome, EstimateStatus,
@@ -52,6 +55,10 @@ pub struct Estimator<'s> {
     adjacency: Arc<JoinIndexCache>,
     join_cache: Option<Arc<JoinCache>>,
     scratch: RefCell<JoinScratch>,
+    /// Which join kernel [`run_join`](Self::run_join) dispatches to. All
+    /// kernels are bit-identical; this only selects speed (and, for
+    /// `Naive`, opts out of budget cooperation).
+    kernel: JoinKernel,
     /// Live budget of the in-flight [`try_estimate`](Self::try_estimate)
     /// call, threaded into every join it runs; `None` outside one.
     budget: RefCell<Option<BudgetState>>,
@@ -116,8 +123,39 @@ impl<'s> Estimator<'s> {
             adjacency,
             join_cache,
             scratch: RefCell::new(JoinScratch::new()),
+            kernel: JoinKernel::default(),
             budget: RefCell::new(None),
         }
+    }
+
+    /// Selects the join kernel (default: [`JoinKernel::Bitmap`]). Every
+    /// kernel produces bit-identical estimates; the naive kernel also
+    /// ignores caches and join budgets, by design.
+    pub fn with_kernel(mut self, kernel: JoinKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The configured join kernel.
+    pub fn kernel(&self) -> JoinKernel {
+        self.kernel
+    }
+
+    /// Enables or disables the per-phase join timing breakdown (off by
+    /// default; costs two `Instant::now` pairs per join when on).
+    pub fn set_join_timing(&self, on: bool) {
+        self.scratch.borrow_mut().set_timing(on);
+    }
+
+    /// The accumulated per-phase join breakdown (zeros unless
+    /// [`set_join_timing`](Self::set_join_timing) enabled collection).
+    pub fn join_phase_stats(&self) -> JoinPhaseStats {
+        self.scratch.borrow().phase_stats()
+    }
+
+    /// Resets the per-phase join breakdown.
+    pub fn reset_join_phase_stats(&self) {
+        self.scratch.borrow_mut().reset_phase_stats();
     }
 
     /// The shared relation-mask memo table.
@@ -156,14 +194,24 @@ impl<'s> Estimator<'s> {
 
     fn run_join(&self, query: &Query) -> JoinResult {
         let budget = self.budget.borrow();
-        path_join_budgeted(
-            self.summary,
-            query,
-            Some(&self.masks),
-            Some(&self.adjacency),
-            Some(&mut self.scratch.borrow_mut()),
-            budget.as_ref(),
-        )
+        match self.kernel {
+            JoinKernel::Naive => path_join(self.summary, query),
+            JoinKernel::Indexed => path_join_budgeted(
+                self.summary,
+                query,
+                Some(&self.masks),
+                Some(&self.adjacency),
+                Some(&mut self.scratch.borrow_mut()),
+                budget.as_ref(),
+            ),
+            JoinKernel::Bitmap => path_join_bitmap_budgeted(
+                self.summary,
+                query,
+                &self.adjacency,
+                Some(&mut self.scratch.borrow_mut()),
+                budget.as_ref(),
+            ),
+        }
     }
 
     fn budget_exhausted(&self) -> bool {

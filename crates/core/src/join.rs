@@ -6,19 +6,26 @@
 //! fixpoint. The surviving frequencies are the `f_Q(n)` values the
 //! estimation formulas consume.
 //!
-//! Two kernels produce that fixpoint:
+//! Three kernels produce that fixpoint (selected by [`JoinKernel`]):
 //!
 //! * [`path_join`] — the reference kernel: per-edge relation masks and an
 //!   iterate-all-edges-until-stable loop, exactly the paper's Figure 3.
 //!   No caches, no indexes; the proptests pin every optimization below
 //!   against it bit for bit.
-//! * [`path_join_cached`] — the indexed kernel the estimator runs: edges
-//!   resolve to precomputed [`ContainmentAdjacency`] rows (containment +
+//! * [`path_join_cached`] — the indexed kernel: edges resolve to
+//!   precomputed [`ContainmentAdjacency`] rows (containment +
 //!   relation-mask test folded into one sorted pid list per endpoint), the
 //!   root-pinning check reads the summary's precomputed depth-0 pid sets,
 //!   and a **worklist fixpoint** re-examines only edges whose endpoint
 //!   lists shrank in the previous step instead of sweeping every edge per
 //!   pass.
+//! * [`path_join_bitmap`] — the bit-parallel kernel the estimator runs by
+//!   default: each node's surviving set is a pid-index *bitmap*, each
+//!   edge step is a word-parallel semi-join over the adjacency's bitmap
+//!   rows screened by its candidate bitmap, and the final `(pid, f)`
+//!   lists are rebuilt from the bitmaps in histogram order. Same worklist
+//!   schedule as the indexed kernel, so serve budgets are charged the
+//!   same edge counts.
 //!
 //! The fixpoint both kernels compute is the *greatest* set of surviving
 //! pids closed under every edge constraint. Each pruning step is monotone
@@ -30,15 +37,97 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 use xpe_pathid::{
-    axis_compatible_masked, relation_mask, ContainmentAdjacency, JoinIndexCache, PathIdBits, Pid,
-    RelationMaskCache,
+    axis_compatible_masked, relation_mask, words, ContainmentAdjacency, JoinIndexCache, PathIdBits,
+    Pid, RelationMaskCache,
 };
 use xpe_synopsis::Summary;
 use xpe_xpath::{Axis, Query, QueryNodeId};
 
 use crate::serve::BudgetState;
+
+/// Which fixpoint kernel an [`Estimator`](crate::Estimator) runs. All
+/// three compute the same greatest fixpoint bit for bit (pinned by the
+/// diff-harness proptests); they differ only in speed and in how they
+/// cooperate with serve budgets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum JoinKernel {
+    /// The reference Figure-3 kernel: fresh masks, nested-loop
+    /// containment, sweep-all-edges fixpoint. No caches and no budget
+    /// cooperation — kept for oracle comparisons and debugging.
+    Naive,
+    /// Adjacency-row semi-join over `(pid, frequency)` lists with a
+    /// worklist schedule ([`path_join_cached`]).
+    Indexed,
+    /// Word-parallel semi-join over pid-index bitmaps with the same
+    /// worklist schedule ([`path_join_bitmap`]) — charges budgets the
+    /// exact same edge counts as `Indexed`.
+    #[default]
+    Bitmap,
+}
+
+impl JoinKernel {
+    /// Every kernel, in `naive < indexed < bitmap` order.
+    pub const ALL: [JoinKernel; 3] = [JoinKernel::Naive, JoinKernel::Indexed, JoinKernel::Bitmap];
+
+    /// Parses a CLI-style kernel name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "naive" => Some(JoinKernel::Naive),
+            "indexed" => Some(JoinKernel::Indexed),
+            "bitmap" => Some(JoinKernel::Bitmap),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style kernel name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinKernel::Naive => "naive",
+            JoinKernel::Indexed => "indexed",
+            JoinKernel::Bitmap => "bitmap",
+        }
+    }
+}
+
+/// Cumulative per-phase wall-clock breakdown of the join kernels, in
+/// nanoseconds. Collected only when a [`JoinScratch`] has timing enabled
+/// (an `Instant::now` pair per phase is measurable on µs-scale joins, so
+/// it is off by default); the bench harness turns it on to report where
+/// join time goes. Adjacency build time is *not* in here — builds are
+/// memoized in [`JoinIndexCache`] and timed by its own counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinPhaseStats {
+    /// Seeding candidate lists/bitmaps, root pinning, and edge
+    /// resolution (mask/adjacency lookups).
+    pub screen_ns: u64,
+    /// The worklist fixpoint itself.
+    pub fixpoint_ns: u64,
+    /// Rebuilding `(pid, frequency)` lists from final bitmaps (bitmap
+    /// kernel only; the list kernels' lists are already final).
+    pub finalize_ns: u64,
+}
+
+/// Starts-on-demand phase stopwatch: `None` when timing is disabled, so
+/// the kernels pay nothing in the common case.
+struct PhaseTimer(Option<Instant>);
+
+impl PhaseTimer {
+    fn start(enabled: bool) -> Self {
+        PhaseTimer(enabled.then(Instant::now))
+    }
+
+    /// Adds the time since the last lap to `slot` and restarts.
+    fn lap(&mut self, slot: &mut u64) {
+        if let Some(t) = self.0 {
+            let now = Instant::now();
+            *slot += now.duration_since(t).as_nanos() as u64;
+            self.0 = Some(now);
+        }
+    }
+}
 
 /// Per-query-node surviving `(pid, estimated frequency)` lists.
 #[derive(Clone, Debug)]
@@ -61,6 +150,14 @@ pub struct JoinScratch {
     pool: Vec<Vec<(Pid, f64)>>,
     stamp: Vec<u32>,
     epoch: u32,
+    /// Pooled pid-index bitmaps for the bitmap kernel's per-node sets.
+    bit_pool: Vec<Vec<u64>>,
+    /// The bitmap kernel's union accumulator, reused across edges.
+    acc: Vec<u64>,
+    /// When set, the kernels accumulate a per-phase wall-clock breakdown
+    /// into `phases` (see [`JoinPhaseStats`]).
+    timing: bool,
+    phases: JoinPhaseStats,
 }
 
 impl JoinScratch {
@@ -69,8 +166,36 @@ impl JoinScratch {
         Self::default()
     }
 
+    /// Enables or disables per-phase timing (off by default).
+    pub fn set_timing(&mut self, on: bool) {
+        self.timing = on;
+    }
+
+    /// The accumulated per-phase breakdown (all zero unless timing was
+    /// enabled).
+    pub fn phase_stats(&self) -> JoinPhaseStats {
+        self.phases
+    }
+
+    /// Resets the per-phase breakdown to zero.
+    pub fn reset_phase_stats(&mut self) {
+        self.phases = JoinPhaseStats::default();
+    }
+
     fn take(&mut self) -> Vec<(Pid, f64)> {
         self.pool.pop().unwrap_or_default()
+    }
+
+    /// A zeroed pooled bitmap of `words` words.
+    fn take_bits(&mut self, words: usize) -> Vec<u64> {
+        let mut b = self.bit_pool.pop().unwrap_or_default();
+        b.clear();
+        b.resize(words, 0);
+        b
+    }
+
+    fn recycle_bits(&mut self, b: Vec<u64>) {
+        self.bit_pool.push(b);
     }
 
     /// Returns a finished join's vectors to the pool.
@@ -192,10 +317,17 @@ pub fn path_join_budgeted(
     query: &Query,
     masks: Option<&RelationMaskCache>,
     adjacency: Option<&JoinIndexCache>,
-    mut scratch: Option<&mut JoinScratch>,
+    scratch: Option<&mut JoinScratch>,
     budget: Option<&BudgetState>,
 ) -> JoinResult {
-    let mut lists = seed_lists(summary, query, scratch.as_deref_mut());
+    let mut local = JoinScratch::new();
+    let scratch = match scratch {
+        Some(s) => s,
+        None => &mut local,
+    };
+    let mut timer = PhaseTimer::start(scratch.timing);
+    let (mut screen_ns, mut fixpoint_ns) = (0u64, 0u64);
+    let mut lists = seed_lists(summary, query, Some(scratch));
 
     // Root pinning via the summary's precomputed depth-0 pid sets — the
     // same filter the reference kernel re-derives per pid per query.
@@ -222,11 +354,8 @@ pub fn path_join_budgeted(
     }
     let mut queued = vec![true; edges.len()];
     let mut worklist: VecDeque<usize> = (0..edges.len()).collect();
-    let mut local = JoinScratch::new();
-    let stamps = match scratch {
-        Some(s) => s,
-        None => &mut local,
-    };
+    let stamps = scratch;
+    timer.lap(&mut screen_ns);
     while let Some(ei) = worklist.pop_front() {
         if let Some(b) = budget {
             if !b.charge_edge() {
@@ -286,7 +415,284 @@ pub fn path_join_budgeted(
             }
         }
     }
+    timer.lap(&mut fixpoint_ns);
+    stamps.phases.screen_ns += screen_ns;
+    stamps.phases.fixpoint_ns += fixpoint_ns;
     JoinResult { lists }
+}
+
+/// The bit-parallel join kernel: the same worklist fixpoint as
+/// [`path_join_cached`], but each query node's surviving set is a
+/// pid-index bitmap and each edge examination is a word-parallel
+/// semi-join over the adjacency's precomputed bitmap rows and candidate
+/// bitmaps. Final `(pid, frequency)` lists are rebuilt by filtering the
+/// p-histogram entries through the final bitmaps — histogram order is
+/// exactly the order the list kernels' `retain` preserves, so the lists
+/// (and every downstream `f64` sum) are bit-identical to both other
+/// kernels.
+pub fn path_join_bitmap(
+    summary: &Summary,
+    query: &Query,
+    adjacency: &JoinIndexCache,
+    scratch: Option<&mut JoinScratch>,
+) -> JoinResult {
+    path_join_bitmap_budgeted(summary, query, adjacency, scratch, None)
+}
+
+/// [`path_join_bitmap`] under a cooperative [`BudgetState`]. The worklist
+/// schedule — seeding, shrink detection, re-enqueue order — mirrors
+/// [`path_join_budgeted`] step for step, so a given `(summary, query)`
+/// charges **exactly the same edge count** as the indexed kernel, and
+/// budget exhaustion truncates at the same point.
+pub fn path_join_bitmap_budgeted(
+    summary: &Summary,
+    query: &Query,
+    adjacency: &JoinIndexCache,
+    scratch: Option<&mut JoinScratch>,
+    budget: Option<&BudgetState>,
+) -> JoinResult {
+    path_join_bitmap_inner(summary, query, adjacency, scratch, budget, true)
+}
+
+/// Bench-only ablation: the bitmap fixpoint without consulting the
+/// precomputed candidate bitmaps (every per-pid row test runs, including
+/// on pids the candidate screen would have cleared in one word op).
+/// Identical results, strictly more work — exists so the Criterion bench
+/// can price the candidate-bitmap optimization in isolation.
+#[doc(hidden)]
+pub fn path_join_bitmap_unscreened(
+    summary: &Summary,
+    query: &Query,
+    adjacency: &JoinIndexCache,
+    scratch: Option<&mut JoinScratch>,
+) -> JoinResult {
+    path_join_bitmap_inner(summary, query, adjacency, scratch, None, false)
+}
+
+fn path_join_bitmap_inner(
+    summary: &Summary,
+    query: &Query,
+    adjacency: &JoinIndexCache,
+    scratch: Option<&mut JoinScratch>,
+    budget: Option<&BudgetState>,
+    use_cand: bool,
+) -> JoinResult {
+    let mut local = JoinScratch::new();
+    let scratch = match scratch {
+        Some(s) => s,
+        None => &mut local,
+    };
+    let mut timer = PhaseTimer::start(scratch.timing);
+    let (mut screen_ns, mut fixpoint_ns, mut finalize_ns) = (0u64, 0u64, 0u64);
+
+    let set_words = summary.pids.len().div_ceil(64);
+    let rooted_node = (query.root_axis() == Axis::Child).then(|| query.root());
+
+    // Seed one bitmap per query node from the memoized per-(tag, rooted)
+    // seed bitmaps — root pinning is baked into the rooted seeds, so a
+    // warm seed turns per-entry seeding + pinning into one word copy.
+    let mut node_bits: Vec<Vec<u64>> = Vec::with_capacity(query.len());
+    let mut counts: Vec<usize> = Vec::with_capacity(query.len());
+    for q in query.node_ids() {
+        let mut bm = scratch.take_bits(set_words);
+        let tag_name = &query.node(q).tag;
+        let rooted = rooted_node == Some(q);
+        if let (Some(tag), Some(h)) = (summary.tags.get(tag_name), summary.phistogram(tag_name)) {
+            let seed = adjacency.seed_bitmap(tag, rooted, || {
+                let mut s = vec![0u64; set_words];
+                for &(pid, _) in h.entries_slice() {
+                    if !rooted || summary.root_pids.pid_starts_with(tag, pid) {
+                        words::set_bit(&mut s, pid.index());
+                    }
+                }
+                s
+            });
+            bm.copy_from_slice(&seed);
+        }
+        counts.push(words::count_ones(&bm) as usize);
+        node_bits.push(bm);
+    }
+
+    // Resolve each structural edge to its containment adjacency; unknown
+    // tags kill both endpoints outright, exactly like `resolve_edges`.
+    struct BitEdge {
+        u: QueryNodeId,
+        v: QueryNodeId,
+        adj: Arc<ContainmentAdjacency>,
+    }
+    let mut edges: Vec<BitEdge> = Vec::new();
+    for u in query.node_ids() {
+        for e in &query.node(u).edges {
+            let v = e.to;
+            let child = match e.axis {
+                Axis::Child => true,
+                Axis::Descendant => false,
+                _ => unreachable!("structural edges only"),
+            };
+            let (Some(tag_u), Some(tag_v)) = (
+                summary.tags.get(&query.node(u).tag),
+                summary.tags.get(&query.node(v).tag),
+            ) else {
+                node_bits[u.index()].fill(0);
+                counts[u.index()] = 0;
+                node_bits[v.index()].fill(0);
+                counts[v.index()] = 0;
+                continue;
+            };
+            edges.push(BitEdge {
+                u,
+                v,
+                adj: summary.adjacency(adjacency, tag_u, tag_v, child),
+            });
+        }
+    }
+
+    // The same worklist fixpoint as the indexed kernel: seeded with every
+    // edge, an edge re-enqueued only when an endpoint shrank, one budget
+    // charge per pop. Since every per-edge step computes the identical
+    // surviving sets, the shrink events — and with them the pop sequence
+    // and charged edge counts — coincide step for step.
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); query.len()];
+    for (ei, e) in edges.iter().enumerate() {
+        incident[e.u.index()].push(ei);
+        incident[e.v.index()].push(ei);
+    }
+    let mut queued = vec![true; edges.len()];
+    let mut worklist: VecDeque<usize> = (0..edges.len()).collect();
+    let mut acc = std::mem::take(&mut scratch.acc);
+    acc.clear();
+    acc.resize(set_words, 0);
+    timer.lap(&mut screen_ns);
+    while let Some(ei) = worklist.pop_front() {
+        if let Some(b) = budget {
+            if !b.charge_edge() {
+                break;
+            }
+        }
+        queued[ei] = false;
+        let edge = &edges[ei];
+        let (ub, vb) = two_lists(&mut node_bits, edge.u.index(), edge.v.index());
+        let before_u = counts[edge.u.index()];
+        let before_v = counts[edge.v.index()];
+        counts[edge.u.index()] = semi_join_bits(
+            ub, before_u, vb, before_v, &edge.adj, true, use_cand, &mut acc,
+        );
+        counts[edge.v.index()] = semi_join_bits(
+            vb,
+            before_v,
+            ub,
+            counts[edge.u.index()],
+            &edge.adj,
+            false,
+            use_cand,
+            &mut acc,
+        );
+        for (node, before) in [(edge.u, before_u), (edge.v, before_v)] {
+            if counts[node.index()] == before {
+                continue;
+            }
+            for &other in &incident[node.index()] {
+                if !queued[other] {
+                    queued[other] = true;
+                    worklist.push_back(other);
+                }
+            }
+        }
+    }
+    timer.lap(&mut fixpoint_ns);
+
+    // Rebuild the (pid, frequency) lists by filtering each node's
+    // histogram entries through its final bitmap. The list kernels'
+    // `retain` calls preserve histogram order, so this produces the same
+    // entries in the same order — downstream f64 sums are bit-identical.
+    let mut lists = Vec::with_capacity(query.len());
+    for q in query.node_ids() {
+        let mut list = scratch.take();
+        if counts[q.index()] > 0 {
+            if let Some(h) = summary.phistogram(&query.node(q).tag) {
+                let bm = &node_bits[q.index()];
+                list.extend(
+                    h.entries_slice()
+                        .iter()
+                        .filter(|(p, _)| words::test_bit(bm, p.index()))
+                        .copied(),
+                );
+            }
+        }
+        lists.push(list);
+    }
+    timer.lap(&mut finalize_ns);
+
+    scratch.acc = acc;
+    for bm in node_bits {
+        scratch.recycle_bits(bm);
+    }
+    scratch.phases.screen_ns += screen_ns;
+    scratch.phases.fixpoint_ns += fixpoint_ns;
+    scratch.phases.finalize_ns += finalize_ns;
+    JoinResult { lists }
+}
+
+/// One direction of the bitmap semi-join: keep in `dst` only pids whose
+/// adjacency row (forward rows when `forward`, else reverse) intersects
+/// `src`. Two strategies compute the identical set — test each surviving
+/// `dst` pid's row against `src`, or union the `src` pids' opposite-side
+/// rows into `acc` and intersect — and the smaller side picks which, so
+/// the work tracks `min(|dst|, |src|)` row touches. Returns `dst`'s new
+/// population count.
+#[allow(clippy::too_many_arguments)]
+fn semi_join_bits(
+    dst: &mut [u64],
+    dst_count: usize,
+    src: &[u64],
+    src_count: usize,
+    adj: &ContainmentAdjacency,
+    forward: bool,
+    use_cand: bool,
+    acc: &mut [u64],
+) -> usize {
+    // Candidate screen: pids outside the relation have empty rows and
+    // cannot survive; one word-parallel AND clears them all before any
+    // per-pid work. (The per-row `None` checks below make this redundant
+    // for correctness — it only saves the per-bit walks.)
+    if use_cand {
+        words::and_assign(dst, adj.candidates());
+    }
+    if dst_count <= src_count {
+        for (wi, word) in dst.iter_mut().enumerate() {
+            let mut w = *word;
+            let mut keep = w;
+            while w != 0 {
+                let b = w.trailing_zeros();
+                w &= w - 1;
+                let pid = Pid::from_index(wi * 64 + b as usize);
+                let row = if forward {
+                    adj.forward_bits(pid)
+                } else {
+                    adj.reverse_bits(pid)
+                };
+                if !row.is_some_and(|r| words::intersects(r, src)) {
+                    keep &= !(1u64 << b);
+                }
+            }
+            *word = keep;
+        }
+    } else {
+        acc.fill(0);
+        for v in words::ones(src) {
+            let pid = Pid::from_index(v);
+            let row = if forward {
+                adj.reverse_bits(pid)
+            } else {
+                adj.forward_bits(pid)
+            };
+            if let Some(r) = row {
+                words::or_assign(acc, r);
+            }
+        }
+        words::and_assign(dst, acc);
+    }
+    words::count_ones(dst) as usize
 }
 
 /// Seeds each query node's candidate list from its tag's p-histogram.
@@ -520,6 +926,106 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The bitmap kernel — screened, unscreened, with and without scratch
+    /// — agrees with the reference kernel bit for bit on every test query.
+    #[test]
+    fn bitmap_kernel_matches_reference_on_all_shapes() {
+        let s = summary();
+        let queries = [
+            "//A[/C/F]/B/D",
+            "//A//C",
+            "//C[/$E]/F",
+            "//A/Zebra",
+            "//D/A",
+            "/Root/E",
+            "/Root//E",
+            "//A[/C]/B",
+            "/Root/A/C/F",
+            "//Root[/A]//E",
+        ];
+        let index = JoinIndexCache::new();
+        let mut scratch = JoinScratch::new();
+        scratch.set_timing(true);
+        for q in queries {
+            let query = parse_query(q).unwrap();
+            let reference = path_join(&s, &query);
+            for variant in 0..3 {
+                let fast = match variant {
+                    0 => path_join_bitmap(&s, &query, &index, None),
+                    1 => path_join_bitmap(&s, &query, &index, Some(&mut scratch)),
+                    _ => path_join_bitmap_unscreened(&s, &query, &index, Some(&mut scratch)),
+                };
+                assert_eq!(reference.lists.len(), fast.lists.len(), "{q}");
+                for (rl, fl) in reference.lists.iter().zip(&fast.lists) {
+                    let rb: Vec<(Pid, u64)> = rl.iter().map(|&(p, f)| (p, f.to_bits())).collect();
+                    let fb: Vec<(Pid, u64)> = fl.iter().map(|&(p, f)| (p, f.to_bits())).collect();
+                    assert_eq!(rb, fb, "{q} variant={variant}");
+                }
+                if variant > 0 {
+                    scratch.recycle(fast);
+                }
+            }
+        }
+        // Timing was enabled: the phase breakdown accumulated something.
+        let phases = scratch.phase_stats();
+        assert!(
+            phases.screen_ns + phases.fixpoint_ns + phases.finalize_ns > 0,
+            "{phases:?}"
+        );
+        scratch.reset_phase_stats();
+        assert_eq!(scratch.phase_stats(), JoinPhaseStats::default());
+    }
+
+    /// Bitmap and indexed kernels charge a budget the exact same edge
+    /// counts — truncated or not — so serve-layer degradation decisions
+    /// are kernel-independent.
+    #[test]
+    fn bitmap_budget_charges_identical_edge_counts() {
+        use crate::serve::Budget;
+        let s = summary();
+        let masks = RelationMaskCache::new();
+        let index = JoinIndexCache::new();
+        for q in ["//A[/C/F]/B/D", "//A//C", "/Root//E", "//Root[/A]//E"] {
+            let query = parse_query(q).unwrap();
+            for max_edges in [0u64, 1, 2, 3, 5, 1_000] {
+                let budget = Budget {
+                    deadline: None,
+                    max_join_edges: Some(max_edges),
+                };
+                let bi = BudgetState::start(&budget);
+                let indexed =
+                    path_join_budgeted(&s, &query, Some(&masks), Some(&index), None, Some(&bi));
+                let bb = BudgetState::start(&budget);
+                let bitmap = path_join_bitmap_budgeted(&s, &query, &index, None, Some(&bb));
+                assert_eq!(
+                    bi.edges_charged(),
+                    bb.edges_charged(),
+                    "{q} max_edges={max_edges}"
+                );
+                assert_eq!(
+                    bi.exhausted().is_some(),
+                    bb.exhausted().is_some(),
+                    "{q} max_edges={max_edges}"
+                );
+                // Under no (or un-hit) truncation the results also match.
+                if bi.exhausted().is_none() {
+                    for (il, bl) in indexed.lists.iter().zip(&bitmap.lists) {
+                        assert_eq!(il, bl, "{q} max_edges={max_edges}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_selector_parses_and_names() {
+        for k in JoinKernel::ALL {
+            assert_eq!(JoinKernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(JoinKernel::parse("warp"), None);
+        assert_eq!(JoinKernel::default(), JoinKernel::Bitmap);
     }
 
     #[test]

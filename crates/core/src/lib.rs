@@ -52,7 +52,10 @@ pub use editor::{
 pub use engine::{EstimationEngine, KernelStats, DEFAULT_JOIN_CACHE_CAPACITY};
 pub use estimator::Estimator;
 pub use invariant::{finalize_estimate, safe_div};
-pub use join::{path_join, path_join_budgeted, path_join_cached, JoinResult, JoinScratch};
+pub use join::{
+    path_join, path_join_bitmap, path_join_bitmap_budgeted, path_join_bitmap_unscreened,
+    path_join_budgeted, path_join_cached, JoinKernel, JoinPhaseStats, JoinResult, JoinScratch,
+};
 pub use joincache::{skeleton_key, JoinCache, SkeletonKey};
 pub use metrics::{mean_relative_error, relative_error, ErrorStats};
 pub use planner::{PathCardinalities, PredicateRank};

@@ -1,0 +1,121 @@
+//! Property tests pinning the bit-parallel join kernel to the naive
+//! reference.
+//!
+//! `path_join` is the paper's Figure 3 verbatim. `path_join_bitmap`
+//! replaces the per-node `(Pid, f64)` candidate lists with dense
+//! pid-index bitmaps, resolves containment edges through the adjacency
+//! index's forward/reverse row bitmaps, pre-screens each semi-join with
+//! the per-(tag,axis) candidate bitmap, and rebuilds the surviving lists
+//! from the p-histogram at the end. Because the path join converges to a
+//! greatest fixpoint, every correct kernel must agree **bit-for-bit** —
+//! same pids, same order, same `f64` frequency bits. These tests assert
+//! exactly that over random documents and random twig queries (both
+//! axes, order constraints, and tags absent from the document), for the
+//! screened kernel, the unscreened ablation, and the budgeted entry
+//! point with an effectively unlimited budget.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use xpe_core::{
+    path_join, path_join_bitmap, path_join_bitmap_budgeted, path_join_bitmap_unscreened, Budget,
+    BudgetState, JoinScratch,
+};
+use xpe_datagen::{random_document, RandomDocConfig};
+use xpe_diff::{random_query, tag_paths};
+use xpe_pathid::{JoinIndexCache, Pid};
+use xpe_synopsis::{Summary, SummaryConfig};
+
+/// One random `(document, queries)` scenario derived from a master seed —
+/// the same sampling ranges the differential battery uses.
+fn scenario(seed: u64) -> (Summary, Vec<xpe_xpath::Query>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let doc = random_document(&RandomDocConfig {
+        seed: rng.gen::<u64>(),
+        max_depth: rng.gen_range(2..=5),
+        max_children: rng.gen_range(1..=4),
+        tag_count: rng.gen_range(1..=3),
+        layered: rng.gen_bool(0.5),
+    });
+    let summary = Summary::build(&doc, SummaryConfig::default());
+    let paths = tag_paths(&doc);
+    let queries = if paths.is_empty() {
+        Vec::new()
+    } else {
+        (0..8).map(|_| random_query(&mut rng, &paths)).collect()
+    };
+    (summary, queries)
+}
+
+fn as_bits(lists: &[Vec<(Pid, f64)>]) -> Vec<Vec<(Pid, u64)>> {
+    lists
+        .iter()
+        .map(|l| l.iter().map(|&(p, f)| (p, f.to_bits())).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bitmap kernel (candidate screens on) returns exactly the
+    /// reference kernel's lists on every random document and query, with
+    /// and without pooled scratch.
+    #[test]
+    fn bitmap_join_is_bit_identical_to_naive(seed in 0u64..1_000_000) {
+        let (summary, queries) = scenario(seed);
+        let index = JoinIndexCache::new();
+        let mut scratch = JoinScratch::new();
+        for query in &queries {
+            let reference = as_bits(&path_join(&summary, query).lists);
+            let cold = path_join_bitmap(&summary, query, &index, None);
+            prop_assert_eq!(&as_bits(&cold.lists), &reference, "cold, seed {}", seed);
+            let pooled = path_join_bitmap(&summary, query, &index, Some(&mut scratch));
+            prop_assert_eq!(&as_bits(&pooled.lists), &reference, "pooled, seed {}", seed);
+            scratch.recycle(pooled);
+        }
+    }
+
+    /// Ablation parity: skipping the per-(tag,axis) candidate-bitmap
+    /// pre-screen does strictly more row tests but must never change the
+    /// fixpoint.
+    #[test]
+    fn unscreened_bitmap_join_matches_naive(seed in 0u64..1_000_000) {
+        let (summary, queries) = scenario(seed);
+        let index = JoinIndexCache::new();
+        let mut scratch = JoinScratch::new();
+        for query in &queries {
+            let reference = as_bits(&path_join(&summary, query).lists);
+            let bare = path_join_bitmap_unscreened(&summary, query, &index, Some(&mut scratch));
+            prop_assert_eq!(&as_bits(&bare.lists), &reference, "seed {}", seed);
+            scratch.recycle(bare);
+        }
+    }
+
+    /// The budgeted entry point under a budget it can never exhaust is
+    /// the same kernel: identical lists, no exhaustion, and a nonzero
+    /// edge charge whenever the query has edges to sweep.
+    #[test]
+    fn bitmap_join_with_ample_budget_matches_naive(seed in 0u64..1_000_000) {
+        let (summary, queries) = scenario(seed);
+        let index = JoinIndexCache::new();
+        let mut scratch = JoinScratch::new();
+        for query in &queries {
+            let reference = as_bits(&path_join(&summary, query).lists);
+            let budget = BudgetState::start(&Budget {
+                deadline: None,
+                max_join_edges: Some(1_000_000),
+            });
+            let got = path_join_bitmap_budgeted(
+                &summary,
+                query,
+                &index,
+                Some(&mut scratch),
+                Some(&budget),
+            );
+            prop_assert!(budget.exhausted().is_none(), "seed {}", seed);
+            prop_assert_eq!(&as_bits(&got.lists), &reference, "seed {}", seed);
+            scratch.recycle(got);
+        }
+    }
+}

@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
 use xpe_xml::TagId;
@@ -32,6 +32,128 @@ use xpe_xml::TagId;
 use crate::encoding::EncodingTable;
 use crate::interner::{Pid, PidInterner};
 use crate::rel::relation_mask;
+use crate::slab::PidBitmapSlab;
+use crate::words;
+
+/// The full pid-containment relation of one interner, as bitmap rows.
+///
+/// Path ids are per-node-instance unions of root-to-leaf path encodings,
+/// so the family is *not* laminar in general — two ids can overlap
+/// without nesting (Figure 1's interner already does). What every
+/// `(tag_u, tag_v, axis)` adjacency shares is the underlying subset
+/// relation `pv ⊆ pu`, which depends only on the interner. Computing it
+/// once per summary turns each per-key build from a quadratic pair scan
+/// into a row copy plus a word-AND with that key's mask candidates.
+///
+/// Rows use the dense pid-index bitmap layout (LSB-first, like
+/// [`ContainmentAdjacency::candidates`]): `set_words` words per pid, bit
+/// `v` of forward row `u` set iff `pv ⊆ pu` (non-strict, so every
+/// nonempty pid relates at least to itself). Empty ids get empty rows —
+/// they fail every mask screen and contain nothing nonempty.
+#[derive(Debug)]
+pub struct PidContainmentRelation {
+    /// Words per row (`pid_count.div_ceil(64)`).
+    set_words: usize,
+    /// Forward rows: bit `v` of row `u` set iff `pv ⊆ pu`.
+    fwd_bits: Vec<u64>,
+    /// Reverse rows: bit `u` of row `v` set iff `pv ⊆ pu`.
+    rev_bits: Vec<u64>,
+    /// Number of `(u, v)` pairs in the relation.
+    pairs: usize,
+}
+
+impl PidContainmentRelation {
+    /// Builds the relation over every row of `slab`.
+    ///
+    /// The scan is the same screened quadratic loop as
+    /// [`ContainmentAdjacency::build_with_slab`] — ascending-popcount
+    /// prefix bound, word-support signature refutation, support-truncated
+    /// subset walks — run once over the nonempty pids instead of once per
+    /// key over each key's mask survivors.
+    pub fn build(slab: &PidBitmapSlab) -> Self {
+        let n = slab.rows();
+        let set_words = n.div_ceil(64);
+        let mut fwd_bits = vec![0u64; n * set_words];
+        let mut rev_bits = vec![0u64; n * set_words];
+
+        let ne: Vec<u32> = (0..n as u32)
+            .filter(|&i| !words::is_empty(slab.row_words(i as usize)))
+            .collect();
+        let m = ne.len();
+        let pc: Vec<u32> = ne
+            .iter()
+            .map(|&i| words::count_ones(slab.row_words(i as usize)))
+            .collect();
+        let sig: Vec<u64> = ne
+            .iter()
+            .map(|&i| words::support_signature(slab.row_words(i as usize)))
+            .collect();
+
+        // Candidates in ascending-popcount order with popcounts,
+        // signatures, and dense indices permuted alongside: `pv ⊆ pu`
+        // forces `pc(v) ≤ pc(u)`, so each u examines only the sorted
+        // prefix and the popcount screen degenerates into the loop bound.
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        order.sort_unstable_by_key(|&r| pc[r as usize]);
+        let spc: Vec<u32> = order.iter().map(|&r| pc[r as usize]).collect();
+        let ssig: Vec<u64> = order.iter().map(|&r| sig[r as usize]).collect();
+        let sidx: Vec<u32> = order.iter().map(|&r| ne[r as usize]).collect();
+
+        let mut pairs = 0usize;
+        for (r, &u32_) in ne.iter().enumerate() {
+            let u = u32_ as usize;
+            let wu = slab.row_words(u);
+            let (pc_u, sig_u) = (pc[r], sig[r]);
+            for k in 0..m {
+                if spc[k] > pc_u {
+                    break;
+                }
+                if ssig[k] & !sig_u != 0 {
+                    continue;
+                }
+                // Words past v's highest nonzero word are zero and subset
+                // anything, so the multi-word walk stops at v's support.
+                let lv = 64 - ssig[k].leading_zeros() as usize;
+                let v = sidx[k] as usize;
+                if words::is_subset(&slab.row_words(v)[..lv], &wu[..lv]) {
+                    words::set_bit(&mut fwd_bits[u * set_words..(u + 1) * set_words], v);
+                    words::set_bit(&mut rev_bits[v * set_words..(v + 1) * set_words], u);
+                    pairs += 1;
+                }
+            }
+        }
+        Self {
+            set_words,
+            fwd_bits,
+            rev_bits,
+            pairs,
+        }
+    }
+
+    /// Words per row (`pid_count.div_ceil(64)`).
+    #[inline]
+    pub fn set_words(&self) -> usize {
+        self.set_words
+    }
+
+    /// Bitmap of pids contained in pid index `u` (its descendants-or-self).
+    #[inline]
+    pub fn forward_row(&self, u: usize) -> &[u64] {
+        &self.fwd_bits[u * self.set_words..(u + 1) * self.set_words]
+    }
+
+    /// Bitmap of pids containing pid index `v` (its ancestors-or-self).
+    #[inline]
+    pub fn reverse_row(&self, v: usize) -> &[u64] {
+        &self.rev_bits[v * self.set_words..(v + 1) * self.set_words]
+    }
+
+    /// Number of `(pu, pv)` pairs with `pv ⊆ pu`, both nonempty.
+    #[inline]
+    pub fn pair_count(&self) -> usize {
+        self.pairs
+    }
+}
 
 /// The compatible-pair relation of one `(tag_u, tag_v, child_axis)` key,
 /// stored as forward (`pid_u → pid_v`) and reverse (`pid_v → pid_u`)
@@ -49,6 +171,22 @@ pub struct ContainmentAdjacency {
     /// Reverse CSR offsets: row of `pid_v` is `rev[rev_off[v]..rev_off[v+1]]`.
     rev_off: Vec<u32>,
     rev: Vec<Pid>,
+    /// Candidate bitmap over dense pid indices (LSB-first index layout):
+    /// bit `i` set iff pid `i` survives the relation-mask screen.
+    /// Containment-or-equality is reflexive, so every screened-in pid
+    /// pairs at least with itself — the candidates are *exactly* the pids
+    /// with nonempty rows, on both sides.
+    cand: Vec<u64>,
+    /// Words per pid-index bitmap (`pid_count.div_ceil(64)`).
+    set_words: usize,
+    /// Dense pid index → row in `fwd_bits`/`rev_bits`; `u32::MAX` when
+    /// the pid was screened out (its row is empty).
+    row_of: Vec<u32>,
+    /// Bitmap mirror of the forward CSR rows: `set_words` words per
+    /// candidate, bit `v` set iff `(u, v)` is in the relation.
+    fwd_bits: Vec<u64>,
+    /// Bitmap mirror of the reverse CSR rows.
+    rev_bits: Vec<u64>,
 }
 
 impl ContainmentAdjacency {
@@ -62,8 +200,108 @@ impl ContainmentAdjacency {
         tag_v: TagId,
         child_axis: bool,
     ) -> Self {
+        let slab = PidBitmapSlab::from_interner(pids);
+        let relation = PidContainmentRelation::build(&slab);
+        Self::build_with_layout(encoding, pids, &slab, &relation, tag_u, tag_v, child_axis)
+    }
+
+    /// [`build`](Self::build) against a prebuilt slab *and* containment
+    /// relation, so a cache amortizes both across every `(tag_u, tag_v,
+    /// axis)` key of a summary. With the subset relation precomputed the
+    /// fill is a row copy and a word-AND per mask survivor: `(pu, pv)` is
+    /// compatible iff `pv ⊆ pu` **and** `pv ∩ mask ≠ ∅`, so each
+    /// adjacency row is the relation row masked by the key's candidate
+    /// bitmap. No containment test runs at all.
+    pub fn build_with_layout(
+        encoding: &EncodingTable,
+        pids: &PidInterner,
+        slab: &PidBitmapSlab,
+        relation: &PidContainmentRelation,
+        tag_u: TagId,
+        tag_v: TagId,
+        child_axis: bool,
+    ) -> Self {
+        debug_assert_eq!(slab.rows(), pids.len(), "slab/interner mismatch");
+        debug_assert_eq!(relation.set_words(), pids.len().div_ceil(64));
         let mask = relation_mask(encoding, tag_u, tag_v, child_axis);
+        let mask_words = mask.words();
         let n = pids.len();
+        let set_words = n.div_ceil(64);
+
+        // Same screen as the scan path: only pids intersecting the mask
+        // can appear on either side (see `build_with_slab`).
+        let ok: Vec<usize> = (0..n)
+            .filter(|&i| words::intersects(slab.row_words(i), mask_words))
+            .collect();
+        let m = ok.len();
+        let mut cand = vec![0u64; set_words];
+        let mut row_of = vec![u32::MAX; n];
+        for (r, &i) in ok.iter().enumerate() {
+            words::set_bit(&mut cand, i);
+            row_of[i] = r as u32;
+        }
+
+        // Forward row of a survivor `u` is `relation.forward_row(u) ∩
+        // cand`: the AND removes descendants that fail the mask. The
+        // reverse AND is a no-op by the screen argument (every superset
+        // of a survivor intersects the mask too) but keeps the two fills
+        // uniform. `words::ones` yields ascending dense indices, which is
+        // exactly the CSR row order contract.
+        let mut fwd_bits = vec![0u64; m * set_words];
+        let mut rev_bits = vec![0u64; m * set_words];
+        let mut fwd_off = vec![0u32; n + 1];
+        let mut rev_off = vec![0u32; n + 1];
+        let mut fwd: Vec<Pid> = Vec::new();
+        let mut rev: Vec<Pid> = Vec::new();
+        for (r, &i) in ok.iter().enumerate() {
+            let frow = &mut fwd_bits[r * set_words..(r + 1) * set_words];
+            frow.copy_from_slice(relation.forward_row(i));
+            words::and_assign(frow, &cand);
+            fwd.extend(words::ones(frow).map(Pid::from_index));
+            fwd_off[i + 1] = fwd.len() as u32;
+
+            let rrow = &mut rev_bits[r * set_words..(r + 1) * set_words];
+            rrow.copy_from_slice(relation.reverse_row(i));
+            words::and_assign(rrow, &cand);
+            rev.extend(words::ones(rrow).map(Pid::from_index));
+            rev_off[i + 1] = rev.len() as u32;
+        }
+        // Rows of screened-out pids are empty: carry the running offsets
+        // forward so every row slice stays well-defined.
+        for i in 0..n {
+            fwd_off[i + 1] = fwd_off[i + 1].max(fwd_off[i]);
+            rev_off[i + 1] = rev_off[i + 1].max(rev_off[i]);
+        }
+
+        ContainmentAdjacency {
+            fwd_off,
+            fwd,
+            rev_off,
+            rev,
+            cand,
+            set_words,
+            row_of,
+            fwd_bits,
+            rev_bits,
+        }
+    }
+
+    /// [`build`](Self::build) against a prebuilt [`PidBitmapSlab`] of the
+    /// same interner, so a cache amortizes the arena layout across every
+    /// `(tag_u, tag_v, axis)` key of a summary.
+    pub fn build_with_slab(
+        encoding: &EncodingTable,
+        pids: &PidInterner,
+        slab: &PidBitmapSlab,
+        tag_u: TagId,
+        tag_v: TagId,
+        child_axis: bool,
+    ) -> Self {
+        debug_assert_eq!(slab.rows(), pids.len(), "slab/interner mismatch");
+        let mask = relation_mask(encoding, tag_u, tag_v, child_axis);
+        let mask_words = mask.words();
+        let n = pids.len();
+        let set_words = n.div_ceil(64);
 
         // A compatible pair needs `pv ∩ mask ≠ ∅`, and `pu ⊇ pv` then
         // forces `pu ∩ mask ≠ ∅` as well — so only pids intersecting the
@@ -71,19 +309,78 @@ impl ContainmentAdjacency {
         // shrinks the quadratic fill loop from all interned pids to the
         // (usually few) mask-relevant ones.
         let ok: Vec<usize> = (0..n)
-            .filter(|&i| pids.bits(Pid::from_index(i)).intersects(&mask))
+            .filter(|&i| words::intersects(slab.row_words(i), mask_words))
             .collect();
+        let mut cand = vec![0u64; set_words];
+        let mut row_of = vec![u32::MAX; n];
+        for (r, &i) in ok.iter().enumerate() {
+            words::set_bit(&mut cand, i);
+            row_of[i] = r as u32;
+        }
+
+        // One popcount and one word-support signature per candidate:
+        // `pc(v) > pc(u)` or `sig(v) ⊄ sig(u)` each refute `pu ⊇ pv` in
+        // a couple of scalar ops, so the multi-word subset walk only runs
+        // on pairs that usually pass it.
+        let pc: Vec<u32> = ok
+            .iter()
+            .map(|&i| words::count_ones(slab.row_words(i)))
+            .collect();
+        let sig: Vec<u64> = ok
+            .iter()
+            .map(|&i| words::support_signature(slab.row_words(i)))
+            .collect();
+
+        // Candidates in ascending-popcount order, with their popcounts,
+        // signatures, and dense pid indices permuted alongside so the
+        // inner scan walks contiguous memory. `pu ⊇ pv` forces
+        // `pc(v) ≤ pc(u)`, so each u examines only the sorted prefix —
+        // on average half the quadratic pair loop, and the popcount
+        // screen degenerates into the loop bound.
+        let m = ok.len();
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        order.sort_unstable_by_key(|&r| pc[r as usize]);
+        let spc: Vec<u32> = order.iter().map(|&r| pc[r as usize]).collect();
+        let ssig: Vec<u64> = order.iter().map(|&r| sig[r as usize]).collect();
+        let sidx: Vec<u32> = order.iter().map(|&r| ok[r as usize] as u32).collect();
 
         let mut fwd_off = vec![0u32; n + 1];
         let mut fwd = Vec::new();
         let mut rev_len = vec![0u32; n];
-        for &u in &ok {
-            let bu = pids.bits(Pid::from_index(u));
-            for &v in &ok {
-                if bu.contains_or_equal(pids.bits(Pid::from_index(v))) {
-                    fwd.push(Pid::from_index(v));
-                    rev_len[v] += 1;
+        let mut fwd_bits = vec![0u64; m * set_words];
+        let mut rev_bits = vec![0u64; m * set_words];
+        let mut hits: Vec<u32> = Vec::new();
+        for (ru, &u) in ok.iter().enumerate() {
+            let wu = slab.row_words(u);
+            let (pc_u, sig_u) = (pc[ru], sig[ru]);
+            hits.clear();
+            for k in 0..m {
+                if spc[k] > pc_u {
+                    break;
                 }
+                if ssig[k] & !sig_u != 0 {
+                    continue;
+                }
+                // Words past v's highest nonzero word are zero and subset
+                // anything, so the multi-word walk stops at v's support —
+                // typically 1–2 words of the 8-word padded row.
+                let lv = 64 - ssig[k].leading_zeros() as usize;
+                let v = sidx[k] as usize;
+                if words::is_subset(&slab.row_words(v)[..lv], &wu[..lv]) {
+                    hits.push(sidx[k]);
+                }
+            }
+            // The prefix visits v in popcount order; rows must stay
+            // ascending in dense pid index (the public contract, and what
+            // the bitmap mirrors decode to).
+            hits.sort_unstable();
+            for &v32 in &hits {
+                let v = v32 as usize;
+                fwd.push(Pid::from_index(v));
+                rev_len[v] += 1;
+                let rv = row_of[v] as usize;
+                words::set_bit(&mut fwd_bits[ru * set_words..(ru + 1) * set_words], v);
+                words::set_bit(&mut rev_bits[rv * set_words..(rv + 1) * set_words], u);
             }
             fwd_off[u + 1] = fwd.len() as u32;
         }
@@ -115,6 +412,11 @@ impl ContainmentAdjacency {
             fwd,
             rev_off,
             rev,
+            cand,
+            set_words,
+            row_of,
+            fwd_bits,
+            rev_bits,
         }
     }
 
@@ -132,6 +434,40 @@ impl ContainmentAdjacency {
         &self.rev[self.rev_off[v] as usize..self.rev_off[v + 1] as usize]
     }
 
+    /// Candidate bitmap over dense pid indices (LSB-first index layout,
+    /// [`set_words`](Self::set_words) words): bit `i` set iff pid `i`
+    /// has a nonempty row — on either side, the sets coincide by
+    /// reflexivity. The bitmap kernel ANDs this into its surviving sets
+    /// so "which pids can pass this edge" is word-parallel.
+    #[inline]
+    pub fn candidates(&self) -> &[u64] {
+        &self.cand
+    }
+
+    /// Words per pid-index bitmap row (`pid_count.div_ceil(64)`).
+    #[inline]
+    pub fn set_words(&self) -> usize {
+        self.set_words
+    }
+
+    /// Bitmap of pids compatible as the descendant side of `pid_u`, or
+    /// `None` when `pid_u` was screened out (its row is empty).
+    #[inline]
+    pub fn forward_bits(&self, pid_u: Pid) -> Option<&[u64]> {
+        let r = self.row_of[pid_u.index()] as usize;
+        (r != u32::MAX as usize)
+            .then(|| &self.fwd_bits[r * self.set_words..(r + 1) * self.set_words])
+    }
+
+    /// Bitmap of pids compatible as the ancestor side of `pid_v`, or
+    /// `None` when `pid_v` was screened out.
+    #[inline]
+    pub fn reverse_bits(&self, pid_v: Pid) -> Option<&[u64]> {
+        let r = self.row_of[pid_v.index()] as usize;
+        (r != u32::MAX as usize)
+            .then(|| &self.rev_bits[r * self.set_words..(r + 1) * self.set_words])
+    }
+
     /// Number of compatible pairs in the relation.
     pub fn pair_count(&self) -> usize {
         self.fwd.len()
@@ -142,6 +478,9 @@ impl ContainmentAdjacency {
         self.fwd_off.len() - 1
     }
 }
+
+/// Memoized seed bitmaps keyed by `(tag, rooted)`.
+type SeedMap = HashMap<(TagId, bool), Arc<Vec<u64>>>;
 
 /// Thread-safe memo table over [`ContainmentAdjacency::build`], keyed like
 /// the relation-mask cache by `(tag_u, tag_v, child_axis)`.
@@ -154,6 +493,18 @@ impl ContainmentAdjacency {
 #[derive(Debug, Default)]
 pub struct JoinIndexCache {
     map: RwLock<HashMap<(TagId, TagId, bool), Arc<ContainmentAdjacency>>>,
+    /// Arena layout of the summary's interner, built on first use and
+    /// shared by every adjacency build (the cache is per-summary, like
+    /// the adjacencies themselves).
+    slab: OnceLock<Arc<PidBitmapSlab>>,
+    /// Containment relation over the slab rows, built on first use and
+    /// shared by every adjacency build.
+    relation: OnceLock<Arc<PidContainmentRelation>>,
+    /// Per-`(tag, rooted)` seed bitmaps for the bitmap kernel: the pid
+    /// indices a query node starts from before any edge constrains it.
+    /// Built by the caller (seeding needs the summary's histograms, which
+    /// live above this crate) and memoized here.
+    seeds: RwLock<SeedMap>,
     builds: AtomicU64,
     build_nanos: AtomicU64,
     pairs: AtomicU64,
@@ -185,8 +536,10 @@ impl JoinIndexCache {
             return Arc::clone(a);
         }
         let t0 = Instant::now();
-        let built = Arc::new(ContainmentAdjacency::build(
-            encoding, pids, tag_u, tag_v, child_axis,
+        let slab = self.slab(pids);
+        let relation = self.relation(pids);
+        let built = Arc::new(ContainmentAdjacency::build_with_layout(
+            encoding, pids, &slab, &relation, tag_u, tag_v, child_axis,
         ));
         self.builds.fetch_add(1, Ordering::Relaxed);
         self.build_nanos
@@ -195,6 +548,56 @@ impl JoinIndexCache {
             .fetch_add(built.pair_count() as u64, Ordering::Relaxed);
         let mut w = self
             .map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Arc::clone(w.entry(key).or_insert(built))
+    }
+
+    /// The memoized arena layout of `pids`, building it on first use.
+    /// Callers must always pass the same interner (the cache is
+    /// per-summary); the first call fixes the layout.
+    pub fn slab(&self, pids: &PidInterner) -> Arc<PidBitmapSlab> {
+        Arc::clone(
+            self.slab
+                .get_or_init(|| Arc::new(PidBitmapSlab::from_interner(pids))),
+        )
+    }
+
+    /// The memoized containment relation of `pids`, building it (and the
+    /// slab, if cold) on first use.
+    pub fn relation(&self, pids: &PidInterner) -> Arc<PidContainmentRelation> {
+        if let Some(r) = self.relation.get() {
+            return Arc::clone(r);
+        }
+        let slab = self.slab(pids);
+        Arc::clone(
+            self.relation
+                .get_or_init(|| Arc::new(PidContainmentRelation::build(&slab))),
+        )
+    }
+
+    /// The memoized seed bitmap for `(tag, rooted)`, running `build` on
+    /// first use. Two threads racing on a cold key may both build; the
+    /// first insert wins, and builds are pure functions of the key and
+    /// the summary, so the results agree.
+    pub fn seed_bitmap(
+        &self,
+        tag: TagId,
+        rooted: bool,
+        build: impl FnOnce() -> Vec<u64>,
+    ) -> Arc<Vec<u64>> {
+        let key = (tag, rooted);
+        if let Some(s) = self
+            .seeds
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            return Arc::clone(s);
+        }
+        let built = Arc::new(build());
+        let mut w = self
+            .seeds
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(w.entry(key).or_insert(built))
@@ -283,6 +686,156 @@ mod tests {
             assert!(adj.forward(p).windows(2).all(|w| w[0] < w[1]));
             assert!(adj.reverse(p).windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn bitmap_rows_mirror_csr_rows() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        for &tu in &tags {
+            for &tv in &tags {
+                for child in [true, false] {
+                    let adj =
+                        ContainmentAdjacency::build(&lab.encoding, &lab.interner, tu, tv, child);
+                    assert_eq!(adj.set_words(), lab.interner.len().div_ceil(64));
+                    for (p, _) in lab.interner.iter() {
+                        // The candidate bitmap is exactly the nonempty
+                        // rows (reflexivity), on both sides.
+                        let is_cand = words::test_bit(adj.candidates(), p.index());
+                        assert_eq!(is_cand, !adj.forward(p).is_empty());
+                        assert_eq!(is_cand, !adj.reverse(p).is_empty());
+                        match adj.forward_bits(p) {
+                            Some(bits) => {
+                                assert!(is_cand);
+                                let from_bits: Vec<Pid> =
+                                    words::ones(bits).map(Pid::from_index).collect();
+                                assert_eq!(from_bits, adj.forward(p).to_vec());
+                            }
+                            None => assert!(!is_cand),
+                        }
+                        match adj.reverse_bits(p) {
+                            Some(bits) => {
+                                let from_bits: Vec<Pid> =
+                                    words::ones(bits).map(Pid::from_index).collect();
+                                assert_eq!(from_bits, adj.reverse(p).to_vec());
+                            }
+                            None => assert!(!is_cand),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The relation-masking fill and the quadratic scan fill must produce
+    /// identical structures on every key of a real document.
+    #[test]
+    fn relation_fill_matches_quadratic_scan() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let slab = PidBitmapSlab::from_interner(&lab.interner);
+        let relation = PidContainmentRelation::build(&slab);
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        for &tu in &tags {
+            for &tv in &tags {
+                for child in [true, false] {
+                    let fast = ContainmentAdjacency::build_with_layout(
+                        &lab.encoding,
+                        &lab.interner,
+                        &slab,
+                        &relation,
+                        tu,
+                        tv,
+                        child,
+                    );
+                    let slow = ContainmentAdjacency::build_with_slab(
+                        &lab.encoding,
+                        &lab.interner,
+                        &slab,
+                        tu,
+                        tv,
+                        child,
+                    );
+                    assert_eq!(fast.pair_count(), slow.pair_count());
+                    for (p, _) in lab.interner.iter() {
+                        assert_eq!(fast.forward(p), slow.forward(p), "{tu:?}/{tv:?}/{child}");
+                        assert_eq!(fast.reverse(p), slow.reverse(p), "{tu:?}/{tv:?}/{child}");
+                        assert_eq!(fast.forward_bits(p), slow.forward_bits(p));
+                        assert_eq!(fast.reverse_bits(p), slow.reverse_bits(p));
+                    }
+                    assert_eq!(fast.candidates(), slow.candidates());
+                }
+            }
+        }
+    }
+
+    /// Real documents' path ids overlap without nesting (each id is a
+    /// per-instance union of leaf-path encodings), so the relation must
+    /// handle arbitrary bit-set families exactly — no laminarity
+    /// assumption anywhere. Hand-build an overlapping family and check
+    /// the fill against the §2 predicate directly.
+    #[test]
+    fn overlapping_unnested_ids_are_exact() {
+        use crate::bits::PathIdBits;
+        use crate::interner::PidInterner;
+
+        // Overlap without containment: {1,2} and {2,3} over three paths.
+        let mut tags = xpe_xml::TagInterner::new();
+        let a = tags.intern("a");
+        let b = tags.intern("b");
+        let mut encoding = EncodingTable::new();
+        encoding.intern(&[a, b]);
+        encoding.intern(&[a, b, b]);
+        encoding.intern(&[a]);
+        let width = encoding.len() as u32;
+        let mut pids = PidInterner::new(width);
+        for bits in [&[1u32, 2][..], &[2, 3], &[1, 2, 3]] {
+            let mut id = PathIdBits::zero(width);
+            for &p in bits {
+                id.set(p);
+            }
+            pids.intern(id);
+        }
+        let slab = PidBitmapSlab::from_interner(&pids);
+        let relation = PidContainmentRelation::build(&slab);
+        // {1,2} ⊆ {1,2,3}, {2,3} ⊆ {1,2,3}, plus the three reflexive
+        // pairs; the overlapping pair {1,2} vs {2,3} nests neither way.
+        assert_eq!(relation.pair_count(), 5);
+
+        for child in [true, false] {
+            let adj = ContainmentAdjacency::build_with_layout(
+                &encoding, &pids, &slab, &relation, a, b, child,
+            );
+            let mask = relation_mask(&encoding, a, b, child);
+            for (pu, _) in pids.iter() {
+                for (pv, _) in pids.iter() {
+                    assert_eq!(
+                        adj.forward(pu).contains(&pv),
+                        axis_compatible_masked(&pids, pu, pv, &mask),
+                        "{pu:?}->{pv:?} child={child}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seed_bitmaps_memoize() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        let cache = JoinIndexCache::new();
+        let s1 = cache.seed_bitmap(tags[0], true, || vec![0b101]);
+        let s2 = cache.seed_bitmap(tags[0], true, || panic!("memo must hit"));
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(*s1, vec![0b101]);
+        let s3 = cache.seed_bitmap(tags[0], false, || vec![0b11]);
+        assert_eq!(*s3, vec![0b11]);
+        let slab1 = cache.slab(&lab.interner);
+        let slab2 = cache.slab(&lab.interner);
+        assert!(Arc::ptr_eq(&slab1, &slab2));
+        assert_eq!(slab1.rows(), lab.interner.len());
     }
 
     #[test]

@@ -24,12 +24,15 @@ pub struct PathIdBits {
 }
 
 impl PathIdBits {
-    /// The all-zero id of the given width.
+    /// The all-zero id of the given width. A zero-width id stores no
+    /// words at all (empty documents produce width-0 encoding tables;
+    /// allocating a word for them would make every such id carry a
+    /// 8-byte slab it can never set a bit in).
     pub fn zero(nbits: u32) -> Self {
         let n = nbits.div_ceil(64) as usize;
         PathIdBits {
             nbits,
-            words: vec![0u64; n.max(1)].into_boxed_slice(),
+            words: vec![0u64; n].into_boxed_slice(),
         }
     }
 
@@ -68,9 +71,15 @@ impl PathIdBits {
     /// children's ids).
     pub fn or_assign(&mut self, other: &PathIdBits) {
         debug_assert_eq!(self.nbits, other.nbits);
-        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
-            *w |= o;
-        }
+        crate::words::or_assign(&mut self.words, &other.words);
+    }
+
+    /// Bitwise AND — restricts this id to the paths of `other` (masking
+    /// an id by a relation mask, for instance). Shares the chunked word
+    /// loop of the join kernel helpers.
+    pub fn and_assign(&mut self, other: &PathIdBits) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        crate::words::and_assign(&mut self.words, &other.words);
     }
 
     /// The paper's *path id containment*: `self` ≠ `other` and
@@ -82,25 +91,26 @@ impl PathIdBits {
     /// `self & other == other` (containment or equality).
     pub fn contains_or_equal(&self, other: &PathIdBits) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(a, b)| a & b == *b)
+        crate::words::is_subset(&other.words, &self.words)
     }
 
     /// Whether any bit is set in both ids (`self & other ≠ 0`).
     pub fn intersects(&self, other: &PathIdBits) -> bool {
         debug_assert_eq!(self.nbits, other.nbits);
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .any(|(a, b)| a & b != 0)
+        crate::words::intersects(&self.words, &other.words)
     }
 
     /// Number of set bits (how many distinct root-to-leaf paths pass
     /// through nodes carrying this id).
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        crate::words::count_ones(&self.words)
+    }
+
+    /// The raw storage words (leftmost path in the most significant bit
+    /// of word 0) — how the slab ingests interned ids.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Iterates over set bit positions, 1-based from the left, ascending.
@@ -274,6 +284,40 @@ mod tests {
         assert_eq!(z.first_one(), None);
         assert_eq!(z.count_ones(), 0);
         assert_eq!(z.size_bytes(), 1);
+    }
+
+    #[test]
+    fn zero_width_allocates_no_words() {
+        let z = PathIdBits::zero(0);
+        assert!(z.is_zero());
+        assert_eq!(z.words().len(), 0, "no storage for zero-width ids");
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.first_one(), None);
+        assert_eq!(z.ones().count(), 0);
+        assert_eq!(z.size_bytes(), 0);
+        assert_eq!(z, PathIdBits::zero(0));
+        // Width-respecting ops are no-ops, not panics.
+        let mut a = PathIdBits::zero(0);
+        a.or_assign(&z);
+        a.and_assign(&z);
+        assert!(a.contains_or_equal(&z) && !a.contains(&z));
+        assert!(!a.intersects(&z));
+    }
+
+    #[test]
+    fn and_assign_masks_across_words() {
+        let mut b = PathIdBits::zero(130);
+        for pos in [1, 64, 65, 100, 130] {
+            b.set(pos);
+        }
+        let mut mask = PathIdBits::zero(130);
+        for pos in [1, 65, 130] {
+            mask.set(pos);
+        }
+        b.and_assign(&mask);
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![1, 65, 130]);
+        b.and_assign(&PathIdBits::zero(130));
+        assert!(b.is_zero());
     }
 
     #[test]

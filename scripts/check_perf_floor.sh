@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Perf-floor smoke check over the bench_estimation snapshot.
+#
+# Reads results/BENCH_estimation.json (or $1) and fails if the XMark
+# serial throughput of any kernel row falls below a floor, or if the
+# snapshot is structurally wrong (missing a kernel's rows — e.g. a
+# regression that silently drops the bitmap kernel from the sweep).
+#
+# The floor is deliberately conservative: CI runs at XPE_SCALE=0.01 on
+# shared runners whose wall clock varies several-fold, so this catches
+# order-of-magnitude regressions (an accidentally quadratic kernel, a
+# cache that stopped memoizing), not percent-level drift. Local runs at
+# scale 0.03 sustain ~65–90k q/s on XMark; the default floor is 8k.
+# Override with XPE_PERF_FLOOR_XMARK_QPS.
+set -euo pipefail
+
+snapshot="${1:-results/BENCH_estimation.json}"
+floor="${XPE_PERF_FLOOR_XMARK_QPS:-8000}"
+
+if [[ ! -f "$snapshot" ]]; then
+    echo "perf floor: snapshot $snapshot not found" >&2
+    exit 1
+fi
+
+SNAPSHOT="$snapshot" FLOOR="$floor" python3 - <<'EOF'
+import json
+import os
+import sys
+
+snapshot = os.environ["SNAPSHOT"]
+floor = float(os.environ["FLOOR"])
+with open(snapshot) as f:
+    data = json.load(f)
+
+rows = data.get("datasets", [])
+kernels = {r.get("kernel") for r in rows}
+for expected in ("indexed", "bitmap"):
+    if expected not in kernels:
+        sys.exit(f"perf floor: no '{expected}' kernel rows in {snapshot}")
+
+failures = []
+for r in rows:
+    if r.get("dataset") != "XMark":
+        continue
+    qps = float(r["serial_qps"])
+    tag = f"XMark[{r['kernel']}]"
+    print(f"perf floor: {tag} serial {qps:.0f} q/s (floor {floor:.0f})")
+    if qps < floor:
+        failures.append(f"{tag} serial {qps:.0f} q/s < floor {floor:.0f}")
+
+if not any(r.get("dataset") == "XMark" for r in rows):
+    sys.exit(f"perf floor: no XMark rows in {snapshot}")
+if failures:
+    sys.exit("perf floor FAILED: " + "; ".join(failures))
+print("perf floor: ok")
+EOF
