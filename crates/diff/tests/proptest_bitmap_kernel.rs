@@ -19,8 +19,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use xpe_core::{
-    path_join, path_join_bitmap, path_join_bitmap_budgeted, path_join_bitmap_unscreened, Budget,
-    BudgetState, JoinScratch,
+    path_join, path_join_bitmap, path_join_bitmap_budgeted, path_join_bitmap_unscreened,
+    path_join_cached, Budget, BudgetState, JoinScratch,
 };
 use xpe_datagen::{random_document, RandomDocConfig};
 use xpe_diff::{random_query, tag_paths};
@@ -53,6 +53,77 @@ fn as_bits(lists: &[Vec<(Pid, f64)>]) -> Vec<Vec<(Pid, u64)>> {
         .iter()
         .map(|l| l.iter().map(|&(p, f)| (p, f.to_bits())).collect())
         .collect()
+}
+
+/// A deterministic document whose summary interner is wider than 4096
+/// bits (> 64 `u64` words): 70 blocks of nested `m` elements, each with
+/// 60 uniquely-tagged leaves, for 4200 distinct root-to-leaf paths. The
+/// random scenarios above cap tag count and depth, so interner widths
+/// stay far below the adjacency builders' 64-word support-signature
+/// reach; this is the regime where the signature aliases word `j` to bit
+/// `j % 64` and an unsound truncation once admitted false containment
+/// pairs between pids living in low and high words.
+fn wide_scenario() -> (Summary, Vec<xpe_xpath::Query>) {
+    let mut leaf = 0usize;
+    let mut block = |b: &mut xpe_xml::TreeBuilder| {
+        b.begin_element("p");
+        b.begin_element("q");
+        for _ in 0..60 {
+            b.begin_element(&format!("l{leaf}"));
+            b.end_element().unwrap();
+            leaf += 1;
+        }
+        b.end_element().unwrap();
+        b.end_element().unwrap();
+    };
+    let mut b = xpe_xml::TreeBuilder::new();
+    b.begin_element("r");
+    // 69 x→p→q blocks: 4140 low-word encodings.
+    for _ in 0..69 {
+        b.begin_element("x");
+        block(&mut b);
+        b.end_element().unwrap();
+    }
+    // One x-less p→q block whose 60 encodings land entirely in words
+    // ≥ 64 of the 4200-path id space. Under //x//p//q its q pid must be
+    // pruned (no x ancestor, and no low-word p truly contains it) — a
+    // truncated subset walk that ignores high words sees the pid as
+    // contained in word-0/1 p pids and keeps it alive.
+    block(&mut b);
+    b.end_element().unwrap();
+    let doc = b.finish().unwrap();
+    let summary = Summary::build(&doc, SummaryConfig::default());
+    assert!(
+        summary.pids.width() > 4096,
+        "scenario must exceed 64 words, got {} paths",
+        summary.pids.width()
+    );
+    let queries = ["//x//p//q", "//p//q", "//p/q", "/r/x//q", "//q//l4185"]
+        .iter()
+        .map(|q| xpe_xpath::parse_query(q).expect(q))
+        .collect();
+    (summary, queries)
+}
+
+/// Every kernel stays bit-identical to the naive oracle on an interner
+/// wider than the 64-bit support signature — deterministic coverage the
+/// random scenarios (tag_count ≤ 3, max_depth ≤ 5) can never reach.
+#[test]
+fn wide_interner_kernels_match_naive() {
+    let (summary, queries) = wide_scenario();
+    let index = JoinIndexCache::new();
+    let mut scratch = JoinScratch::new();
+    for query in &queries {
+        let reference = as_bits(&path_join(&summary, query).lists);
+        let bitmap = path_join_bitmap(&summary, query, &index, Some(&mut scratch));
+        assert_eq!(as_bits(&bitmap.lists), reference, "bitmap {query}");
+        scratch.recycle(bitmap);
+        let bare = path_join_bitmap_unscreened(&summary, query, &index, None);
+        assert_eq!(as_bits(&bare.lists), reference, "unscreened {query}");
+        let indexed = path_join_cached(&summary, query, None, Some(&index), Some(&mut scratch));
+        assert_eq!(as_bits(&indexed.lists), reference, "indexed {query}");
+        scratch.recycle(indexed);
+    }
 }
 
 proptest! {

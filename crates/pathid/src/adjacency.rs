@@ -99,6 +99,13 @@ impl PidContainmentRelation {
         let ssig: Vec<u64> = order.iter().map(|&r| sig[r as usize]).collect();
         let sidx: Vec<u32> = order.iter().map(|&r| ne[r as usize]).collect();
 
+        // The signature aliases word `j` to bit `j % 64`, so its top bit
+        // only bounds a row's true support when rows fit in 64 words;
+        // wider rows must walk their full width or any word at index
+        // ≥ 64 would be silently ignored, admitting false pairs.
+        let full = slab.words_per_row();
+        let sig_exact = full <= 64;
+
         let mut pairs = 0usize;
         for (r, &u32_) in ne.iter().enumerate() {
             let u = u32_ as usize;
@@ -112,8 +119,13 @@ impl PidContainmentRelation {
                     continue;
                 }
                 // Words past v's highest nonzero word are zero and subset
-                // anything, so the multi-word walk stops at v's support.
-                let lv = 64 - ssig[k].leading_zeros() as usize;
+                // anything, so the multi-word walk stops at v's support —
+                // when the signature is exact about where that support ends.
+                let lv = if sig_exact {
+                    64 - ssig[k].leading_zeros() as usize
+                } else {
+                    full
+                };
                 let v = sidx[k] as usize;
                 if words::is_subset(&slab.row_words(v)[..lv], &wu[..lv]) {
                     words::set_bit(&mut fwd_bits[u * set_words..(u + 1) * set_words], v);
@@ -344,6 +356,12 @@ impl ContainmentAdjacency {
         let ssig: Vec<u64> = order.iter().map(|&r| sig[r as usize]).collect();
         let sidx: Vec<u32> = order.iter().map(|&r| ok[r as usize] as u32).collect();
 
+        // As in `PidContainmentRelation::build`: the signature aliases
+        // word `j` to bit `j % 64`, so support truncation is only sound
+        // for rows up to 64 words — wider rows walk their full width.
+        let full = slab.words_per_row();
+        let sig_exact = full <= 64;
+
         let mut fwd_off = vec![0u32; n + 1];
         let mut fwd = Vec::new();
         let mut rev_len = vec![0u32; n];
@@ -364,7 +382,11 @@ impl ContainmentAdjacency {
                 // Words past v's highest nonzero word are zero and subset
                 // anything, so the multi-word walk stops at v's support —
                 // typically 1–2 words of the 8-word padded row.
-                let lv = 64 - ssig[k].leading_zeros() as usize;
+                let lv = if sig_exact {
+                    64 - ssig[k].leading_zeros() as usize
+                } else {
+                    full
+                };
                 let v = sidx[k] as usize;
                 if words::is_subset(&slab.row_words(v)[..lv], &wu[..lv]) {
                     hits.push(sidx[k]);
@@ -817,6 +839,135 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Interners wider than 64 words alias the support signature (word
+    /// `j` → bit `j % 64`), so the subset walk must not truncate rows to
+    /// the aliased support. Regression: a 65-word interner with ids
+    /// {1,2} and {1,4099} used to report a bogus {1,2} ⊇ {1,4099} pair
+    /// (pair_count 3 instead of 2) in every builder that took the
+    /// truncated fast path.
+    #[test]
+    fn wide_interner_relation_is_exact() {
+        use crate::bits::PathIdBits;
+        use crate::interner::PidInterner;
+
+        let width = 4160u32; // 65 words — one past the signature's reach
+        let mut pids = PidInterner::new(width);
+        for bits in [
+            &[1u32, 2][..],
+            &[1, 4099],
+            &[4099],
+            &[2, 4099, 4100],
+            &[1, 2, 4099, 4100],
+            &[65, 4160],
+        ] {
+            let mut id = PathIdBits::zero(width);
+            for &p in bits {
+                id.set(p);
+            }
+            pids.intern(id);
+        }
+        let slab = PidBitmapSlab::from_interner(&pids);
+        let relation = PidContainmentRelation::build(&slab);
+        let mut pairs = 0;
+        for (pu, bu) in pids.iter() {
+            for (pv, bv) in pids.iter() {
+                let expected = bu.contains_or_equal(bv);
+                assert_eq!(
+                    words::test_bit(relation.forward_row(pu.index()), pv.index()),
+                    expected,
+                    "fwd {pu:?} ⊇ {pv:?}"
+                );
+                assert_eq!(
+                    words::test_bit(relation.reverse_row(pv.index()), pu.index()),
+                    expected,
+                    "rev {pu:?} ⊇ {pv:?}"
+                );
+                pairs += usize::from(expected);
+            }
+        }
+        assert_eq!(relation.pair_count(), pairs);
+
+        // The reviewer's minimal counterexample, verbatim.
+        let mut two = PidInterner::new(width);
+        for bits in [&[1u32, 2][..], &[1, 4099]] {
+            let mut id = PathIdBits::zero(width);
+            for &p in bits {
+                id.set(p);
+            }
+            two.intern(id);
+        }
+        let rel = PidContainmentRelation::build(&PidBitmapSlab::from_interner(&two));
+        assert_eq!(rel.pair_count(), 2, "only the two reflexive pairs");
+    }
+
+    /// Both adjacency fills stay exact past 64 words of interner width —
+    /// the same regression as `wide_interner_relation_is_exact`, but
+    /// through `build_with_slab`'s own truncated walk and the masked
+    /// `build_with_layout` fill.
+    #[test]
+    fn wide_interner_adjacency_matches_masked_test() {
+        use crate::bits::PathIdBits;
+        use crate::interner::PidInterner;
+
+        // 4160 distinct paths via binary strings over two tags: enough
+        // encodings that high pid words are real, cheap to intern.
+        let mut tags = xpe_xml::TagInterner::new();
+        let r = tags.intern("r");
+        let a = tags.intern("a");
+        let b = tags.intern("b");
+        let mut encoding = EncodingTable::new();
+        for i in 0..4160u32 {
+            let mut path = vec![r];
+            for bit in 0..13 {
+                path.push(if i >> bit & 1 == 1 { a } else { b });
+            }
+            encoding.intern(&path);
+        }
+        let width = encoding.len() as u32;
+        assert!(width > 4096);
+
+        let mut pids = PidInterner::new(width);
+        for bits in [
+            &[1u32, 2][..],
+            &[1, 4099],
+            &[4099],
+            &[2, 4099, 4100],
+            &[1, 2, 4099, 4100],
+            &[65, 126, 4160],
+        ] {
+            let mut id = PathIdBits::zero(width);
+            for &p in bits {
+                id.set(p);
+            }
+            pids.intern(id);
+        }
+        let slab = PidBitmapSlab::from_interner(&pids);
+        let relation = PidContainmentRelation::build(&slab);
+        for child in [true, false] {
+            let fast = ContainmentAdjacency::build_with_layout(
+                &encoding, &pids, &slab, &relation, r, a, child,
+            );
+            let slow = ContainmentAdjacency::build_with_slab(&encoding, &pids, &slab, r, a, child);
+            let mask = relation_mask(&encoding, r, a, child);
+            for (pu, _) in pids.iter() {
+                for (pv, _) in pids.iter() {
+                    let expected = axis_compatible_masked(&pids, pu, pv, &mask);
+                    assert_eq!(
+                        fast.forward(pu).contains(&pv),
+                        expected,
+                        "fast {pu:?}->{pv:?} child={child}"
+                    );
+                    assert_eq!(
+                        slow.forward(pu).contains(&pv),
+                        expected,
+                        "slow {pu:?}->{pv:?} child={child}"
+                    );
+                }
+            }
+            assert_eq!(fast.pair_count(), slow.pair_count());
         }
     }
 

@@ -34,7 +34,7 @@ const LINE_WORDS: usize = 8;
 
 /// All path ids of one summary as contiguous, 64-byte-aligned bitmap
 /// rows in a single arena allocation.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct PidBitmapSlab {
     /// Width in bits of every id.
     nbits: u32,
@@ -46,6 +46,35 @@ pub struct PidBitmapSlab {
     offset: usize,
     rows: usize,
     storage: Vec<u64>,
+}
+
+impl Clone for PidBitmapSlab {
+    /// The alignment offset is a function of the allocation's base
+    /// address, so a clone cannot copy `offset` verbatim: the fresh
+    /// `Vec` is only guaranteed 8-byte aligned. Re-derive the offset for
+    /// the new allocation and re-skew the row data under it, keeping the
+    /// 64-byte row-alignment invariant.
+    fn clone(&self) -> Self {
+        let mut storage = vec![0u64; self.storage.len()];
+        let misalign = (storage.as_ptr() as usize % 64) / std::mem::size_of::<u64>();
+        let offset = (LINE_WORDS - misalign) % LINE_WORDS;
+        let data = self.rows * self.words_per_row;
+        storage[offset..offset + data]
+            .copy_from_slice(&self.storage[self.offset..self.offset + data]);
+        let slab = PidBitmapSlab {
+            nbits: self.nbits,
+            words_per_row: self.words_per_row,
+            offset,
+            rows: self.rows,
+            storage,
+        };
+        debug_assert!(
+            slab.rows == 0
+                || slab.words_per_row == 0
+                || slab.row_words(0).as_ptr() as usize % 64 == 0
+        );
+        slab
+    }
 }
 
 impl PidBitmapSlab {
@@ -271,6 +300,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Cloning reallocates, so the clone must re-derive its alignment
+    /// offset — a verbatim copy of `offset` would leave rows on whatever
+    /// 8-byte boundary the new `Vec` landed on.
+    #[test]
+    fn cloned_slabs_keep_rows_aligned_and_equal() {
+        for width in [1u32, 63, 64, 65, 200] {
+            let pids = patterned_interner(width);
+            let slab = PidBitmapSlab::from_interner(&pids);
+            // Several clones so at least one lands at a different base
+            // misalignment than the original with high probability.
+            let clones: Vec<PidBitmapSlab> = (0..8).map(|_| slab.clone()).collect();
+            for c in &clones {
+                assert_eq!(c.rows(), slab.rows());
+                assert_eq!(c.nbits(), slab.nbits());
+                assert_eq!(c.words_per_row(), slab.words_per_row());
+                for i in 0..slab.rows() {
+                    assert_eq!(c.row_words(i), slab.row_words(i), "width {width} row {i}");
+                    assert_eq!(
+                        c.row_words(i).as_ptr() as usize % 64,
+                        0,
+                        "width {width} row {i} of clone must stay 64-byte aligned"
+                    );
+                }
+            }
+        }
+        // Degenerate shapes clone without panicking.
+        let empty = PidBitmapSlab::from_interner(&PidInterner::new(5)).clone();
+        assert_eq!(empty.rows(), 0);
+        let mut zw = PidInterner::new(0);
+        zw.intern(PathIdBits::zero(0));
+        let zclone = PidBitmapSlab::from_interner(&zw).clone();
+        assert_eq!(zclone.rows(), 1);
+        assert_eq!(zclone.get(0).count_ones(), 0);
     }
 
     #[test]
