@@ -12,8 +12,9 @@
 //!   containment adjacencies built and the milliseconds spent building
 //!   them;
 //! * a per-phase join breakdown from one instrumented serial pass —
-//!   screen (worklist seeding + candidate setup), fixpoint (the edge
-//!   sweep), and finalize (rebuilding the surviving lists).
+//!   plan (tag/edge resolution for the prepared query plan), screen
+//!   (worklist seeding + candidate setup), fixpoint (the edge sweep),
+//!   and finalize (rebuilding the surviving lists).
 //!
 //! Writes `results/BENCH_estimation.json` (hand-rolled JSON — the
 //! workspace carries no serde) and prints the same numbers as a table.
@@ -59,6 +60,7 @@ struct Row {
     adjacency_build_ms: f64,
     adjacency_builds: u64,
     adjacency_pairs: u64,
+    plan_ms: f64,
     screen_ms: f64,
     fixpoint_ms: f64,
     finalize_ms: f64,
@@ -162,8 +164,9 @@ fn main() {
                     std::hint::black_box(est.estimate(q));
                 }
                 let p = est.join_phase_stats();
-                let total =
-                    |s: &xpe_core::JoinPhaseStats| s.screen_ns + s.fixpoint_ns + s.finalize_ns;
+                let total = |s: &xpe_core::JoinPhaseStats| {
+                    s.plan_ns + s.screen_ns + s.fixpoint_ns + s.finalize_ns
+                };
                 phases = match phases {
                     Some(prev) if total(&prev) <= total(&p) => Some(prev),
                     _ => Some(p),
@@ -173,8 +176,8 @@ fn main() {
 
             println!(
                 "  {} [{}]: join cache {}/{} hits ({:.1}%), {} adjacencies \
-                 ({} pairs) built in {:.2} ms; phases screen {:.2} ms, \
-                 fixpoint {:.2} ms, finalize {:.2} ms",
+                 ({} pairs) built in {:.2} ms; phases plan {:.2} ms, \
+                 screen {:.2} ms, fixpoint {:.2} ms, finalize {:.2} ms",
                 ds.name(),
                 kernel.name(),
                 stats.join_cache_hits,
@@ -183,6 +186,7 @@ fn main() {
                 stats.adjacency_builds,
                 stats.adjacency_pairs,
                 stats.adjacency_build_ms,
+                phases.plan_ns as f64 / 1e6,
                 phases.screen_ns as f64 / 1e6,
                 phases.fixpoint_ns as f64 / 1e6,
                 phases.finalize_ns as f64 / 1e6,
@@ -201,6 +205,7 @@ fn main() {
                 adjacency_build_ms: stats.adjacency_build_ms,
                 adjacency_builds: stats.adjacency_builds,
                 adjacency_pairs: stats.adjacency_pairs,
+                plan_ms: phases.plan_ns as f64 / 1e6,
                 screen_ms: phases.screen_ns as f64 / 1e6,
                 fixpoint_ms: phases.fixpoint_ns as f64 / 1e6,
                 finalize_ms: phases.finalize_ns as f64 / 1e6,
@@ -258,7 +263,8 @@ fn main() {
              \"build_serial_ms\": {:.3}, \"build_parallel_ms\": {:.3}, \
              \"join_cache_hit_rate\": {:.4}, \"adjacency_build_ms\": {:.3}, \
              \"adjacency_builds\": {}, \"adjacency_pairs\": {}, \
-             \"screen_ms\": {:.3}, \"fixpoint_ms\": {:.3}, \"finalize_ms\": {:.3}}}",
+             \"plan_ms\": {:.3}, \"screen_ms\": {:.3}, \"fixpoint_ms\": {:.3}, \
+             \"finalize_ms\": {:.3}}}",
             json_escape_free(r.dataset),
             json_escape_free(r.kernel),
             r.queries,
@@ -272,6 +278,7 @@ fn main() {
             r.adjacency_build_ms,
             r.adjacency_builds,
             r.adjacency_pairs,
+            r.plan_ms,
             r.screen_ms,
             r.fixpoint_ms,
             r.finalize_ms,

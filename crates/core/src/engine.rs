@@ -136,6 +136,10 @@ impl<'s> EstimationEngine<'s> {
         let mut rebuilt = Self::with_parts(self.summary, self.threads, capacity);
         rebuilt.limits = self.limits;
         rebuilt.budget = self.budget;
+        // The outcome tallies are lifetime counters of *this* engine, not
+        // of one cache configuration — carry them into the rebuild or
+        // `kernel_stats()` silently under-reports after a capacity change.
+        rebuilt.outcomes = self.outcomes;
         rebuilt = rebuilt.with_kernel(self.kernel);
         rebuilt
     }
@@ -443,21 +447,42 @@ mod tests {
     }
 
     #[test]
-    fn batch_warms_the_shared_mask_cache() {
+    fn adjacency_served_edges_never_touch_the_mask_cache() {
+        // Masks are resolved lazily: an edge served by a containment
+        // adjacency folds the mask test into its pair relation, so
+        // materializing the mask too would be a wasted cache probe. With
+        // the adjacency index live (it always is inside an engine), the
+        // shared mask cache must therefore stay cold across a whole batch.
         let s = summary();
-        // The mask cache is an indexed-kernel structure; the default
-        // bitmap kernel resolves edges through the adjacency index alone.
         let engine = EstimationEngine::new(&s)
             .with_threads(2)
             .with_kernel(JoinKernel::Indexed);
         assert!(engine.mask_cache().is_empty());
         let queries: Vec<Query> = QUERIES.iter().map(|q| parse_query(q).unwrap()).collect();
         engine.estimate_batch(&queries);
-        let warmed = engine.mask_cache().len();
-        assert!(warmed > 0);
-        // A second run reuses the memo table instead of growing it.
-        engine.estimate_batch(&queries);
-        assert_eq!(engine.mask_cache().len(), warmed);
+        assert!(
+            engine.mask_cache().is_empty(),
+            "no mask materialized for adjacency-served edges"
+        );
+        assert!(!engine.adjacency_cache().is_empty());
+    }
+
+    #[test]
+    fn rebuilding_join_cache_carries_outcome_counters() {
+        let s = summary();
+        let engine = EstimationEngine::new(&s);
+        let q = parse_query("//A//C").unwrap();
+        engine.try_estimate(&q);
+        engine.try_estimate(&q);
+        assert_eq!(engine.kernel_stats().outcomes_ok, 2);
+        let rebuilt = engine.with_join_cache_capacity(8);
+        assert_eq!(
+            rebuilt.kernel_stats().outcomes_ok,
+            2,
+            "lifetime outcome tallies survive a cache capacity change"
+        );
+        rebuilt.try_estimate(&q);
+        assert_eq!(rebuilt.kernel_stats().outcomes_ok, 3);
     }
 
     #[test]

@@ -31,10 +31,11 @@ use xpe_xpath::{
 use crate::editor::{self, subtree_of};
 use crate::invariant::{finalize_estimate, safe_div};
 use crate::join::{
-    path_join, path_join_bitmap_budgeted, path_join_budgeted, JoinKernel, JoinPhaseStats,
+    path_join, path_join_bitmap_planned, path_join_planned, JoinKernel, JoinMemo, JoinPhaseStats,
     JoinResult, JoinScratch,
 };
 use crate::joincache::{skeleton_key, JoinCache};
+use crate::planner::QueryPlan;
 use crate::serve::{
     Budget, BudgetExhausted, BudgetState, DegradedReason, EstimateOutcome, EstimateStatus,
     QueryLimits,
@@ -45,7 +46,10 @@ use crate::serve::{
 /// Every estimator memoizes the relation masks and containment
 /// adjacencies its joins compute (keyed by `(tag_u, tag_v, axis)` — pure
 /// functions of the summary's encoding table) and recycles the joins'
-/// per-node list allocations. Estimators built by
+/// per-node list allocations. On top of the shared caches each estimator
+/// keeps a private lock-free [`JoinMemo`] — flat `Vec`-indexed adjacency
+/// and seed-bitmap tables filled on first miss — so a warm join never
+/// takes a lock or hashes a key. Estimators built by
 /// [`EstimationEngine`](crate::EstimationEngine) share one mask cache, one
 /// adjacency index, and one workload-level [`JoinCache`], so a batch warms
 /// all three for every worker.
@@ -55,6 +59,10 @@ pub struct Estimator<'s> {
     adjacency: Arc<JoinIndexCache>,
     join_cache: Option<Arc<JoinCache>>,
     scratch: RefCell<JoinScratch>,
+    /// Flat per-estimator mirror of the shared adjacency/seed caches —
+    /// valid for this estimator's `(summary, adjacency)` pairing, which
+    /// both live as long as the estimator by construction.
+    memo: RefCell<JoinMemo>,
     /// Which join kernel [`run_join`](Self::run_join) dispatches to. All
     /// kernels are bit-identical; this only selects speed (and, for
     /// `Naive`, opts out of budget cooperation).
@@ -123,6 +131,7 @@ impl<'s> Estimator<'s> {
             adjacency,
             join_cache,
             scratch: RefCell::new(JoinScratch::new()),
+            memo: RefCell::new(JoinMemo::new()),
             kernel: JoinKernel::default(),
             budget: RefCell::new(None),
         }
@@ -170,44 +179,74 @@ impl<'s> Estimator<'s> {
 
     /// Runs the path join through this estimator's caches: the
     /// workload-level join cache first (keyed by the query's structural
-    /// skeleton), then the indexed kernel on a miss, publishing the result
-    /// for every estimator sharing the cache.
+    /// skeleton), then the selected kernel on a miss — driven by the
+    /// skeleton's prepared [`QueryPlan`], cache-served when a previous
+    /// call published one — finally publishing plan and result for every
+    /// estimator sharing the cache.
     fn join(&self, query: &Query) -> Joined {
         let Some(cache) = &self.join_cache else {
-            return Joined::Owned(self.run_join(query));
+            let plan = self.build_plan(query);
+            return Joined::Owned(self.run_join(query, &plan));
         };
         let key = skeleton_key(query);
-        if let Some(hit) = cache.get(&key) {
-            return Joined::Shared(hit);
+        let hit = cache.lookup(&key);
+        if let Some(h) = &hit {
+            if let Some(result) = &h.result {
+                return Joined::Shared(Arc::clone(result));
+            }
         }
-        let result = self.run_join(query);
+        let plan = match hit {
+            Some(h) => h.plan,
+            None => Arc::new(self.build_plan(query)),
+        };
+        let result = self.run_join(query, &plan);
         // A budget-truncated join is not the fixpoint — never publish it
         // to the shared cache, where an unbudgeted estimator (or a later
-        // healthy query) would mistake it for the real result.
+        // healthy query) would mistake it for the real result. The plan
+        // is budget-independent, so it is published either way.
         if self.budget_exhausted() {
+            cache.publish(key, plan, None);
             return Joined::Owned(result);
         }
         let result = Arc::new(result);
-        cache.insert(key, Arc::clone(&result));
+        cache.publish(key, plan, Some(Arc::clone(&result)));
         Joined::Shared(result)
     }
 
-    fn run_join(&self, query: &Query) -> JoinResult {
+    /// Builds the prepared plan for `query`, lapping the build into the
+    /// phase breakdown when join timing is on.
+    fn build_plan(&self, query: &Query) -> QueryPlan {
+        if !self.scratch.borrow().timing_enabled() {
+            return QueryPlan::build(self.summary, query);
+        }
+        let t0 = std::time::Instant::now();
+        let plan = QueryPlan::build(self.summary, query);
+        self.scratch
+            .borrow_mut()
+            .add_plan_ns(t0.elapsed().as_nanos() as u64);
+        plan
+    }
+
+    fn run_join(&self, query: &Query, plan: &QueryPlan) -> JoinResult {
         let budget = self.budget.borrow();
         match self.kernel {
             JoinKernel::Naive => path_join(self.summary, query),
-            JoinKernel::Indexed => path_join_budgeted(
+            JoinKernel::Indexed => path_join_planned(
                 self.summary,
                 query,
+                plan,
                 Some(&self.masks),
                 Some(&self.adjacency),
+                Some(&mut self.memo.borrow_mut()),
                 Some(&mut self.scratch.borrow_mut()),
                 budget.as_ref(),
             ),
-            JoinKernel::Bitmap => path_join_bitmap_budgeted(
+            JoinKernel::Bitmap => path_join_bitmap_planned(
                 self.summary,
                 query,
+                plan,
                 &self.adjacency,
+                Some(&mut self.memo.borrow_mut()),
                 Some(&mut self.scratch.borrow_mut()),
                 budget.as_ref(),
             ),
@@ -410,8 +449,21 @@ impl<'s> Estimator<'s> {
         // immediate predecessor — a documented generalization.
         let (nb, region) = if pos > 0 {
             (chain.heads[pos - 1], Region::After)
+        } else if let Some(&next) = chain.heads.get(pos + 1) {
+            (next, Region::Before)
         } else {
-            (chain.heads[pos + 1], Region::Before)
+            // Unreachable by construction: a chain is assembled from
+            // before/after constraint pairs whose edges `Query::new`
+            // validation requires to be distinct (`before == after` is
+            // rejected), so every chain carries at least two heads. If
+            // that invariant ever breaks, degrade to a neutral ratio —
+            // `S_Q̃'/S_Q'` of 1 collapses Eq. 3 to the order-free bound
+            // and Eq. 5 to `min(s, s_plain_h)` — instead of panicking.
+            debug_assert!(false, "order chain with a single head");
+            return HeadParts {
+                s_tilde_prime: 1.0,
+                s_prime: 1.0,
+            };
         };
 
         let plain = editor::without_constraints(query);
@@ -488,6 +540,10 @@ impl<'s> Estimator<'s> {
             self.summary.tags.get(&query.node(owner).tag),
             self.summary.tags.get(&query.node(mover).tag),
         ) else {
+            // An unknown tag means no conversion can match — but the join
+            // above still borrowed scratch vectors that must go back to
+            // the pool, not be dropped with this early return.
+            self.recycle(join);
             return 0.0;
         };
         let mut conversions: Vec<Vec<String>> = Vec::new();
@@ -625,4 +681,66 @@ fn materialize_conversion(
         }
     }
     Query::new(nodes, query.root_axis(), query.target()).expect("conversion stays valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpe_synopsis::SummaryConfig;
+
+    fn summary() -> Summary {
+        Summary::build(
+            &xpe_xml::fixtures::paper_figure1(),
+            SummaryConfig::default(),
+        )
+    }
+
+    /// The unknown-tag early return in `estimate_via_conversion` runs a
+    /// join first; its scratch vectors must come back to the pool, not be
+    /// dropped with the `0.0`.
+    #[test]
+    fn conversion_unknown_tag_returns_join_scratch_to_the_pool() {
+        let s = summary();
+        for kernel in [JoinKernel::Indexed, JoinKernel::Bitmap] {
+            let est = Estimator::new(&s).with_kernel(kernel);
+            // Document chain (C before B), both heads known, owner tag
+            // absent from the document: the conversion join runs, then
+            // bails on the unknown owner tag.
+            let q = parse_query("//Zebra[/C/foll::$B]").unwrap();
+            assert_eq!(est.estimate(&q), 0.0);
+            assert_eq!(
+                est.scratch.borrow().pooled(),
+                q.len(),
+                "{}: every join list recycled",
+                kernel.name()
+            );
+        }
+    }
+
+    /// Warm private memos and plans change nothing observable: a reused
+    /// estimator reproduces a fresh estimator's results bit for bit.
+    #[test]
+    fn warm_memos_are_bit_identical_to_cold() {
+        let s = summary();
+        let queries = [
+            "//A[/C/F]/B/D",
+            "//A//C",
+            "//C[/$E]/F",
+            "/Root/A/C/F",
+            "//A[/C/folls::$B]",
+        ];
+        for kernel in JoinKernel::ALL {
+            let warm = Estimator::new(&s).with_kernel(kernel);
+            for q in queries {
+                let query = parse_query(q).unwrap();
+                let cold = Estimator::new(&s).with_kernel(kernel);
+                let a = cold.estimate(&query);
+                // Twice through the same estimator: cold memo, then warm.
+                let b = warm.estimate(&query);
+                let c = warm.estimate(&query);
+                assert_eq!(a.to_bits(), b.to_bits(), "{q} {}", kernel.name());
+                assert_eq!(b.to_bits(), c.to_bits(), "{q} {}", kernel.name());
+            }
+        }
+    }
 }

@@ -44,8 +44,10 @@ use xpe_pathid::{
     Pid, RelationMaskCache,
 };
 use xpe_synopsis::Summary;
+use xpe_xml::TagId;
 use xpe_xpath::{Axis, Query, QueryNodeId};
 
+use crate::planner::QueryPlan;
 use crate::serve::BudgetState;
 
 /// Which fixpoint kernel an [`Estimator`](crate::Estimator) runs. All
@@ -100,6 +102,10 @@ impl JoinKernel {
 /// memoized in [`JoinIndexCache`] and timed by its own counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct JoinPhaseStats {
+    /// Building the prepared [`QueryPlan`] — tag-name resolution and edge
+    /// flattening. Lapped by the estimator (plans are built outside the
+    /// kernels, and skipped entirely on a plan-cache hit).
+    pub plan_ns: u64,
     /// Seeding candidate lists/bitmaps, root pinning, and edge
     /// resolution (mask/adjacency lookups).
     pub screen_ns: u64,
@@ -136,24 +142,46 @@ pub struct JoinResult {
     pub lists: Vec<Vec<(Pid, f64)>>,
 }
 
-/// Reusable allocations for [`path_join_cached`].
+/// Reusable allocations for the non-naive join kernels.
 ///
-/// A join allocates one `(pid, frequency)` vector per query node; across a
-/// workload that is thousands of short-lived allocations doing identical
-/// work. The scratch keeps the vectors alive between joins: callers pass
-/// it to [`path_join_cached`] and hand finished [`JoinResult`]s back via
-/// [`recycle`](Self::recycle), after which the capacity is reused. It also
+/// A join allocates one `(pid, frequency)` vector per query node plus a
+/// handful of fixpoint bookkeeping structures; across a workload that is
+/// thousands of short-lived allocations doing identical work. The scratch
+/// keeps everything alive between joins: callers pass it to the kernels
+/// and hand finished [`JoinResult`]s back via [`recycle`](Self::recycle),
+/// after which the capacity is reused. Besides the list/bitmap pools it
 /// carries the indexed kernel's pid stamp array (an epoch-versioned
-/// membership mark, so the semi-join never clears between edges).
+/// membership mark, so the semi-join never clears between edges) and the
+/// hoisted worklist state — incident lists, queued flags, the worklist
+/// deque, per-node bitmap containers and population counts, and the
+/// resolved-edge vectors — so a warm join performs **zero allocations**.
 #[derive(Debug, Default)]
 pub struct JoinScratch {
     pool: Vec<Vec<(Pid, f64)>>,
+    /// Pooled outer `lists` vectors, so rebuilding a [`JoinResult`] does
+    /// not allocate its spine either.
+    outer_pool: Vec<Vec<Vec<(Pid, f64)>>>,
     stamp: Vec<u32>,
     epoch: u32,
     /// Pooled pid-index bitmaps for the bitmap kernel's per-node sets.
     bit_pool: Vec<Vec<u64>>,
     /// The bitmap kernel's union accumulator, reused across edges.
     acc: Vec<u64>,
+    /// Hoisted worklist state: per-node incident edge indices.
+    incident: Vec<Vec<usize>>,
+    /// Hoisted worklist state: per-edge queued flags.
+    queued: Vec<bool>,
+    /// Hoisted worklist state: the edge worklist itself.
+    worklist: VecDeque<usize>,
+    /// Hoisted bitmap-kernel state: per-node population counts.
+    counts: Vec<usize>,
+    /// Hoisted bitmap-kernel state: the per-node bitmap container (the
+    /// bitmaps inside recycle through `bit_pool`).
+    node_bits: Vec<Vec<u64>>,
+    /// Hoisted bitmap-kernel state: the resolved edge vector.
+    bit_edges: Vec<BitEdge>,
+    /// Hoisted indexed-kernel state: the resolved edge vector.
+    resolved: Vec<ResolvedEdge>,
     /// When set, the kernels accumulate a per-phase wall-clock breakdown
     /// into `phases` (see [`JoinPhaseStats`]).
     timing: bool,
@@ -171,6 +199,17 @@ impl JoinScratch {
         self.timing = on;
     }
 
+    /// Whether per-phase timing is enabled.
+    pub(crate) fn timing_enabled(&self) -> bool {
+        self.timing
+    }
+
+    /// Adds plan-construction time to the phase breakdown (the estimator
+    /// laps this — plans are built outside the kernels).
+    pub(crate) fn add_plan_ns(&mut self, ns: u64) {
+        self.phases.plan_ns += ns;
+    }
+
     /// The accumulated per-phase breakdown (all zero unless timing was
     /// enabled).
     pub fn phase_stats(&self) -> JoinPhaseStats {
@@ -186,6 +225,11 @@ impl JoinScratch {
         self.pool.pop().unwrap_or_default()
     }
 
+    /// A pooled (empty) outer `lists` vector.
+    fn take_outer(&mut self) -> Vec<Vec<(Pid, f64)>> {
+        self.outer_pool.pop().unwrap_or_default()
+    }
+
     /// A zeroed pooled bitmap of `words` words.
     fn take_bits(&mut self, words: usize) -> Vec<u64> {
         let mut b = self.bit_pool.pop().unwrap_or_default();
@@ -198,12 +242,15 @@ impl JoinScratch {
         self.bit_pool.push(b);
     }
 
-    /// Returns a finished join's vectors to the pool.
+    /// Returns a finished join's vectors — inner lists and the outer
+    /// spine — to the pools.
     pub fn recycle(&mut self, join: JoinResult) {
-        self.pool.extend(join.lists.into_iter().map(|mut v| {
+        let mut outer = join.lists;
+        self.pool.extend(outer.drain(..).map(|mut v| {
             v.clear();
             v
         }));
+        self.outer_pool.push(outer);
     }
 
     /// Number of pooled vectors (introspection for tests).
@@ -226,6 +273,109 @@ impl JoinScratch {
     }
 }
 
+/// Per-estimator lock-free memo tables over the shared [`JoinIndexCache`].
+///
+/// The shared cache guards its maps with `RwLock`s: correct, but a read
+/// lock plus a `HashMap` probe per edge per join is exactly the constant
+/// the screen phase drowns in, and on the batch path it is shared-line
+/// contention too. A `JoinMemo` is a plain `Vec`-indexed mirror owned by
+/// one estimator: adjacency rows are keyed by `(dense tag index, axis)`
+/// and seed bitmaps by `(dense tag index, rooted)`, each slot filled on
+/// first miss from the shared cache, so the lock + hash runs **once per
+/// key per estimator** instead of once per join.
+///
+/// A memo is only meaningful against a single `(summary, JoinIndexCache)`
+/// pair — the estimator owns one of each for its whole lifetime, which
+/// guarantees the pairing by construction. Callers driving the kernels
+/// directly must do the same or pass `None`.
+#[derive(Debug, Default)]
+pub struct JoinMemo {
+    /// Tag-interner width the tables are sized for (fixed at first use;
+    /// a summary's interner never grows after construction).
+    ntags: usize,
+    /// `(tag_u, axis)`-indexed rows of `(tag_v)`-indexed adjacency slots,
+    /// allocated lazily per touched row — `tag_u.index() * 2 + child`.
+    adj_rows: Vec<Option<AdjacencyRow>>,
+    /// `(tag, rooted)`-indexed seed bitmaps — `tag.index() * 2 + rooted`.
+    seeds: Vec<Option<Arc<Vec<u64>>>>,
+}
+
+/// One lazily-allocated memo row: `tag_v`-indexed adjacency slots.
+type AdjacencyRow = Box<[Option<Arc<ContainmentAdjacency>>]>;
+
+impl JoinMemo {
+    /// Creates an empty memo; tables size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, ntags: usize) {
+        if ntags > self.ntags {
+            self.ntags = ntags;
+            self.adj_rows.clear();
+            self.adj_rows.resize_with(ntags * 2, || None);
+            self.seeds.clear();
+            self.seeds.resize_with(ntags * 2, || None);
+        }
+    }
+
+    /// The adjacency of `(tag_u, tag_v, child)`, served from the flat
+    /// table after the first shared-cache probe for the key.
+    fn adjacency(
+        &mut self,
+        summary: &Summary,
+        cache: &JoinIndexCache,
+        tag_u: TagId,
+        tag_v: TagId,
+        child: bool,
+    ) -> Arc<ContainmentAdjacency> {
+        self.ensure(summary.tags.len());
+        let ntags = self.ntags;
+        let row = self.adj_rows[tag_u.index() * 2 + usize::from(child)]
+            .get_or_insert_with(|| vec![None; ntags].into_boxed_slice());
+        if let Some(a) = &row[tag_v.index()] {
+            return Arc::clone(a);
+        }
+        let a = summary.adjacency(cache, tag_u, tag_v, child);
+        row[tag_v.index()] = Some(Arc::clone(&a));
+        a
+    }
+
+    /// The seed bitmap of `(tag, rooted)`, served from the flat table
+    /// after the first shared-cache probe for the key.
+    fn seed(
+        &mut self,
+        summary: &Summary,
+        cache: &JoinIndexCache,
+        tag: TagId,
+        rooted: bool,
+        set_words: usize,
+    ) -> Arc<Vec<u64>> {
+        self.ensure(summary.tags.len());
+        let slot = &mut self.seeds[tag.index() * 2 + usize::from(rooted)];
+        if let Some(s) = slot {
+            return Arc::clone(s);
+        }
+        let s = cache.seed_bitmap(tag, rooted, || {
+            build_seed_bitmap(summary, tag, rooted, set_words)
+        });
+        *slot = Some(Arc::clone(&s));
+        s
+    }
+}
+
+/// Builds the `(tag, rooted)` seed bitmap: every pid of `tag`'s
+/// p-histogram, restricted to depth-0 pids when `rooted`.
+fn build_seed_bitmap(summary: &Summary, tag: TagId, rooted: bool, set_words: usize) -> Vec<u64> {
+    let mut s = vec![0u64; set_words];
+    for &(pid, _) in summary.phist.histogram(tag).entries_slice() {
+        if !rooted || summary.root_pids.pid_starts_with(tag, pid) {
+            words::set_bit(&mut s, pid.index());
+        }
+    }
+    s
+}
+
 impl JoinResult {
     /// `f_Q(n)`: the summed frequency of `n`'s surviving path ids.
     pub fn frequency(&self, n: QueryNodeId) -> f64 {
@@ -243,7 +393,7 @@ impl JoinResult {
 /// re-swept until a pass changes nothing. Kept unoptimized on purpose —
 /// it is the oracle the indexed kernel is property-tested against.
 pub fn path_join(summary: &Summary, query: &Query) -> JoinResult {
-    let mut lists = seed_lists(summary, query, None);
+    let mut lists = seed_lists(summary, query);
 
     // A `/`-rooted query pins its first step to the document root: keep
     // only ids whose paths carry the step's tag at depth 0. The reference
@@ -264,7 +414,9 @@ pub fn path_join(summary: &Summary, query: &Query) -> JoinResult {
         }
     }
 
-    let edges = resolve_edges(summary, query, &mut lists, None, None);
+    let plan = QueryPlan::build(summary, query);
+    let mut edges = Vec::new();
+    resolve_edges(summary, &plan, &mut lists, None, None, None, &mut edges);
 
     // Nested-loop containment tests per edge, iterated to a fixpoint. The
     // loop terminates because every pass can only shrink the lists.
@@ -272,7 +424,10 @@ pub fn path_join(summary: &Summary, query: &Query) -> JoinResult {
         let mut changed = false;
         for edge in &edges {
             let (u_list, v_list) = two_lists(&mut lists, edge.u.index(), edge.v.index());
-            let mask = &edge.mask;
+            let mask = edge
+                .mask
+                .as_deref()
+                .expect("maskless edges need an adjacency");
             let compatible = |pu: Pid, pv: Pid| axis_compatible_masked(&summary.pids, pu, pv, mask);
             let before_u = u_list.len();
             u_list.retain(|&(pu, _)| v_list.iter().any(|&(pv, _)| compatible(pu, pv)));
@@ -320,6 +475,30 @@ pub fn path_join_budgeted(
     scratch: Option<&mut JoinScratch>,
     budget: Option<&BudgetState>,
 ) -> JoinResult {
+    let plan = QueryPlan::build(summary, query);
+    path_join_planned(
+        summary, query, &plan, masks, adjacency, None, scratch, budget,
+    )
+}
+
+/// [`path_join_budgeted`] against a caller-prepared [`QueryPlan`] with an
+/// optional per-estimator [`JoinMemo`] — the shape the estimator drives:
+/// plan built (or plan-cache-served) once per skeleton, memo warm after
+/// the first join per `(tag, axis)` key, scratch recycled, so the screen
+/// phase does no string hashing, no locking, and no allocation. The plan
+/// and memo must have been built against this exact `summary` (and the
+/// memo against this `adjacency`).
+#[allow(clippy::too_many_arguments)]
+pub fn path_join_planned(
+    summary: &Summary,
+    query: &Query,
+    plan: &QueryPlan,
+    masks: Option<&RelationMaskCache>,
+    adjacency: Option<&JoinIndexCache>,
+    memo: Option<&mut JoinMemo>,
+    scratch: Option<&mut JoinScratch>,
+    budget: Option<&BudgetState>,
+) -> JoinResult {
     let mut local = JoinScratch::new();
     let scratch = match scratch {
         Some(s) => s,
@@ -327,33 +506,48 @@ pub fn path_join_budgeted(
     };
     let mut timer = PhaseTimer::start(scratch.timing);
     let (mut screen_ns, mut fixpoint_ns) = (0u64, 0u64);
-    let mut lists = seed_lists(summary, query, Some(scratch));
+
+    // Seed each node's candidate list from its tag's p-histogram — one
+    // interner-free histogram fetch per node via the plan's resolved tags.
+    let mut lists = scratch.take_outer();
+    for q in query.node_ids() {
+        let mut list = scratch.take();
+        if let Some(tag) = plan.tag(q) {
+            list.extend_from_slice(summary.phist.histogram(tag).entries_slice());
+        }
+        lists.push(list);
+    }
 
     // Root pinning via the summary's precomputed depth-0 pid sets — the
     // same filter the reference kernel re-derives per pid per query.
-    if query.root_axis() == Axis::Child {
-        let root_node = query.root();
-        if let Some(tag) = summary.tags.get(&query.node(root_node).tag) {
-            lists[root_node.index()]
-                .retain(|&(pid, _)| summary.root_pids.pid_starts_with(tag, pid));
-        } else {
-            lists[root_node.index()].clear();
+    if let Some(root_node) = plan.rooted() {
+        match plan.tag(root_node) {
+            Some(tag) => lists[root_node.index()]
+                .retain(|&(pid, _)| summary.root_pids.pid_starts_with(tag, pid)),
+            None => lists[root_node.index()].clear(),
         }
     }
 
-    let edges = resolve_edges(summary, query, &mut lists, masks, adjacency);
+    let mut edges = std::mem::take(&mut scratch.resolved);
+    resolve_edges(
+        summary, plan, &mut lists, masks, adjacency, memo, &mut edges,
+    );
 
     // Worklist fixpoint: an edge is re-examined only when one of its
     // endpoint lists shrank since it was last processed. Seeded with every
     // edge; termination is bounded by total list length, since an edge is
     // only re-enqueued after a strict shrink.
-    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); query.len()];
-    for (ei, e) in edges.iter().enumerate() {
-        incident[e.u.index()].push(ei);
-        incident[e.v.index()].push(ei);
-    }
-    let mut queued = vec![true; edges.len()];
-    let mut worklist: VecDeque<usize> = (0..edges.len()).collect();
+    let mut incident = std::mem::take(&mut scratch.incident);
+    let mut queued = std::mem::take(&mut scratch.queued);
+    let mut worklist = std::mem::take(&mut scratch.worklist);
+    prime_worklist(
+        &mut incident,
+        &mut queued,
+        &mut worklist,
+        query.len(),
+        edges.len(),
+        |ei| (edges[ei].u.index(), edges[ei].v.index()),
+    );
     let stamps = scratch;
     timer.lap(&mut screen_ns);
     while let Some(ei) = worklist.pop_front() {
@@ -391,7 +585,10 @@ pub fn path_join_budgeted(
                 });
             }
             None => {
-                let mask = &edge.mask;
+                let mask = edge
+                    .mask
+                    .as_deref()
+                    .expect("maskless edges need an adjacency");
                 let compatible =
                     |pu: Pid, pv: Pid| axis_compatible_masked(&summary.pids, pu, pv, mask);
                 u_list.retain(|&(pu, _)| v_list.iter().any(|&(pv, _)| compatible(pu, pv)));
@@ -418,6 +615,13 @@ pub fn path_join_budgeted(
     timer.lap(&mut fixpoint_ns);
     stamps.phases.screen_ns += screen_ns;
     stamps.phases.fixpoint_ns += fixpoint_ns;
+    // Hand the hoisted structures back; the edge vector is cleared so
+    // stale `Arc`s never outlive this call's summary.
+    edges.clear();
+    stamps.resolved = edges;
+    stamps.incident = incident;
+    stamps.queued = queued;
+    stamps.worklist = worklist;
     JoinResult { lists }
 }
 
@@ -451,7 +655,28 @@ pub fn path_join_bitmap_budgeted(
     scratch: Option<&mut JoinScratch>,
     budget: Option<&BudgetState>,
 ) -> JoinResult {
-    path_join_bitmap_inner(summary, query, adjacency, scratch, budget, true)
+    let plan = QueryPlan::build(summary, query);
+    path_join_bitmap_planned_inner(
+        summary, query, &plan, adjacency, None, scratch, budget, true,
+    )
+}
+
+/// [`path_join_bitmap_budgeted`] against a caller-prepared [`QueryPlan`]
+/// with an optional per-estimator [`JoinMemo`] — see
+/// [`path_join_planned`] for the pairing contract. On the warm path —
+/// plan cached, memo filled, scratch recycled — the screen phase is pure
+/// word moves: one bitmap copy per node and one `Vec` push per edge.
+#[allow(clippy::too_many_arguments)]
+pub fn path_join_bitmap_planned(
+    summary: &Summary,
+    query: &Query,
+    plan: &QueryPlan,
+    adjacency: &JoinIndexCache,
+    memo: Option<&mut JoinMemo>,
+    scratch: Option<&mut JoinScratch>,
+    budget: Option<&BudgetState>,
+) -> JoinResult {
+    path_join_bitmap_planned_inner(summary, query, plan, adjacency, memo, scratch, budget, true)
 }
 
 /// Bench-only ablation: the bitmap fixpoint without consulting the
@@ -466,13 +691,17 @@ pub fn path_join_bitmap_unscreened(
     adjacency: &JoinIndexCache,
     scratch: Option<&mut JoinScratch>,
 ) -> JoinResult {
-    path_join_bitmap_inner(summary, query, adjacency, scratch, None, false)
+    let plan = QueryPlan::build(summary, query);
+    path_join_bitmap_planned_inner(summary, query, &plan, adjacency, None, scratch, None, false)
 }
 
-fn path_join_bitmap_inner(
+#[allow(clippy::too_many_arguments)]
+fn path_join_bitmap_planned_inner(
     summary: &Summary,
     query: &Query,
+    plan: &QueryPlan,
     adjacency: &JoinIndexCache,
+    mut memo: Option<&mut JoinMemo>,
     scratch: Option<&mut JoinScratch>,
     budget: Option<&BudgetState>,
     use_cand: bool,
@@ -486,27 +715,24 @@ fn path_join_bitmap_inner(
     let (mut screen_ns, mut fixpoint_ns, mut finalize_ns) = (0u64, 0u64, 0u64);
 
     let set_words = summary.pids.len().div_ceil(64);
-    let rooted_node = (query.root_axis() == Axis::Child).then(|| query.root());
 
     // Seed one bitmap per query node from the memoized per-(tag, rooted)
     // seed bitmaps — root pinning is baked into the rooted seeds, so a
     // warm seed turns per-entry seeding + pinning into one word copy.
-    let mut node_bits: Vec<Vec<u64>> = Vec::with_capacity(query.len());
-    let mut counts: Vec<usize> = Vec::with_capacity(query.len());
+    let mut node_bits = std::mem::take(&mut scratch.node_bits);
+    let mut counts = std::mem::take(&mut scratch.counts);
+    debug_assert!(node_bits.is_empty(), "node bitmaps recycled before reuse");
+    counts.clear();
     for q in query.node_ids() {
         let mut bm = scratch.take_bits(set_words);
-        let tag_name = &query.node(q).tag;
-        let rooted = rooted_node == Some(q);
-        if let (Some(tag), Some(h)) = (summary.tags.get(tag_name), summary.phistogram(tag_name)) {
-            let seed = adjacency.seed_bitmap(tag, rooted, || {
-                let mut s = vec![0u64; set_words];
-                for &(pid, _) in h.entries_slice() {
-                    if !rooted || summary.root_pids.pid_starts_with(tag, pid) {
-                        words::set_bit(&mut s, pid.index());
-                    }
-                }
-                s
-            });
+        let rooted = plan.rooted() == Some(q);
+        if let Some(tag) = plan.tag(q) {
+            let seed = match memo.as_deref_mut() {
+                Some(m) => m.seed(summary, adjacency, tag, rooted, set_words),
+                None => adjacency.seed_bitmap(tag, rooted, || {
+                    build_seed_bitmap(summary, tag, rooted, set_words)
+                }),
+            };
             bm.copy_from_slice(&seed);
         }
         counts.push(words::count_ones(&bm) as usize);
@@ -515,36 +741,25 @@ fn path_join_bitmap_inner(
 
     // Resolve each structural edge to its containment adjacency; unknown
     // tags kill both endpoints outright, exactly like `resolve_edges`.
-    struct BitEdge {
-        u: QueryNodeId,
-        v: QueryNodeId,
-        adj: Arc<ContainmentAdjacency>,
-    }
-    let mut edges: Vec<BitEdge> = Vec::new();
-    for u in query.node_ids() {
-        for e in &query.node(u).edges {
-            let v = e.to;
-            let child = match e.axis {
-                Axis::Child => true,
-                Axis::Descendant => false,
-                _ => unreachable!("structural edges only"),
-            };
-            let (Some(tag_u), Some(tag_v)) = (
-                summary.tags.get(&query.node(u).tag),
-                summary.tags.get(&query.node(v).tag),
-            ) else {
-                node_bits[u.index()].fill(0);
-                counts[u.index()] = 0;
-                node_bits[v.index()].fill(0);
-                counts[v.index()] = 0;
-                continue;
-            };
-            edges.push(BitEdge {
-                u,
-                v,
-                adj: summary.adjacency(adjacency, tag_u, tag_v, child),
-            });
-        }
+    let mut edges = std::mem::take(&mut scratch.bit_edges);
+    edges.clear();
+    for e in plan.edges() {
+        let Some((tag_u, tag_v)) = e.tags else {
+            node_bits[e.u.index()].fill(0);
+            counts[e.u.index()] = 0;
+            node_bits[e.v.index()].fill(0);
+            counts[e.v.index()] = 0;
+            continue;
+        };
+        let adj = match memo.as_deref_mut() {
+            Some(m) => m.adjacency(summary, adjacency, tag_u, tag_v, e.child),
+            None => summary.adjacency(adjacency, tag_u, tag_v, e.child),
+        };
+        edges.push(BitEdge {
+            u: e.u,
+            v: e.v,
+            adj,
+        });
     }
 
     // The same worklist fixpoint as the indexed kernel: seeded with every
@@ -552,13 +767,17 @@ fn path_join_bitmap_inner(
     // charge per pop. Since every per-edge step computes the identical
     // surviving sets, the shrink events — and with them the pop sequence
     // and charged edge counts — coincide step for step.
-    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); query.len()];
-    for (ei, e) in edges.iter().enumerate() {
-        incident[e.u.index()].push(ei);
-        incident[e.v.index()].push(ei);
-    }
-    let mut queued = vec![true; edges.len()];
-    let mut worklist: VecDeque<usize> = (0..edges.len()).collect();
+    let mut incident = std::mem::take(&mut scratch.incident);
+    let mut queued = std::mem::take(&mut scratch.queued);
+    let mut worklist = std::mem::take(&mut scratch.worklist);
+    prime_worklist(
+        &mut incident,
+        &mut queued,
+        &mut worklist,
+        query.len(),
+        edges.len(),
+        |ei| (edges[ei].u.index(), edges[ei].v.index()),
+    );
     let mut acc = std::mem::take(&mut scratch.acc);
     acc.clear();
     acc.resize(set_words, 0);
@@ -605,14 +824,17 @@ fn path_join_bitmap_inner(
     // histogram entries through its final bitmap. The list kernels'
     // `retain` calls preserve histogram order, so this produces the same
     // entries in the same order — downstream f64 sums are bit-identical.
-    let mut lists = Vec::with_capacity(query.len());
+    let mut lists = scratch.take_outer();
     for q in query.node_ids() {
         let mut list = scratch.take();
         if counts[q.index()] > 0 {
-            if let Some(h) = summary.phistogram(&query.node(q).tag) {
+            if let Some(tag) = plan.tag(q) {
                 let bm = &node_bits[q.index()];
                 list.extend(
-                    h.entries_slice()
+                    summary
+                        .phist
+                        .histogram(tag)
+                        .entries_slice()
                         .iter()
                         .filter(|(p, _)| words::test_bit(bm, p.index()))
                         .copied(),
@@ -623,14 +845,62 @@ fn path_join_bitmap_inner(
     }
     timer.lap(&mut finalize_ns);
 
+    // Hand the hoisted structures back; the edge vector is cleared so
+    // stale `Arc`s never outlive this call's summary, and the drained
+    // node bitmaps recycle through the bitmap pool.
     scratch.acc = acc;
-    for bm in node_bits {
+    for bm in node_bits.drain(..) {
         scratch.recycle_bits(bm);
     }
+    scratch.node_bits = node_bits;
+    scratch.counts = counts;
+    edges.clear();
+    scratch.bit_edges = edges;
+    scratch.incident = incident;
+    scratch.queued = queued;
+    scratch.worklist = worklist;
     scratch.phases.screen_ns += screen_ns;
     scratch.phases.fixpoint_ns += fixpoint_ns;
     scratch.phases.finalize_ns += finalize_ns;
     JoinResult { lists }
+}
+
+/// One structural query edge resolved to its containment adjacency (the
+/// bitmap kernel needs no mask — the adjacency folds the mask test in).
+#[derive(Debug)]
+struct BitEdge {
+    u: QueryNodeId,
+    v: QueryNodeId,
+    adj: Arc<ContainmentAdjacency>,
+}
+
+/// Rebuilds the hoisted worklist state for a join over `n_edges` edges
+/// incident to `n_nodes` query nodes: per-node incident edge lists, all
+/// edges queued, FIFO order `0..n_edges` — the exact seeding both
+/// fixpoints have always used, so budget charge sequences are unchanged.
+fn prime_worklist(
+    incident: &mut Vec<Vec<usize>>,
+    queued: &mut Vec<bool>,
+    worklist: &mut VecDeque<usize>,
+    n_nodes: usize,
+    n_edges: usize,
+    endpoints: impl Fn(usize) -> (usize, usize),
+) {
+    if incident.len() < n_nodes {
+        incident.resize_with(n_nodes, Vec::new);
+    }
+    for l in incident[..n_nodes].iter_mut() {
+        l.clear();
+    }
+    for ei in 0..n_edges {
+        let (u, v) = endpoints(ei);
+        incident[u].push(ei);
+        incident[v].push(ei);
+    }
+    queued.clear();
+    queued.resize(n_edges, true);
+    worklist.clear();
+    worklist.extend(0..n_edges);
 }
 
 /// One direction of the bitmap semi-join: keep in `dst` only pids whose
@@ -695,19 +965,14 @@ fn semi_join_bits(
     words::count_ones(dst) as usize
 }
 
-/// Seeds each query node's candidate list from its tag's p-histogram.
-fn seed_lists(
-    summary: &Summary,
-    query: &Query,
-    mut scratch: Option<&mut JoinScratch>,
-) -> Vec<Vec<(Pid, f64)>> {
+/// Seeds each query node's candidate list from its tag's p-histogram
+/// (the reference kernel's string-keyed shape; the fast kernels seed
+/// through the plan's resolved tags instead).
+fn seed_lists(summary: &Summary, query: &Query) -> Vec<Vec<(Pid, f64)>> {
     query
         .node_ids()
         .map(|q| {
-            let mut list = match scratch.as_deref_mut() {
-                Some(s) => s.take(),
-                None => Vec::new(),
-            };
+            let mut list = Vec::new();
             if let Some(h) = summary.phistogram(&query.node(q).tag) {
                 list.extend_from_slice(h.entries_slice());
             }
@@ -716,52 +981,58 @@ fn seed_lists(
         .collect()
 }
 
-/// One structural query edge with its resolved pruning machinery.
+/// One structural query edge with its resolved pruning machinery. The
+/// mask is only materialized when no adjacency serves the edge — the
+/// adjacency already folded the mask test into its pair relation, so
+/// resolving both would be a pure waste of a mask-cache probe.
+#[derive(Debug)]
 struct ResolvedEdge {
     u: QueryNodeId,
     v: QueryNodeId,
-    mask: Arc<PathIdBits>,
+    mask: Option<Arc<PathIdBits>>,
     adj: Option<Arc<ContainmentAdjacency>>,
 }
 
-/// Resolves each structural edge's tags into a relation mask (and, when an
-/// index cache is supplied, a containment adjacency) once — one resolution
-/// serves every pid-pair test of the edge across every fixpoint step.
-/// Unknown tags kill both endpoint lists outright (nothing in a shrinking
-/// fixpoint can resurrect them), so such edges drop out here.
+/// Resolves each plan edge's pruning machinery into `out` once — one
+/// resolution serves every pid-pair test of the edge across every
+/// fixpoint step. Dead edges (an endpoint tag absent from the summary)
+/// kill both endpoint lists outright (nothing in a shrinking fixpoint can
+/// resurrect them), so such edges drop out here.
 fn resolve_edges(
     summary: &Summary,
-    query: &Query,
+    plan: &QueryPlan,
     lists: &mut [Vec<(Pid, f64)>],
     masks: Option<&RelationMaskCache>,
     adjacency: Option<&JoinIndexCache>,
-) -> Vec<ResolvedEdge> {
-    let mut edges = Vec::new();
-    for u in query.node_ids() {
-        for e in &query.node(u).edges {
-            let v = e.to;
-            let child = match e.axis {
-                Axis::Child => true,
-                Axis::Descendant => false,
-                _ => unreachable!("structural edges only"),
-            };
-            let (Some(tag_u), Some(tag_v)) = (
-                summary.tags.get(&query.node(u).tag),
-                summary.tags.get(&query.node(v).tag),
-            ) else {
-                lists[u.index()].clear();
-                lists[v.index()].clear();
-                continue;
-            };
-            let adj = adjacency.map(|cache| summary.adjacency(cache, tag_u, tag_v, child));
-            let mask = match masks {
-                Some(cache) => cache.get(&summary.encoding, tag_u, tag_v, child),
-                None => Arc::new(relation_mask(&summary.encoding, tag_u, tag_v, child)),
-            };
-            edges.push(ResolvedEdge { u, v, mask, adj });
-        }
+    mut memo: Option<&mut JoinMemo>,
+    out: &mut Vec<ResolvedEdge>,
+) {
+    out.clear();
+    for e in plan.edges() {
+        let Some((tag_u, tag_v)) = e.tags else {
+            lists[e.u.index()].clear();
+            lists[e.v.index()].clear();
+            continue;
+        };
+        let adj = adjacency.map(|cache| match memo.as_deref_mut() {
+            Some(m) => m.adjacency(summary, cache, tag_u, tag_v, e.child),
+            None => summary.adjacency(cache, tag_u, tag_v, e.child),
+        });
+        let mask = if adj.is_some() {
+            None
+        } else {
+            Some(match masks {
+                Some(cache) => cache.get(&summary.encoding, tag_u, tag_v, e.child),
+                None => Arc::new(relation_mask(&summary.encoding, tag_u, tag_v, e.child)),
+            })
+        };
+        out.push(ResolvedEdge {
+            u: e.u,
+            v: e.v,
+            mask,
+            adj,
+        });
     }
-    edges
 }
 
 fn two_lists<T>(v: &mut [Vec<T>], a: usize, b: usize) -> (&mut Vec<T>, &mut Vec<T>) {

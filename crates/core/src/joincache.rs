@@ -11,16 +11,25 @@
 //! structure — so memoizing `skeleton → JoinResult` across a batch
 //! removes whole join fixpoints, not just per-edge work.
 //!
-//! [`SkeletonKey`] is the canonical byte encoding of that skeleton;
-//! [`JoinCache`] is a sharded LRU keyed by it, shared by every worker of
-//! an [`EstimationEngine`](crate::EstimationEngine) batch. Values are
-//! `Arc<JoinResult>`: hits alias the cached lists instead of cloning them.
+//! [`SkeletonKey`] is the canonical byte encoding of that skeleton, with
+//! its 64-bit hash computed **once** at construction: shard selection and
+//! the in-shard map probe both reuse it (the shard maps run a
+//! pass-through hasher), so a lookup hashes the key bytes exactly one
+//! time instead of the two SipHash passes the derived `Hash` used to
+//! cost. [`JoinCache`] is a sharded LRU keyed by it, shared by every
+//! worker of an [`EstimationEngine`](crate::EstimationEngine) batch. Each
+//! entry carries the skeleton's prepared [`QueryPlan`] next to the
+//! (optional) memoized `Arc<JoinResult>`: budget-truncated joins are
+//! never published as results, but their plans are — a later healthy
+//! query on the same skeleton still skips the tag-resolution work.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::join::JoinResult;
+use crate::planner::QueryPlan;
 use xpe_xpath::{Axis, Query};
 
 /// Canonical encoding of a query's structural skeleton: the root axis,
@@ -28,10 +37,39 @@ use xpe_xpath::{Axis, Query};
 /// edges as `(axis, target-index)` pairs. Two queries get equal keys iff
 /// the join treats them identically — order constraints and the target
 /// node are deliberately excluded.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub struct SkeletonKey(Vec<u8>);
+///
+/// The key carries the hash of its bytes, computed once at construction;
+/// `Hash` forwards that value (the hash is a pure function of the bytes,
+/// so equal keys always agree) and equality compares the bytes.
+#[derive(Clone, Debug)]
+pub struct SkeletonKey {
+    bytes: Vec<u8>,
+    hash: u64,
+}
 
-/// Builds the [`SkeletonKey`] of `query`.
+impl PartialEq for SkeletonKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for SkeletonKey {}
+
+impl std::hash::Hash for SkeletonKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl SkeletonKey {
+    /// The precomputed 64-bit hash of the key bytes.
+    #[inline]
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Builds the [`SkeletonKey`] of `query`, hashing its bytes once.
 pub fn skeleton_key(query: &Query) -> SkeletonKey {
     let mut buf = Vec::with_capacity(16 + 8 * query.len());
     buf.push(match query.root_axis() {
@@ -53,15 +91,60 @@ pub fn skeleton_key(query: &Query) -> SkeletonKey {
             buf.extend_from_slice(&(e.to.index() as u32).to_le_bytes());
         }
     }
-    SkeletonKey(buf)
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    h.write(&buf);
+    SkeletonKey {
+        hash: h.finish(),
+        bytes: buf,
+    }
 }
 
-/// One LRU shard: key → (tick of last use, value). Eviction scans for the
-/// minimum tick — shards stay small (capacity / 8), so a scan beats the
-/// bookkeeping of an intrusive list at these sizes.
+/// Pass-through hasher for keys that carry a precomputed hash:
+/// [`SkeletonKey::hash`] writes its stored `u64` and this hasher returns
+/// it unchanged, so map probes pay zero re-hashing.
+#[derive(Default)]
+struct PrehashedHasher(u64);
+
+impl Hasher for PrehashedHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("prehashed keys hash via write_u64 only")
+    }
+
+    fn write_u64(&mut self, h: u64) {
+        self.0 = h;
+    }
+}
+
+/// One cache entry: recency tick, the skeleton's prepared plan, and the
+/// memoized join result (absent when only a budget-truncated join — whose
+/// lists are not the fixpoint — has run for this skeleton so far).
+struct Entry {
+    tick: u64,
+    plan: Arc<QueryPlan>,
+    result: Option<Arc<JoinResult>>,
+}
+
+/// What a [`JoinCache::lookup`] found for a skeleton: always the prepared
+/// plan, plus the memoized result when a completed join has been
+/// published.
+pub struct CacheHit {
+    /// The skeleton's prepared query plan.
+    pub plan: Arc<QueryPlan>,
+    /// The memoized join result, if a full (never budget-truncated) join
+    /// has been published for this skeleton.
+    pub result: Option<Arc<JoinResult>>,
+}
+
+/// One LRU shard: key → entry. Eviction scans for the minimum tick —
+/// shards stay small (capacity / 8), so a scan beats the bookkeeping of
+/// an intrusive list at these sizes.
 #[derive(Default)]
 struct Shard {
-    map: HashMap<SkeletonKey, (u64, Arc<JoinResult>)>,
+    map: HashMap<SkeletonKey, Entry, BuildHasherDefault<PrehashedHasher>>,
     tick: u64,
 }
 
@@ -74,15 +157,18 @@ impl Shard {
 
 const SHARDS: usize = 8;
 
-/// A sharded LRU cache of join results keyed by query skeleton.
+/// A sharded LRU cache of prepared plans and join results keyed by query
+/// skeleton.
 ///
 /// Thread-safe: shards are independently locked, so concurrent batch
 /// workers rarely contend. Hit/miss counters feed the benchmark report's
-/// `join_cache_hit_rate`.
+/// `join_cache_hit_rate`; they count *join result* reuse only (a plan-only
+/// entry still misses — the join must run), and a disabled cache
+/// (capacity 0) counts neither, matching an engine built without one.
 pub struct JoinCache {
     shards: Vec<Mutex<Shard>>,
-    /// Per-shard capacity; 0 disables the cache (every lookup misses and
-    /// nothing is stored).
+    /// Per-shard capacity; 0 disables the cache (every lookup returns
+    /// nothing, nothing is stored, and no counter moves).
     shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -100,7 +186,7 @@ impl std::fmt::Debug for JoinCache {
 }
 
 impl JoinCache {
-    /// A cache holding at most `capacity` join results (rounded up to a
+    /// A cache holding at most `capacity` skeletons (rounded up to a
     /// multiple of the shard count; 0 disables caching entirely).
     pub fn with_capacity(capacity: usize) -> Self {
         let shard_capacity = if capacity == 0 {
@@ -116,17 +202,20 @@ impl JoinCache {
         }
     }
 
+    /// The shard a key lives in, selected from the middle bits of its
+    /// precomputed hash. Not the low bits: the in-shard hashbrown map
+    /// derives its bucket index from those, and reusing them would make
+    /// every key in a shard collide into the same bucket neighborhood.
     fn shard(&self, key: &SkeletonKey) -> &Mutex<Shard> {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        &self.shards[((key.hash64() >> 32) as usize) % SHARDS]
     }
 
-    /// Looks up a skeleton, refreshing its recency on a hit.
-    pub fn get(&self, key: &SkeletonKey) -> Option<Arc<JoinResult>> {
+    /// Looks up a skeleton, refreshing its recency. Returns the entry's
+    /// plan (and result, when one is published); counts a hit iff the
+    /// result is present, a miss otherwise — except on a disabled cache,
+    /// which counts nothing (there is no cache to hit or miss).
+    pub fn lookup(&self, key: &SkeletonKey) -> Option<CacheHit> {
         if self.shard_capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let mut shard = self
@@ -134,25 +223,27 @@ impl JoinCache {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let tick = shard.touch();
-        match shard.map.get_mut(key) {
-            Some(entry) => {
-                entry.0 = tick;
-                let value = entry.1.clone();
-                drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(value)
+        let found = shard.map.get_mut(key).map(|entry| {
+            entry.tick = tick;
+            CacheHit {
+                plan: Arc::clone(&entry.plan),
+                result: entry.result.clone(),
             }
-            None => {
-                drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        });
+        drop(shard);
+        match &found {
+            Some(hit) if hit.result.is_some() => self.hits.fetch_add(1, Ordering::Relaxed),
+            _ => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
-    /// Stores a join result, evicting the least-recently-used entry of the
-    /// key's shard when it is full.
-    pub fn insert(&self, key: SkeletonKey, value: Arc<JoinResult>) {
+    /// Publishes a skeleton's plan and (optionally) its completed join
+    /// result, evicting the least-recently-used entry of the key's shard
+    /// when it is full. Publishing with `result: None` (a plan learned
+    /// from a budget-truncated join) never erases a result an earlier
+    /// publish stored.
+    pub fn publish(&self, key: SkeletonKey, plan: Arc<QueryPlan>, result: Option<Arc<JoinResult>>) {
         if self.shard_capacity == 0 {
             return;
         }
@@ -161,20 +252,28 @@ impl JoinCache {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let tick = shard.touch();
-        if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
+        if let Some(entry) = shard.map.get_mut(&key) {
+            entry.tick = tick;
+            entry.plan = plan;
+            if let Some(r) = result {
+                entry.result = Some(r);
+            }
+            return;
+        }
+        if shard.map.len() >= self.shard_capacity {
             if let Some(oldest) = shard
                 .map
                 .iter()
-                .min_by_key(|(_, (t, _))| *t)
+                .min_by_key(|(_, e)| e.tick)
                 .map(|(k, _)| k.clone())
             {
                 shard.map.remove(&oldest);
             }
         }
-        shard.map.insert(key, (tick, value));
+        shard.map.insert(key, Entry { tick, plan, result });
     }
 
-    /// Total entries across shards.
+    /// Total entries across shards (plan-only entries included).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -192,12 +291,13 @@ impl JoinCache {
         self.shard_capacity * SHARDS
     }
 
-    /// Lookups that found an entry.
+    /// Lookups that found a memoized join result.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Lookups that found nothing (including all lookups when disabled).
+    /// Lookups that had to run the join (no entry, or a plan-only entry).
+    /// A disabled cache counts nothing.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
@@ -217,6 +317,8 @@ impl JoinCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::hash::{Hash, Hasher};
+    use xpe_synopsis::{Summary, SummaryConfig};
     use xpe_xpath::parse_query;
 
     fn result_with_marker(marker: f64) -> Arc<JoinResult> {
@@ -225,11 +327,26 @@ mod tests {
         })
     }
 
+    fn summary() -> Summary {
+        Summary::build(
+            &xpe_xml::fixtures::paper_figure1(),
+            SummaryConfig::default(),
+        )
+    }
+
+    fn plan_for(summary: &Summary, q: &str) -> Arc<QueryPlan> {
+        Arc::new(QueryPlan::build(summary, &parse_query(q).unwrap()))
+    }
+
     #[test]
     fn order_constraints_and_target_do_not_change_the_key() {
         let plain = parse_query("//A[/C]/B").unwrap();
         let ordered = parse_query("//A[/C/folls::$B]").unwrap();
         assert_eq!(skeleton_key(&plain), skeleton_key(&ordered));
+        assert_eq!(
+            skeleton_key(&plain).hash64(),
+            skeleton_key(&ordered).hash64()
+        );
     }
 
     #[test]
@@ -242,61 +359,131 @@ mod tests {
     }
 
     #[test]
+    fn key_hashes_through_its_precomputed_value() {
+        let key = skeleton_key(&parse_query("//A[/C]/B").unwrap());
+        let mut h = PrehashedHasher::default();
+        key.hash(&mut h);
+        assert_eq!(h.finish(), key.hash64());
+    }
+
+    #[test]
     fn hit_only_for_structurally_identical_skeletons() {
+        let s = summary();
         let cache = JoinCache::with_capacity(64);
         let plain = parse_query("//A[/C]/B").unwrap();
         let ordered = parse_query("//A[/C/folls::$B]").unwrap();
         let different = parse_query("//A[/D]/B").unwrap();
 
-        assert!(cache.get(&skeleton_key(&plain)).is_none());
-        cache.insert(skeleton_key(&plain), result_with_marker(7.0));
-        // Same structure, different order constraint: hit.
-        let hit = cache.get(&skeleton_key(&ordered)).expect("skeleton hit");
-        assert_eq!(hit.lists[0][0].1, 7.0);
+        assert!(cache.lookup(&skeleton_key(&plain)).is_none());
+        cache.publish(
+            skeleton_key(&plain),
+            plan_for(&s, "//A[/C]/B"),
+            Some(result_with_marker(7.0)),
+        );
+        // Same structure, different order constraint: hit, and the plan
+        // rides along.
+        let hit = cache.lookup(&skeleton_key(&ordered)).expect("skeleton hit");
+        assert_eq!(hit.result.expect("published result").lists[0][0].1, 7.0);
+        assert_eq!(hit.plan.len(), 3);
         // Different structure: miss.
-        assert!(cache.get(&skeleton_key(&different)).is_none());
+        assert!(cache.lookup(&skeleton_key(&different)).is_none());
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 2);
         assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
+    fn plan_only_entries_count_as_misses_and_keep_results_on_republish() {
+        let s = summary();
+        let cache = JoinCache::with_capacity(64);
+        let key = skeleton_key(&parse_query("//A//C").unwrap());
+        let plan = plan_for(&s, "//A//C");
+
+        // A truncated join publishes its plan without a result.
+        cache.publish(key.clone(), Arc::clone(&plan), None);
+        let hit = cache.lookup(&key).expect("plan-only entry");
+        assert!(hit.result.is_none());
+        assert_eq!(hit.plan.len(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1), "plan-only = miss");
+
+        // A completed join fills the result in.
+        cache.publish(
+            key.clone(),
+            Arc::clone(&plan),
+            Some(result_with_marker(2.0)),
+        );
+        assert!(cache.lookup(&key).unwrap().result.is_some());
+        // A later plan-only publish (another truncated join racing) must
+        // not erase it.
+        cache.publish(key.clone(), plan, None);
+        assert!(cache.lookup(&key).unwrap().result.is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
     fn lru_evicts_the_least_recently_used_entry() {
+        let s = summary();
         // Single-entry shards make eviction order observable regardless of
         // which shard each key hashes to.
         let cache = JoinCache::with_capacity(SHARDS);
         let a = skeleton_key(&parse_query("//A").unwrap());
         let b = skeleton_key(&parse_query("//B").unwrap());
-        cache.insert(a.clone(), result_with_marker(1.0));
-        cache.insert(b.clone(), result_with_marker(2.0));
+        cache.publish(
+            a.clone(),
+            plan_for(&s, "//A"),
+            Some(result_with_marker(1.0)),
+        );
+        cache.publish(
+            b.clone(),
+            plan_for(&s, "//B"),
+            Some(result_with_marker(2.0)),
+        );
         if std::ptr::eq(cache.shard(&a), cache.shard(&b)) {
             // Same shard: `b` evicted `a`.
-            assert!(cache.get(&a).is_none());
-            assert!(cache.get(&b).is_some());
+            assert!(cache.lookup(&a).is_none());
+            assert!(cache.lookup(&b).is_some());
         } else {
-            assert!(cache.get(&a).is_some());
-            assert!(cache.get(&b).is_some());
+            assert!(cache.lookup(&a).is_some());
+            assert!(cache.lookup(&b).is_some());
         }
     }
 
     #[test]
-    fn zero_capacity_disables_caching() {
+    fn zero_capacity_disables_caching_and_counts_nothing() {
+        let s = summary();
         let cache = JoinCache::with_capacity(0);
         let key = skeleton_key(&parse_query("//A/B").unwrap());
-        cache.insert(key.clone(), result_with_marker(1.0));
-        assert!(cache.get(&key).is_none());
+        cache.publish(
+            key.clone(),
+            plan_for(&s, "//A/B"),
+            Some(result_with_marker(1.0)),
+        );
+        assert!(cache.lookup(&key).is_none());
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.capacity(), 0);
-        assert_eq!(cache.misses(), 1);
+        // A disabled cache skews no rate: neither hits nor misses move —
+        // the same accounting as an engine holding no cache at all.
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.hit_rate(), 0.0);
     }
 
     #[test]
-    fn reinserting_an_existing_key_does_not_evict_others() {
+    fn republishing_an_existing_key_does_not_evict_others() {
+        let s = summary();
         let cache = JoinCache::with_capacity(SHARDS);
         let a = skeleton_key(&parse_query("//A").unwrap());
-        cache.insert(a.clone(), result_with_marker(1.0));
-        cache.insert(a.clone(), result_with_marker(3.0));
-        assert_eq!(cache.get(&a).unwrap().lists[0][0].1, 3.0);
+        cache.publish(
+            a.clone(),
+            plan_for(&s, "//A"),
+            Some(result_with_marker(1.0)),
+        );
+        cache.publish(
+            a.clone(),
+            plan_for(&s, "//A"),
+            Some(result_with_marker(3.0)),
+        );
+        assert_eq!(cache.lookup(&a).unwrap().result.unwrap().lists[0][0].1, 3.0);
         assert_eq!(cache.len(), 1);
     }
 }

@@ -53,12 +53,13 @@ pub use engine::{EstimationEngine, KernelStats, DEFAULT_JOIN_CACHE_CAPACITY};
 pub use estimator::Estimator;
 pub use invariant::{finalize_estimate, safe_div};
 pub use join::{
-    path_join, path_join_bitmap, path_join_bitmap_budgeted, path_join_bitmap_unscreened,
-    path_join_budgeted, path_join_cached, JoinKernel, JoinPhaseStats, JoinResult, JoinScratch,
+    path_join, path_join_bitmap, path_join_bitmap_budgeted, path_join_bitmap_planned,
+    path_join_bitmap_unscreened, path_join_budgeted, path_join_cached, path_join_planned,
+    JoinKernel, JoinMemo, JoinPhaseStats, JoinResult, JoinScratch,
 };
-pub use joincache::{skeleton_key, JoinCache, SkeletonKey};
+pub use joincache::{skeleton_key, CacheHit, JoinCache, SkeletonKey};
 pub use metrics::{mean_relative_error, relative_error, ErrorStats};
-pub use planner::{PathCardinalities, PredicateRank};
+pub use planner::{PathCardinalities, PlanEdge, PredicateRank, QueryPlan};
 pub use serve::{
     AdmissionError, Budget, BudgetExhausted, BudgetState, DegradedReason, EstimateOutcome,
     EstimateStatus, QueryLimits,

@@ -1,12 +1,129 @@
-//! Optimizer-facing helpers: the paper's motivation is query optimization,
-//! so the estimator exposes the two decisions a structural-join planner
-//! actually makes — which predicate to apply first, and per-step
-//! cardinalities along the main path.
+//! Optimizer-facing helpers and the prepared query plan.
+//!
+//! The paper's motivation is query optimization, so the estimator exposes
+//! the two decisions a structural-join planner actually makes — which
+//! predicate to apply first, and per-step cardinalities along the main
+//! path. [`QueryPlan`] is the other side of that coin: the one-time
+//! resolution of a query's *own* bookkeeping (tag-name → `TagId`,
+//! structural edges, root pinning) so the join kernels never repeat a
+//! string hash that cannot change between calls.
 
-use xpe_xpath::{Query, QueryNodeId};
+use xpe_synopsis::Summary;
+use xpe_xml::TagId;
+use xpe_xpath::{Axis, Query, QueryNodeId};
 
 use crate::editor;
 use crate::estimator::Estimator;
+
+/// One structural query edge with its endpoint tags resolved against a
+/// summary's tag interner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanEdge {
+    /// Ancestor-side query node.
+    pub u: QueryNodeId,
+    /// Descendant-side query node.
+    pub v: QueryNodeId,
+    /// `true` for a child-axis edge, `false` for descendant.
+    pub child: bool,
+    /// `(tag_u, tag_v)` when both endpoint tags occur in the summary;
+    /// `None` when either is absent — such an edge empties both endpoint
+    /// candidate sets outright (nothing in a shrinking fixpoint can
+    /// resurrect them).
+    pub tags: Option<(TagId, TagId)>,
+}
+
+/// A query's join-relevant structure resolved against one summary, once.
+///
+/// The join kernels repeat three lookups every call that are pure
+/// functions of `(summary, query skeleton)`: each node's tag-name →
+/// [`TagId`] resolution (a string hash per node per join, and again per
+/// edge endpoint), the flattening of the query's structural edges, and
+/// the root-pinning decision. A `QueryPlan` performs them once; the
+/// estimator memoizes plans alongside [`JoinCache`](crate::JoinCache)
+/// entries by skeleton key, so a repeated skeleton never re-resolves.
+///
+/// Plans are only valid against the summary they were built from — the
+/// estimator guarantees that pairing by construction (it lives as long as
+/// its summary borrow and keys plans by skeleton in a per-summary cache).
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// Per query node (by index): its tag resolved in the summary, or
+    /// `None` for a tag the document never contained.
+    tags: Vec<Option<TagId>>,
+    /// Every structural edge, flattened in `(node id, edge order)` order —
+    /// exactly the iteration order the kernels used when walking
+    /// `query.node(u).edges` per node.
+    edges: Vec<PlanEdge>,
+    /// The node pinned to the document root (`Some` iff the root axis is
+    /// `Child`).
+    rooted: Option<QueryNodeId>,
+}
+
+impl QueryPlan {
+    /// Resolves `query` against `summary`: one tag-interner probe per
+    /// node, one pass over the structural edges.
+    pub fn build(summary: &Summary, query: &Query) -> Self {
+        let tags: Vec<Option<TagId>> = query
+            .node_ids()
+            .map(|q| summary.tags.get(&query.node(q).tag))
+            .collect();
+        let mut edges = Vec::new();
+        for u in query.node_ids() {
+            for e in &query.node(u).edges {
+                let child = match e.axis {
+                    Axis::Child => true,
+                    Axis::Descendant => false,
+                    _ => unreachable!("structural edges only"),
+                };
+                let pair = match (tags[u.index()], tags[e.to.index()]) {
+                    (Some(tu), Some(tv)) => Some((tu, tv)),
+                    _ => None,
+                };
+                edges.push(PlanEdge {
+                    u,
+                    v: e.to,
+                    child,
+                    tags: pair,
+                });
+            }
+        }
+        QueryPlan {
+            tags,
+            edges,
+            rooted: (query.root_axis() == Axis::Child).then(|| query.root()),
+        }
+    }
+
+    /// The resolved tag of query node `n` (`None` for an absent tag).
+    #[inline]
+    pub fn tag(&self, n: QueryNodeId) -> Option<TagId> {
+        self.tags[n.index()]
+    }
+
+    /// Every structural edge with resolved endpoint tags.
+    #[inline]
+    pub fn edges(&self) -> &[PlanEdge] {
+        &self.edges
+    }
+
+    /// The query node pinned to the document root, if any.
+    #[inline]
+    pub fn rooted(&self) -> Option<QueryNodeId> {
+        self.rooted
+    }
+
+    /// Number of query nodes the plan covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the plan covers no nodes (never true for a valid query).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+}
 
 /// The estimated selectivity of one predicate branch of a node.
 #[derive(Clone, Debug)]
@@ -143,6 +260,40 @@ mod tests {
         assert_eq!(cards.steps.len(), 3);
         let values: Vec<f64> = cards.steps.iter().map(|&(_, c)| c).collect();
         assert_eq!(values, vec![3.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn query_plan_resolves_tags_edges_and_root_pinning() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let s = Summary::build(&doc, SummaryConfig::default());
+
+        // Rooted query, all tags known.
+        let q = parse_query("/Root/A//C").unwrap();
+        let plan = crate::QueryPlan::build(&s, &q);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.rooted(), Some(q.root()));
+        for n in q.node_ids() {
+            assert_eq!(plan.tag(n), s.tags.get(&q.node(n).tag));
+            assert!(plan.tag(n).is_some(), "all tags occur in the document");
+        }
+        assert_eq!(plan.edges().len(), 2);
+        assert!(plan.edges()[0].child);
+        assert!(!plan.edges()[1].child);
+        for e in plan.edges() {
+            assert_eq!(
+                e.tags,
+                Some((plan.tag(e.u).unwrap(), plan.tag(e.v).unwrap()))
+            );
+        }
+
+        // Unrooted query with an unknown tag: no pinning, dead edge.
+        let q = parse_query("//A/Zebra").unwrap();
+        let plan = crate::QueryPlan::build(&s, &q);
+        assert_eq!(plan.rooted(), None);
+        assert_eq!(plan.tag(q.target()), None);
+        assert_eq!(plan.edges().len(), 1);
+        assert_eq!(plan.edges()[0].tags, None);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 
 use xpe_core::{
     path_join, path_join_bitmap, path_join_bitmap_budgeted, path_join_bitmap_unscreened,
-    path_join_cached, Budget, BudgetState, JoinScratch,
+    path_join_cached, Budget, BudgetState, EstimationEngine, Estimator, JoinKernel, JoinScratch,
 };
 use xpe_datagen::{random_document, RandomDocConfig};
 use xpe_diff::{random_query, tag_paths};
@@ -103,6 +103,66 @@ fn wide_scenario() -> (Summary, Vec<xpe_xpath::Query>) {
         .map(|q| xpe_xpath::parse_query(q).expect(q))
         .collect();
     (summary, queries)
+}
+
+/// Asserts that every warm execution path — reused per-estimator flat
+/// memos, cached prepared plans, and the engine's shared join cache at
+/// 1/2/4 worker threads — reproduces the bit pattern of a completely
+/// cold estimator, for every kernel. The cold reference rebuilds the
+/// `Estimator` per query so no memo, plan, or cache entry survives
+/// between queries; the warm runs then replay the same batch twice so
+/// the second pass hits every cache the first pass filled.
+fn check_warm_paths(summary: &Summary, queries: &[xpe_xpath::Query]) {
+    for kernel in JoinKernel::ALL {
+        let cold: Vec<u64> = queries
+            .iter()
+            .map(|q| {
+                Estimator::new(summary)
+                    .with_kernel(kernel)
+                    .estimate(q)
+                    .to_bits()
+            })
+            .collect();
+        // One reused serial estimator: warm flat memos and adjacency
+        // caches, but no join/plan cache in front of the kernel.
+        let est = Estimator::new(summary).with_kernel(kernel);
+        for pass in 0..2 {
+            for (query, &want) in queries.iter().zip(&cold) {
+                assert_eq!(
+                    est.estimate(query).to_bits(),
+                    want,
+                    "reused estimator, kernel {kernel:?}, pass {pass}, {query}"
+                );
+            }
+        }
+        // Engines add the skeleton-keyed join cache and prepared-plan
+        // reuse; parallel batches add per-worker scratch and memos.
+        for threads in [1usize, 2, 4] {
+            let engine = EstimationEngine::new(summary)
+                .with_kernel(kernel)
+                .with_threads(threads);
+            for pass in 0..2 {
+                let got: Vec<u64> = engine
+                    .estimate_batch(queries)
+                    .iter()
+                    .map(|f| f.to_bits())
+                    .collect();
+                assert_eq!(
+                    got, cold,
+                    "engine batch, kernel {kernel:?}, threads {threads}, pass {pass}"
+                );
+            }
+        }
+    }
+}
+
+/// Warm plans and memos on the wide (> 64-word) interner: the flat
+/// memo tables and packed adjacency keys must index correctly far past
+/// the support-signature reach.
+#[test]
+fn warm_plans_are_bit_identical_on_wide_interner() {
+    let (summary, queries) = wide_scenario();
+    check_warm_paths(&summary, &queries);
 }
 
 /// Every kernel stays bit-identical to the naive oracle on an interner
@@ -188,5 +248,18 @@ proptest! {
             prop_assert_eq!(&as_bits(&got.lists), &reference, "seed {}", seed);
             scratch.recycle(got);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Warm prepared plans, flat per-estimator memos, and the shared
+    /// join cache never perturb a single estimate bit, for any kernel
+    /// and 1/2/4 worker threads, on random documents and twig queries.
+    #[test]
+    fn warm_plans_and_memos_are_bit_identical(seed in 0u64..1_000_000) {
+        let (summary, queries) = scenario(seed);
+        check_warm_paths(&summary, &queries);
     }
 }

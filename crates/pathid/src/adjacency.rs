@@ -501,8 +501,31 @@ impl ContainmentAdjacency {
     }
 }
 
-/// Memoized seed bitmaps keyed by `(tag, rooted)`.
-type SeedMap = HashMap<(TagId, bool), Arc<Vec<u64>>>;
+/// Pass-through hasher for packed-`u64` cache keys: one odd-constant
+/// multiply (Fibonacci hashing) spreads the packed low bits across the
+/// word, replacing SipHash's per-byte rounds on every cache probe. The
+/// keys are injective per map (see the packing at each call site), so
+/// equality still compares full keys — the hash only has to scatter,
+/// never to disambiguate.
+#[derive(Debug, Default)]
+struct PackedKeyHasher(u64);
+
+impl std::hash::Hasher for PackedKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("packed cache keys hash through write_u64 only")
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        self.0 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// A map keyed by pre-packed `u64`s through [`PackedKeyHasher`].
+type PackedMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<PackedKeyHasher>>;
 
 /// Thread-safe memo table over [`ContainmentAdjacency::build`], keyed like
 /// the relation-mask cache by `(tag_u, tag_v, child_axis)`.
@@ -514,7 +537,10 @@ type SeedMap = HashMap<(TagId, bool), Arc<Vec<u64>>>;
 /// time, and pair totals are tracked for the perf snapshot.
 #[derive(Debug, Default)]
 pub struct JoinIndexCache {
-    map: RwLock<HashMap<(TagId, TagId, bool), Arc<ContainmentAdjacency>>>,
+    /// Adjacencies keyed by `(tag_u << 32) | tag_v`, one map per axis
+    /// (index 1 = child) — splitting on the axis keeps the packed key
+    /// injective for every representable tag index.
+    maps: [RwLock<PackedMap<Arc<ContainmentAdjacency>>>; 2],
     /// Arena layout of the summary's interner, built on first use and
     /// shared by every adjacency build (the cache is per-summary, like
     /// the adjacencies themselves).
@@ -522,11 +548,12 @@ pub struct JoinIndexCache {
     /// Containment relation over the slab rows, built on first use and
     /// shared by every adjacency build.
     relation: OnceLock<Arc<PidContainmentRelation>>,
-    /// Per-`(tag, rooted)` seed bitmaps for the bitmap kernel: the pid
-    /// indices a query node starts from before any edge constrains it.
-    /// Built by the caller (seeding needs the summary's histograms, which
-    /// live above this crate) and memoized here.
-    seeds: RwLock<SeedMap>,
+    /// Per-`(tag, rooted)` seed bitmaps for the bitmap kernel, keyed by
+    /// `(tag << 1) | rooted`: the pid indices a query node starts from
+    /// before any edge constrains it. Built by the caller (seeding needs
+    /// the summary's histograms, which live above this crate) and
+    /// memoized here.
+    seeds: RwLock<PackedMap<Arc<Vec<u64>>>>,
     builds: AtomicU64,
     build_nanos: AtomicU64,
     pairs: AtomicU64,
@@ -548,9 +575,9 @@ impl JoinIndexCache {
         tag_v: TagId,
         child_axis: bool,
     ) -> Arc<ContainmentAdjacency> {
-        let key = (tag_u, tag_v, child_axis);
-        if let Some(a) = self
-            .map
+        let key = ((tag_u.index() as u64) << 32) | tag_v.index() as u64;
+        let map = &self.maps[usize::from(child_axis)];
+        if let Some(a) = map
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
@@ -568,8 +595,7 @@ impl JoinIndexCache {
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.pairs
             .fetch_add(built.pair_count() as u64, Ordering::Relaxed);
-        let mut w = self
-            .map
+        let mut w = map
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         Arc::clone(w.entry(key).or_insert(built))
@@ -608,7 +634,7 @@ impl JoinIndexCache {
         rooted: bool,
         build: impl FnOnce() -> Vec<u64>,
     ) -> Arc<Vec<u64>> {
-        let key = (tag, rooted);
+        let key = ((tag.index() as u64) << 1) | u64::from(rooted);
         if let Some(s) = self
             .seeds
             .read()
@@ -627,10 +653,14 @@ impl JoinIndexCache {
 
     /// Number of memoized adjacencies.
     pub fn len(&self) -> usize {
-        self.map
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        self.maps
+            .iter()
+            .map(|m| {
+                m.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
     }
 
     /// Whether no adjacency has been built yet.

@@ -10,25 +10,37 @@
 # shared runners whose wall clock varies several-fold, so this catches
 # order-of-magnitude regressions (an accidentally quadratic kernel, a
 # cache that stopped memoizing), not percent-level drift. Local runs at
-# scale 0.03 sustain ~65–90k q/s on XMark; the default floor is 8k.
+# scale 0.03 sustain ~75–100k q/s on XMark; the default floor is 8k.
 # Override with XPE_PERF_FLOOR_XMARK_QPS.
+#
+# A second, ratio-based floor guards the screen phase: after prepared
+# plans and the flat per-estimator memos, XMark screen time sits near
+# 32–40% of the instrumented join total (plan+screen+fixpoint+finalize);
+# before them it was 54–57%. Phase *shares* are robust to runner speed,
+# so a share above the cap means the screen phase re-grew per-query
+# constants (string lookups, lock round-trips, allocations) — exactly
+# the regression the prepared-plan work removed. Override with
+# XPE_PERF_MAX_SCREEN_SHARE; snapshots predating the plan lap (no
+# plan_ms field) are still accepted, with plan time read as zero.
 set -euo pipefail
 
 snapshot="${1:-results/BENCH_estimation.json}"
 floor="${XPE_PERF_FLOOR_XMARK_QPS:-8000}"
+max_screen_share="${XPE_PERF_MAX_SCREEN_SHARE:-0.48}"
 
 if [[ ! -f "$snapshot" ]]; then
     echo "perf floor: snapshot $snapshot not found" >&2
     exit 1
 fi
 
-SNAPSHOT="$snapshot" FLOOR="$floor" python3 - <<'EOF'
+SNAPSHOT="$snapshot" FLOOR="$floor" MAX_SCREEN_SHARE="$max_screen_share" python3 - <<'EOF'
 import json
 import os
 import sys
 
 snapshot = os.environ["SNAPSHOT"]
 floor = float(os.environ["FLOOR"])
+max_screen_share = float(os.environ["MAX_SCREEN_SHARE"])
 with open(snapshot) as f:
     data = json.load(f)
 
@@ -47,6 +59,21 @@ for r in rows:
     print(f"perf floor: {tag} serial {qps:.0f} q/s (floor {floor:.0f})")
     if qps < floor:
         failures.append(f"{tag} serial {qps:.0f} q/s < floor {floor:.0f}")
+
+    screen = float(r["screen_ms"])
+    total = screen + sum(
+        float(r.get(k, 0.0)) for k in ("plan_ms", "fixpoint_ms", "finalize_ms")
+    )
+    if total > 0:
+        share = screen / total
+        print(
+            f"perf floor: {tag} screen share {share:.1%} "
+            f"(cap {max_screen_share:.1%})"
+        )
+        if share > max_screen_share:
+            failures.append(
+                f"{tag} screen share {share:.1%} > cap {max_screen_share:.1%}"
+            )
 
 if not any(r.get("dataset") == "XMark" for r in rows):
     sys.exit(f"perf floor: no XMark rows in {snapshot}")
