@@ -269,6 +269,10 @@ fn corrupt_corpus_fails_with_distinct_messages() {
         ("truncated.xps", "input truncated"),
         ("version.xps", "unsupported summary version"),
         ("trailing.xps", "trailing byte(s)"),
+        // A hostile count field behind a valid checksum: the structural
+        // decoder reports truncation when the promised elements are not
+        // there — after a capped, not count-sized, preallocation.
+        ("inflated.xps", "input truncated"),
     ] {
         let o = xpe(&["estimate", &corpus(file), "//book/chapter"]);
         assert_clean_failure(&o, needle);

@@ -34,7 +34,7 @@ use crate::join::{
     path_join, path_join_bitmap_planned, path_join_planned, JoinKernel, JoinMemo, JoinPhaseStats,
     JoinResult, JoinScratch,
 };
-use crate::joincache::{skeleton_key, JoinCache};
+use crate::joincache::{skeleton_key, JoinCache, WorkerJoinCache};
 use crate::planner::QueryPlan;
 use crate::serve::{
     Budget, BudgetExhausted, BudgetState, DegradedReason, EstimateOutcome, EstimateStatus,
@@ -57,7 +57,12 @@ pub struct Estimator<'s> {
     summary: &'s Summary,
     masks: Arc<RelationMaskCache>,
     adjacency: Arc<JoinIndexCache>,
-    join_cache: Option<Arc<JoinCache>>,
+    /// Worker-private front for the shared workload-level [`JoinCache`]:
+    /// lookups and publishes stay in this estimator's unsynchronized map
+    /// and merge into the shared shards lazily — at
+    /// [`flush_join_cache`](Self::flush_join_cache) (the batch engine
+    /// calls it at chunk boundaries) and on drop.
+    join_cache: Option<RefCell<WorkerJoinCache>>,
     scratch: RefCell<JoinScratch>,
     /// Flat per-estimator mirror of the shared adjacency/seed caches —
     /// valid for this estimator's `(summary, adjacency)` pairing, which
@@ -129,7 +134,7 @@ impl<'s> Estimator<'s> {
             summary,
             masks,
             adjacency,
-            join_cache,
+            join_cache: join_cache.map(|c| RefCell::new(WorkerJoinCache::new(c))),
             scratch: RefCell::new(JoinScratch::new()),
             memo: RefCell::new(JoinMemo::new()),
             kernel: JoinKernel::default(),
@@ -178,18 +183,19 @@ impl<'s> Estimator<'s> {
     }
 
     /// Runs the path join through this estimator's caches: the
-    /// workload-level join cache first (keyed by the query's structural
-    /// skeleton), then the selected kernel on a miss — driven by the
-    /// skeleton's prepared [`QueryPlan`], cache-served when a previous
-    /// call published one — finally publishing plan and result for every
-    /// estimator sharing the cache.
+    /// worker-private join-cache front first (keyed by the query's
+    /// structural skeleton; it probes the shared shard once on a local
+    /// miss), then the selected kernel — driven by the skeleton's
+    /// prepared [`QueryPlan`], cache-served when a previous call
+    /// published one — finally publishing plan and result locally, to be
+    /// merged into the shared cache at the next flush.
     fn join(&self, query: &Query) -> Joined {
         let Some(cache) = &self.join_cache else {
             let plan = self.build_plan(query);
             return Joined::Owned(self.run_join(query, &plan));
         };
         let key = skeleton_key(query);
-        let hit = cache.lookup(&key);
+        let hit = cache.borrow_mut().lookup(&key);
         if let Some(h) = &hit {
             if let Some(result) = &h.result {
                 return Joined::Shared(Arc::clone(result));
@@ -201,16 +207,30 @@ impl<'s> Estimator<'s> {
         };
         let result = self.run_join(query, &plan);
         // A budget-truncated join is not the fixpoint — never publish it
-        // to the shared cache, where an unbudgeted estimator (or a later
+        // to the cache, where an unbudgeted estimator (or a later
         // healthy query) would mistake it for the real result. The plan
         // is budget-independent, so it is published either way.
         if self.budget_exhausted() {
-            cache.publish(key, plan, None);
+            cache.borrow_mut().publish(key, plan, None);
             return Joined::Owned(result);
         }
         let result = Arc::new(result);
-        cache.publish(key, plan, Some(Arc::clone(&result)));
+        cache
+            .borrow_mut()
+            .publish(key, plan, Some(Arc::clone(&result)));
         Joined::Shared(result)
+    }
+
+    /// Merges this estimator's private join-cache entries and hit/miss
+    /// tallies into the shared [`JoinCache`], making them visible to
+    /// every other estimator sharing it. A no-op without a join cache,
+    /// and lock-free when there is nothing pending. Also runs on drop;
+    /// the batch engine calls it at chunk boundaries so warm results
+    /// propagate across workers mid-batch.
+    pub fn flush_join_cache(&self) {
+        if let Some(cache) = &self.join_cache {
+            cache.borrow_mut().merge();
+        }
     }
 
     /// Builds the prepared plan for `query`, lapping the build into the

@@ -40,8 +40,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use xpe_pathid::{
-    axis_compatible_masked, relation_mask, words, ContainmentAdjacency, JoinIndexCache, PathIdBits,
-    Pid, RelationMaskCache,
+    axis_compatible_masked, relation_mask, words, ContainmentAdjacency, JoinIndexCache,
+    JoinIndexSnapshot, PathIdBits, Pid, RelationMaskCache, RelationMaskSnapshot,
 };
 use xpe_synopsis::Summary;
 use xpe_xml::TagId;
@@ -275,14 +275,16 @@ impl JoinScratch {
 
 /// Per-estimator lock-free memo tables over the shared [`JoinIndexCache`].
 ///
-/// The shared cache guards its maps with `RwLock`s: correct, but a read
-/// lock plus a `HashMap` probe per edge per join is exactly the constant
-/// the screen phase drowns in, and on the batch path it is shared-line
-/// contention too. A `JoinMemo` is a plain `Vec`-indexed mirror owned by
-/// one estimator: adjacency rows are keyed by `(dense tag index, axis)`
-/// and seed bitmaps by `(dense tag index, rooted)`, each slot filled on
-/// first miss from the shared cache, so the lock + hash runs **once per
-/// key per estimator** instead of once per join.
+/// A `JoinMemo` is a plain `Vec`-indexed mirror owned by one estimator:
+/// adjacency rows are keyed by `(dense tag index, axis)`, seed bitmaps by
+/// `(dense tag index, rooted)`, and relation masks by the adjacency
+/// layout, each slot filled on first miss. A flat-table miss first probes
+/// the shared cache's epoch-published snapshot — held here and
+/// revalidated with a single atomic epoch load, refreshed (one mutex
+/// acquisition) only when another worker has published since — so a warm
+/// shared cache is absorbed into the flat tables without ever taking a
+/// lock. Only a key absent from the snapshot falls through to the shared
+/// cache's cold build-and-publish path.
 ///
 /// A memo is only meaningful against a single `(summary, JoinIndexCache)`
 /// pair — the estimator owns one of each for its whole lifetime, which
@@ -298,10 +300,23 @@ pub struct JoinMemo {
     adj_rows: Vec<Option<AdjacencyRow>>,
     /// `(tag, rooted)`-indexed seed bitmaps — `tag.index() * 2 + rooted`.
     seeds: Vec<Option<Arc<Vec<u64>>>>,
+    /// `(tag_u, axis)`-indexed rows of `(tag_v)`-indexed relation-mask
+    /// slots, laid out like `adj_rows`.
+    mask_rows: Vec<Option<MaskRow>>,
+    /// Held snapshot of the shared adjacency/seed cache and the epoch it
+    /// was (at least) current at.
+    index_snapshot: Option<Arc<JoinIndexSnapshot>>,
+    index_epoch: u64,
+    /// Held snapshot of the shared relation-mask cache.
+    mask_snapshot: Option<Arc<RelationMaskSnapshot>>,
+    mask_epoch: u64,
 }
 
 /// One lazily-allocated memo row: `tag_v`-indexed adjacency slots.
 type AdjacencyRow = Box<[Option<Arc<ContainmentAdjacency>>]>;
+
+/// One lazily-allocated memo row: `tag_v`-indexed relation-mask slots.
+type MaskRow = Box<[Option<Arc<PathIdBits>>]>;
 
 impl JoinMemo {
     /// Creates an empty memo; tables size themselves on first use.
@@ -316,11 +331,25 @@ impl JoinMemo {
             self.adj_rows.resize_with(ntags * 2, || None);
             self.seeds.clear();
             self.seeds.resize_with(ntags * 2, || None);
+            self.mask_rows.clear();
+            self.mask_rows.resize_with(ntags * 2, || None);
         }
     }
 
+    /// The held index snapshot, refreshed when the shared cache's epoch
+    /// has moved past the one this memo last observed.
+    fn index_snapshot(&mut self, cache: &JoinIndexCache) -> &JoinIndexSnapshot {
+        let epoch = cache.epoch();
+        if self.index_snapshot.is_none() || self.index_epoch != epoch {
+            self.index_snapshot = Some(cache.snapshot());
+            self.index_epoch = epoch;
+        }
+        self.index_snapshot.as_deref().expect("just refreshed")
+    }
+
     /// The adjacency of `(tag_u, tag_v, child)`, served from the flat
-    /// table after the first shared-cache probe for the key.
+    /// table; a flat miss probes the lock-free snapshot before falling
+    /// through to the shared cache's build-and-publish path.
     fn adjacency(
         &mut self,
         summary: &Summary,
@@ -330,19 +359,26 @@ impl JoinMemo {
         child: bool,
     ) -> Arc<ContainmentAdjacency> {
         self.ensure(summary.tags.len());
-        let ntags = self.ntags;
-        let row = self.adj_rows[tag_u.index() * 2 + usize::from(child)]
-            .get_or_insert_with(|| vec![None; ntags].into_boxed_slice());
-        if let Some(a) = &row[tag_v.index()] {
-            return Arc::clone(a);
+        let slot = tag_u.index() * 2 + usize::from(child);
+        if let Some(row) = &self.adj_rows[slot] {
+            if let Some(a) = &row[tag_v.index()] {
+                return Arc::clone(a);
+            }
         }
-        let a = summary.adjacency(cache, tag_u, tag_v, child);
+        let a = self
+            .index_snapshot(cache)
+            .adjacency(tag_u, tag_v, child)
+            .cloned()
+            .unwrap_or_else(|| summary.adjacency(cache, tag_u, tag_v, child));
+        let ntags = self.ntags;
+        let row = self.adj_rows[slot].get_or_insert_with(|| vec![None; ntags].into_boxed_slice());
         row[tag_v.index()] = Some(Arc::clone(&a));
         a
     }
 
-    /// The seed bitmap of `(tag, rooted)`, served from the flat table
-    /// after the first shared-cache probe for the key.
+    /// The seed bitmap of `(tag, rooted)`, served from the flat table;
+    /// a flat miss probes the lock-free snapshot before falling through
+    /// to the shared cache's build-and-publish path.
     fn seed(
         &mut self,
         summary: &Summary,
@@ -352,15 +388,59 @@ impl JoinMemo {
         set_words: usize,
     ) -> Arc<Vec<u64>> {
         self.ensure(summary.tags.len());
-        let slot = &mut self.seeds[tag.index() * 2 + usize::from(rooted)];
-        if let Some(s) = slot {
+        let slot = tag.index() * 2 + usize::from(rooted);
+        if let Some(s) = &self.seeds[slot] {
             return Arc::clone(s);
         }
-        let s = cache.seed_bitmap(tag, rooted, || {
-            build_seed_bitmap(summary, tag, rooted, set_words)
-        });
-        *slot = Some(Arc::clone(&s));
+        let s = self
+            .index_snapshot(cache)
+            .seed(tag, rooted)
+            .cloned()
+            .unwrap_or_else(|| {
+                cache.seed_bitmap(tag, rooted, || {
+                    build_seed_bitmap(summary, tag, rooted, set_words)
+                })
+            });
+        self.seeds[slot] = Some(Arc::clone(&s));
         s
+    }
+
+    /// The relation mask of `(tag_u, tag_v, child)`, served from the
+    /// flat table; a flat miss probes the mask cache's lock-free
+    /// snapshot before falling through to its publish path. Only
+    /// adjacency-less edges ever ask for a mask, so on the engine's
+    /// kernels this table stays empty.
+    fn mask(
+        &mut self,
+        summary: &Summary,
+        cache: &RelationMaskCache,
+        tag_u: TagId,
+        tag_v: TagId,
+        child: bool,
+    ) -> Arc<PathIdBits> {
+        self.ensure(summary.tags.len());
+        let slot = tag_u.index() * 2 + usize::from(child);
+        if let Some(row) = &self.mask_rows[slot] {
+            if let Some(m) = &row[tag_v.index()] {
+                return Arc::clone(m);
+            }
+        }
+        let epoch = cache.epoch();
+        if self.mask_snapshot.is_none() || self.mask_epoch != epoch {
+            self.mask_snapshot = Some(cache.snapshot());
+            self.mask_epoch = epoch;
+        }
+        let m = self
+            .mask_snapshot
+            .as_deref()
+            .expect("just refreshed")
+            .get(tag_u, tag_v, child)
+            .cloned()
+            .unwrap_or_else(|| cache.get(&summary.encoding, tag_u, tag_v, child));
+        let ntags = self.ntags;
+        let row = self.mask_rows[slot].get_or_insert_with(|| vec![None; ntags].into_boxed_slice());
+        row[tag_v.index()] = Some(Arc::clone(&m));
+        m
     }
 }
 
@@ -1021,9 +1101,10 @@ fn resolve_edges(
         let mask = if adj.is_some() {
             None
         } else {
-            Some(match masks {
-                Some(cache) => cache.get(&summary.encoding, tag_u, tag_v, e.child),
-                None => Arc::new(relation_mask(&summary.encoding, tag_u, tag_v, e.child)),
+            Some(match (masks, memo.as_deref_mut()) {
+                (Some(cache), Some(m)) => m.mask(summary, cache, tag_u, tag_v, e.child),
+                (Some(cache), None) => cache.get(&summary.encoding, tag_u, tag_v, e.child),
+                (None, _) => Arc::new(relation_mask(&summary.encoding, tag_u, tag_v, e.child)),
             })
         };
         out.push(ResolvedEdge {

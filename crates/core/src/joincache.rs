@@ -172,6 +172,7 @@ pub struct JoinCache {
     shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    locks: AtomicU64,
 }
 
 impl std::fmt::Debug for JoinCache {
@@ -199,6 +200,7 @@ impl JoinCache {
             shard_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            locks: AtomicU64::new(0),
         }
     }
 
@@ -210,6 +212,14 @@ impl JoinCache {
         &self.shards[((key.hash64() >> 32) as usize) % SHARDS]
     }
 
+    /// Locks a key's shard, counting the acquisition.
+    fn lock_shard(&self, key: &SkeletonKey) -> std::sync::MutexGuard<'_, Shard> {
+        self.locks.fetch_add(1, Ordering::Relaxed);
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Looks up a skeleton, refreshing its recency. Returns the entry's
     /// plan (and result, when one is published); counts a hit iff the
     /// result is present, a miss otherwise — except on a disabled cache,
@@ -218,24 +228,43 @@ impl JoinCache {
         if self.shard_capacity == 0 {
             return None;
         }
-        let mut shard = self
-            .shard(key)
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        let tick = shard.touch();
-        let found = shard.map.get_mut(key).map(|entry| {
-            entry.tick = tick;
-            CacheHit {
-                plan: Arc::clone(&entry.plan),
-                result: entry.result.clone(),
-            }
-        });
-        drop(shard);
+        let found = self.peek(key);
         match &found {
             Some(hit) if hit.result.is_some() => self.hits.fetch_add(1, Ordering::Relaxed),
             _ => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
+    }
+
+    /// [`lookup`](Self::lookup) without the hit/miss accounting: the
+    /// probe [`WorkerJoinCache`] issues on a local miss. The worker cache
+    /// tallies hits and misses itself and folds them in at merge time,
+    /// so counting here would double-book them. Recency is still
+    /// refreshed — a peek is a real use of the entry.
+    fn peek(&self, key: &SkeletonKey) -> Option<CacheHit> {
+        if self.shard_capacity == 0 {
+            return None;
+        }
+        let mut shard = self.lock_shard(key);
+        let tick = shard.touch();
+        shard.map.get_mut(key).map(|entry| {
+            entry.tick = tick;
+            CacheHit {
+                plan: Arc::clone(&entry.plan),
+                result: entry.result.clone(),
+            }
+        })
+    }
+
+    /// Folds a worker's locally-tallied hit/miss counts into the shared
+    /// totals (two atomic adds, no locks).
+    fn add_counts(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.misses.fetch_add(misses, Ordering::Relaxed);
+        }
     }
 
     /// Publishes a skeleton's plan and (optionally) its completed join
@@ -247,10 +276,7 @@ impl JoinCache {
         if self.shard_capacity == 0 {
             return;
         }
-        let mut shard = self
-            .shard(&key)
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut shard = self.lock_shard(&key);
         let tick = shard.touch();
         if let Some(entry) = shard.map.get_mut(&key) {
             entry.tick = tick;
@@ -275,6 +301,8 @@ impl JoinCache {
 
     /// Total entries across shards (plan-only entries included).
     pub fn len(&self) -> usize {
+        self.locks
+            .fetch_add(self.shards.len() as u64, Ordering::Relaxed);
         self.shards
             .iter()
             .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
@@ -311,6 +339,194 @@ impl JoinCache {
         } else {
             h / (h + m)
         }
+    }
+
+    /// Number of shard-mutex acquisitions so far (lookups, publishes,
+    /// worker-cache probes, and merges all count; `len` counts one per
+    /// shard). Warm per-worker lookups served from a
+    /// [`WorkerJoinCache`]'s private map must not move this.
+    pub fn lock_count(&self) -> u64 {
+        self.locks.load(Ordering::Relaxed)
+    }
+}
+
+/// One worker's private, lock-free front for a shared [`JoinCache`].
+///
+/// Batch workers used to take a shard mutex (plus two atomic RMWs for
+/// the hit/miss tally) on every single query — the dominant shared-line
+/// traffic once the adjacency path went lock-free. A `WorkerJoinCache`
+/// moves that to the edges of the batch: lookups probe a private
+/// unsynchronized map first and fall through to the shared cache only on
+/// a local miss (seeding the private map from whatever the shared side
+/// already holds); publishes go to the private map, with freshly
+/// completed results written through to their shared shard right away
+/// (see [`publish`](Self::publish)) and plan-only entries queued; and
+/// [`merge`](Self::merge) — called at chunk boundaries and on drop —
+/// batches the queued entries into the shared shards and folds the
+/// locally-tallied hit/miss counts in with two atomic adds. In steady
+/// state a worker computes nothing, publishes nothing, and touches no
+/// shared line at all between merge points.
+///
+/// Semantics are identical to direct shared access because join results
+/// are pure functions of `(summary, skeleton)`: publishing late never
+/// changes what any entry holds, only when other workers can reuse it.
+/// The never-erase-a-result rule holds locally and through the merge
+/// (plan-only pending entries pass `None`, which [`JoinCache::publish`]
+/// ignores when a result is already stored), and a disabled shared cache
+/// (capacity 0) disables the worker cache the same way: lookups return
+/// nothing and no counter moves.
+pub struct WorkerJoinCache {
+    shared: Arc<JoinCache>,
+    local: HashMap<SkeletonKey, LocalEntry, BuildHasherDefault<PrehashedHasher>>,
+    pending: Vec<(SkeletonKey, Arc<QueryPlan>, Option<Arc<JoinResult>>)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A private map entry: the skeleton's plan and (optionally) its result.
+struct LocalEntry {
+    plan: Arc<QueryPlan>,
+    result: Option<Arc<JoinResult>>,
+}
+
+impl WorkerJoinCache {
+    /// Wraps a shared cache; the private map starts empty and seeds
+    /// itself from the shared side on local misses.
+    pub fn new(shared: Arc<JoinCache>) -> Self {
+        WorkerJoinCache {
+            shared,
+            local: HashMap::default(),
+            pending: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The shared cache this worker front merges into.
+    pub fn shared(&self) -> &Arc<JoinCache> {
+        &self.shared
+    }
+
+    /// Looks up a skeleton: private map first (no locks), then one
+    /// shared-shard probe on a local miss. Hit/miss accounting matches
+    /// [`JoinCache::lookup`] — a hit iff a result is present — but is
+    /// tallied locally and folded into the shared counters at merge.
+    pub fn lookup(&mut self, key: &SkeletonKey) -> Option<CacheHit> {
+        if self.shared.capacity() == 0 {
+            return None;
+        }
+        if let Some(entry) = self.local.get(key) {
+            let hit = CacheHit {
+                plan: Arc::clone(&entry.plan),
+                result: entry.result.clone(),
+            };
+            match &hit.result {
+                Some(_) => self.hits += 1,
+                None => self.misses += 1,
+            }
+            return Some(hit);
+        }
+        let found = self.shared.peek(key);
+        match &found {
+            Some(hit) => {
+                if hit.result.is_some() {
+                    self.hits += 1;
+                } else {
+                    self.misses += 1;
+                }
+                self.local.insert(
+                    key.clone(),
+                    LocalEntry {
+                        plan: Arc::clone(&hit.plan),
+                        result: hit.result.clone(),
+                    },
+                );
+            }
+            None => self.misses += 1,
+        }
+        found
+    }
+
+    /// Publishes into the private map, and routes the entry to the shared
+    /// cache by kind:
+    ///
+    /// * a **completed result** writes through immediately (one shard
+    ///   lock) — another worker about to run the same join finds it on
+    ///   its very next probe instead of after this worker's chunk ends,
+    ///   which is what keeps a cold batch from computing every hot
+    ///   skeleton once *per worker*. Results are only ever computed on a
+    ///   miss, so a warm workload writes nothing through and stays
+    ///   lock-free;
+    /// * a **plan-only entry** (budget-truncated join) is queued for the
+    ///   next lazy merge — sharing it early saves tag resolution, not a
+    ///   fixpoint, which is not worth a lock in the middle of a chunk.
+    ///
+    /// A `result: None` never erases a locally-stored result, mirroring
+    /// the shared rule. When the private map outgrows the shared capacity
+    /// it is merged and cleared, so a long-lived estimator cannot hoard
+    /// unbounded entries.
+    pub fn publish(
+        &mut self,
+        key: SkeletonKey,
+        plan: Arc<QueryPlan>,
+        result: Option<Arc<JoinResult>>,
+    ) {
+        if self.shared.capacity() == 0 {
+            return;
+        }
+        match &result {
+            Some(r) => self
+                .shared
+                .publish(key.clone(), Arc::clone(&plan), Some(Arc::clone(r))),
+            None => self.pending.push((key.clone(), Arc::clone(&plan), None)),
+        }
+        match self.local.get_mut(&key) {
+            Some(entry) => {
+                entry.plan = plan;
+                if let Some(r) = result {
+                    entry.result = Some(r);
+                }
+            }
+            None => {
+                self.local.insert(key, LocalEntry { plan, result });
+            }
+        }
+        if self.local.len() > self.shared.capacity() {
+            self.merge();
+            self.local.clear();
+        }
+    }
+
+    /// Flushes pending publications into the shared shards and folds the
+    /// local hit/miss tallies into the shared counters. Cheap when there
+    /// is nothing to do: no pending entries means no locks are taken
+    /// (the tallies flush with plain atomic adds).
+    pub fn merge(&mut self) {
+        for (key, plan, result) in self.pending.drain(..) {
+            self.shared.publish(key, plan, result);
+        }
+        if self.hits > 0 || self.misses > 0 {
+            self.shared.add_counts(self.hits, self.misses);
+            self.hits = 0;
+            self.misses = 0;
+        }
+    }
+}
+
+impl Drop for WorkerJoinCache {
+    fn drop(&mut self) {
+        self.merge();
+    }
+}
+
+impl std::fmt::Debug for WorkerJoinCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerJoinCache")
+            .field("local_len", &self.local.len())
+            .field("pending", &self.pending.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
     }
 }
 

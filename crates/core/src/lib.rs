@@ -57,7 +57,7 @@ pub use join::{
     path_join_bitmap_unscreened, path_join_budgeted, path_join_cached, path_join_planned,
     JoinKernel, JoinMemo, JoinPhaseStats, JoinResult, JoinScratch,
 };
-pub use joincache::{skeleton_key, CacheHit, JoinCache, SkeletonKey};
+pub use joincache::{skeleton_key, CacheHit, JoinCache, SkeletonKey, WorkerJoinCache};
 pub use metrics::{mean_relative_error, relative_error, ErrorStats};
 pub use planner::{PathCardinalities, PlanEdge, PredicateRank, QueryPlan};
 pub use serve::{

@@ -18,13 +18,16 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use std::sync::Arc;
+
 use xpe_core::{
     path_join, path_join_bitmap, path_join_bitmap_budgeted, path_join_bitmap_unscreened,
-    path_join_cached, Budget, BudgetState, EstimationEngine, Estimator, JoinKernel, JoinScratch,
+    path_join_cached, Budget, BudgetState, EstimationEngine, Estimator, JoinCache, JoinKernel,
+    JoinScratch,
 };
 use xpe_datagen::{random_document, RandomDocConfig};
 use xpe_diff::{random_query, tag_paths};
-use xpe_pathid::{JoinIndexCache, Pid};
+use xpe_pathid::{JoinIndexCache, Pid, RelationMaskCache};
 use xpe_synopsis::{Summary, SummaryConfig};
 
 /// One random `(document, queries)` scenario derived from a master seed —
@@ -251,6 +254,72 @@ proptest! {
     }
 }
 
+/// Asserts the lazy-merge seam directly: several estimators sharing one
+/// [`JoinCache`] through their private worker fronts, with merges forced
+/// at adversarial points (after every single query, on another worker
+/// than the one that ran it, and finally via drop), reproduce a bare
+/// cache-free estimator bit for bit — and a fresh estimator served
+/// purely from the merged shared cache does too.
+fn check_lazy_merge(summary: &Summary, queries: &[xpe_xpath::Query]) {
+    for kernel in JoinKernel::ALL {
+        let bare: Vec<u64> = queries
+            .iter()
+            .map(|q| {
+                Estimator::new(summary)
+                    .with_kernel(kernel)
+                    .estimate(q)
+                    .to_bits()
+            })
+            .collect();
+        for workers in [1usize, 2, 4] {
+            let shared = Arc::new(JoinCache::with_capacity(64));
+            let masks = Arc::new(RelationMaskCache::new());
+            let adjacency = Arc::new(JoinIndexCache::new());
+            let make = || {
+                Estimator::with_caches(
+                    summary,
+                    Arc::clone(&masks),
+                    Arc::clone(&adjacency),
+                    Some(Arc::clone(&shared)),
+                )
+                .with_kernel(kernel)
+            };
+            let ests: Vec<Estimator> = (0..workers).map(|_| make()).collect();
+            // Round-robin the queries across workers; after each query,
+            // flush a *different* worker, so merge points interleave
+            // with lookups in every order the engine could produce.
+            for pass in 0..2 {
+                for (i, (query, &want)) in queries.iter().zip(&bare).enumerate() {
+                    let got = ests[i % workers].estimate(query).to_bits();
+                    assert_eq!(
+                        got, want,
+                        "kernel {kernel:?}, workers {workers}, pass {pass}, {query}"
+                    );
+                    ests[(i + 1) % workers].flush_join_cache();
+                }
+            }
+            // Drop-merge whatever is still pending, then serve a fresh
+            // estimator entirely from the merged shared cache.
+            drop(ests);
+            let fresh = make();
+            for (query, &want) in queries.iter().zip(&bare) {
+                assert_eq!(
+                    fresh.estimate(query).to_bits(),
+                    want,
+                    "post-merge fresh estimator, kernel {kernel:?}, workers {workers}, {query}"
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic lazy-merge coverage on the wide (> 64-word) interner.
+#[test]
+fn lazy_merge_is_bit_identical_on_wide_interner() {
+    let (summary, queries) = wide_scenario();
+    check_lazy_merge(&summary, &queries);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -261,5 +330,14 @@ proptest! {
     fn warm_plans_and_memos_are_bit_identical(seed in 0u64..1_000_000) {
         let (summary, queries) = scenario(seed);
         check_warm_paths(&summary, &queries);
+    }
+
+    /// Worker-private join caches with lazy merge are pure speed: any
+    /// interleaving of queries and merges across 1/2/4 workers, for
+    /// every kernel, is bit-identical to the cache-free estimator.
+    #[test]
+    fn lazily_merged_worker_caches_are_bit_identical(seed in 0u64..1_000_000) {
+        let (summary, queries) = scenario(seed);
+        check_lazy_merge(&summary, &queries);
     }
 }

@@ -160,6 +160,72 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`par_map_init_chunked`] with a per-chunk `flush` hook: after a worker
+/// finishes each claimed chunk (and once more before it exits), `flush`
+/// runs against its state. This is the lazy-merge seam for per-worker
+/// caches — workers batch their writes privately and `flush` publishes
+/// them to shared structures at chunk boundaries, so the shared lock is
+/// taken once per chunk instead of once per item. On the serial path the
+/// whole range is one chunk: `flush` runs once, after the last item.
+///
+/// `flush` must not affect `f`'s *results* (publishing memoized values
+/// earlier or later may change speed, never outputs) for the parallel and
+/// serial paths to stay bit-identical.
+pub fn par_map_init_flushed<S, R, I, F, X>(
+    threads: usize,
+    n: usize,
+    chunk: usize,
+    init: I,
+    f: F,
+    flush: X,
+) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+    X: Fn(&mut S) + Sync,
+{
+    let workers = resolve_threads(threads).min(n);
+    if workers <= 1 {
+        let mut state = init();
+        let out: Vec<R> = (0..n).map(|i| f(&mut state, i)).collect();
+        flush(&mut state);
+        return out;
+    }
+    let chunk = match chunk {
+        0 => (n / (workers * 16)).clamp(1, 64),
+        c => c,
+    };
+
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        local.push((i, f(&mut state, i)));
+                    }
+                    flush(&mut state);
+                }
+                flush(&mut state);
+                lock_ignore_poison(&done).extend(local);
+            });
+        }
+    });
+
+    let mut tagged = done.into_inner().unwrap_or_else(PoisonError::into_inner);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
 /// [`par_map_init_chunked`] with **panic isolation**: each item's `f`
 /// call runs under [`catch_unwind`], so a panicking item yields
 /// `Err(ItemPanic)` in its slot while every other item still completes
@@ -357,6 +423,40 @@ mod tests {
         );
         for (i, c) in counts.iter().enumerate() {
             assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn flushed_dispatch_matches_serial_and_flushes_every_item() {
+        use std::sync::atomic::AtomicUsize;
+        let serial: Vec<u64> = (0..91).map(|i| (i as u64).wrapping_mul(17)).collect();
+        for threads in [1, 2, 4] {
+            for chunk in [0, 1, 5] {
+                // State buffers items since the last flush; flush drains
+                // into the shared tally. Everything processed must be
+                // flushed by the time the call returns.
+                let flushed = AtomicUsize::new(0);
+                let par = par_map_init_flushed(
+                    threads,
+                    91,
+                    chunk,
+                    || 0usize,
+                    |buffered, i| {
+                        *buffered += 1;
+                        (i as u64).wrapping_mul(17)
+                    },
+                    |buffered| {
+                        flushed.fetch_add(*buffered, Ordering::Relaxed);
+                        *buffered = 0;
+                    },
+                );
+                assert_eq!(par, serial, "threads={threads} chunk={chunk}");
+                assert_eq!(
+                    flushed.load(Ordering::Relaxed),
+                    91,
+                    "threads={threads} chunk={chunk}: every item flushed"
+                );
+            }
         }
     }
 

@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 use xpe_xml::TagId;
@@ -527,20 +527,85 @@ impl std::hash::Hasher for PackedKeyHasher {
 /// A map keyed by pre-packed `u64`s through [`PackedKeyHasher`].
 type PackedMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<PackedKeyHasher>>;
 
-/// Thread-safe memo table over [`ContainmentAdjacency::build`], keyed like
-/// the relation-mask cache by `(tag_u, tag_v, child_axis)`.
+/// An immutable view of every adjacency and seed bitmap published so far.
 ///
-/// Two threads racing on a cold key may both build the adjacency; the
-/// first insert wins and both observe the same `Arc`. Builds are pure
-/// functions of the key and the (immutable) summary structures, so this
-/// duplicates work but never diverges. Build count, cumulative build
-/// time, and pair totals are tracked for the perf snapshot.
+/// The owning [`JoinIndexCache`] publishes a fresh snapshot (map clone +
+/// insert + `Arc` swap under its mutex) each time a cold build completes,
+/// and bumps its epoch. Readers hold one `Arc` per observed epoch and
+/// probe it with plain hash lookups — no lock, no atomic RMW — which is
+/// what lets warm joins on the per-estimator memos stay lock-free even
+/// when the cache is shared by every worker of a batch.
 #[derive(Debug, Default)]
-pub struct JoinIndexCache {
+pub struct JoinIndexSnapshot {
     /// Adjacencies keyed by `(tag_u << 32) | tag_v`, one map per axis
     /// (index 1 = child) — splitting on the axis keeps the packed key
     /// injective for every representable tag index.
-    maps: [RwLock<PackedMap<Arc<ContainmentAdjacency>>>; 2],
+    maps: [PackedMap<Arc<ContainmentAdjacency>>; 2],
+    /// Seed bitmaps keyed by `(tag << 1) | rooted`.
+    seeds: PackedMap<Arc<Vec<u64>>>,
+}
+
+impl JoinIndexSnapshot {
+    fn adjacency_key(tag_u: TagId, tag_v: TagId) -> u64 {
+        ((tag_u.index() as u64) << 32) | tag_v.index() as u64
+    }
+
+    fn seed_key(tag: TagId, rooted: bool) -> u64 {
+        ((tag.index() as u64) << 1) | u64::from(rooted)
+    }
+
+    /// The published adjacency for `(tag_u, tag_v, child_axis)`, if any.
+    #[inline]
+    pub fn adjacency(
+        &self,
+        tag_u: TagId,
+        tag_v: TagId,
+        child_axis: bool,
+    ) -> Option<&Arc<ContainmentAdjacency>> {
+        self.maps[usize::from(child_axis)].get(&Self::adjacency_key(tag_u, tag_v))
+    }
+
+    /// The published seed bitmap for `(tag, rooted)`, if any.
+    #[inline]
+    pub fn seed(&self, tag: TagId, rooted: bool) -> Option<&Arc<Vec<u64>>> {
+        self.seeds.get(&Self::seed_key(tag, rooted))
+    }
+
+    /// Number of published adjacencies.
+    pub fn len(&self) -> usize {
+        self.maps.iter().map(HashMap::len).sum()
+    }
+
+    /// Whether no adjacency has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Epoch-published memo table over [`ContainmentAdjacency::build`], keyed
+/// like the relation-mask cache by `(tag_u, tag_v, child_axis)`.
+///
+/// Reads go through an immutable [`JoinIndexSnapshot`]: grab it once via
+/// [`snapshot`](Self::snapshot), revalidate with a single
+/// [`epoch`](Self::epoch) load, and probe lock-free until the epoch
+/// moves. The mutex guards publication only — a miss builds its
+/// adjacency *outside* the lock, then rechecks, clones the current maps,
+/// inserts, swaps the `Arc`, and bumps the epoch. First publication
+/// wins: two workers racing on one key may both build it, the loser's
+/// copy is dropped, and only published builds move
+/// [`builds`](Self::builds) — so it still equals the published count.
+/// Builds are pure functions of the key and the (immutable) summary
+/// structures, so every reader observes the same rows regardless of
+/// which epoch it joined at. Build count, cumulative build time, pair
+/// totals, and mutex acquisitions are tracked for the perf snapshot.
+#[derive(Debug, Default)]
+pub struct JoinIndexCache {
+    /// The current snapshot; the mutex guards publication, not reads —
+    /// readers clone the `Arc` out and drop the lock immediately.
+    published: Mutex<Arc<JoinIndexSnapshot>>,
+    /// Bumped (release) after every publication; readers revalidate
+    /// their held snapshot with one acquire load.
+    epoch: AtomicU64,
     /// Arena layout of the summary's interner, built on first use and
     /// shared by every adjacency build (the cache is per-summary, like
     /// the adjacencies themselves).
@@ -548,15 +613,10 @@ pub struct JoinIndexCache {
     /// Containment relation over the slab rows, built on first use and
     /// shared by every adjacency build.
     relation: OnceLock<Arc<PidContainmentRelation>>,
-    /// Per-`(tag, rooted)` seed bitmaps for the bitmap kernel, keyed by
-    /// `(tag << 1) | rooted`: the pid indices a query node starts from
-    /// before any edge constrains it. Built by the caller (seeding needs
-    /// the summary's histograms, which live above this crate) and
-    /// memoized here.
-    seeds: RwLock<PackedMap<Arc<Vec<u64>>>>,
     builds: AtomicU64,
     build_nanos: AtomicU64,
     pairs: AtomicU64,
+    locks: AtomicU64,
 }
 
 impl JoinIndexCache {
@@ -565,8 +625,28 @@ impl JoinIndexCache {
         Self::default()
     }
 
+    /// The current publication epoch. A reader holding a snapshot taken
+    /// at this epoch sees every entry published so far; snapshots only
+    /// ever grow, so a stale one is still correct — merely incomplete.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current snapshot (one mutex acquisition; probe the returned
+    /// `Arc` lock-free afterwards).
+    pub fn snapshot(&self) -> Arc<JoinIndexSnapshot> {
+        Arc::clone(&self.lock_published())
+    }
+
+    fn lock_published(&self) -> MutexGuard<'_, Arc<JoinIndexSnapshot>> {
+        self.locks.fetch_add(1, Ordering::Relaxed);
+        self.published
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The adjacency for `(tag_u, tag_v, child_axis)`, building and
-    /// memoizing it on first use.
+    /// publishing it on first use.
     pub fn get(
         &self,
         encoding: &EncodingTable,
@@ -575,30 +655,48 @@ impl JoinIndexCache {
         tag_v: TagId,
         child_axis: bool,
     ) -> Arc<ContainmentAdjacency> {
-        let key = ((tag_u.index() as u64) << 32) | tag_v.index() as u64;
-        let map = &self.maps[usize::from(child_axis)];
-        if let Some(a) = map
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
-        {
+        let snap = self.snapshot();
+        if let Some(a) = snap.adjacency(tag_u, tag_v, child_axis) {
             return Arc::clone(a);
         }
-        let t0 = Instant::now();
+        // Resolve the shared layout first: the OnceLocks serialize their
+        // own (expensive, once-per-summary) builds without stalling
+        // unrelated publications.
         let slab = self.slab(pids);
         let relation = self.relation(pids);
+        // Build outside the publish lock: the mutex guards publication
+        // only, so a long adjacency build never convoys other workers'
+        // snapshot refreshes, and misses on different keys build in
+        // parallel. Two workers racing on the *same* key may both build
+        // it; the recheck below keeps the first publication and the
+        // loser's copy is dropped — builds are pure functions of the key
+        // and the (immutable) summary structures, so either is correct,
+        // and only the published build moves the counters.
+        let t0 = Instant::now();
         let built = Arc::new(ContainmentAdjacency::build_with_layout(
             encoding, pids, &slab, &relation, tag_u, tag_v, child_axis,
         ));
+        let build_nanos = t0.elapsed().as_nanos() as u64;
+        let mut published = self.lock_published();
+        if let Some(a) = published.adjacency(tag_u, tag_v, child_axis) {
+            // A racing worker published the key while we built.
+            return Arc::clone(a);
+        }
         self.builds.fetch_add(1, Ordering::Relaxed);
-        self.build_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.build_nanos.fetch_add(build_nanos, Ordering::Relaxed);
         self.pairs
             .fetch_add(built.pair_count() as u64, Ordering::Relaxed);
-        let mut w = map
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        Arc::clone(w.entry(key).or_insert(built))
+        let mut next = JoinIndexSnapshot {
+            maps: published.maps.clone(),
+            seeds: published.seeds.clone(),
+        };
+        next.maps[usize::from(child_axis)].insert(
+            JoinIndexSnapshot::adjacency_key(tag_u, tag_v),
+            Arc::clone(&built),
+        );
+        *published = Arc::new(next);
+        self.epoch.fetch_add(1, Ordering::Release);
+        built
     }
 
     /// The memoized arena layout of `pids`, building it on first use.
@@ -625,42 +723,40 @@ impl JoinIndexCache {
     }
 
     /// The memoized seed bitmap for `(tag, rooted)`, running `build` on
-    /// first use. Two threads racing on a cold key may both build; the
-    /// first insert wins, and builds are pure functions of the key and
-    /// the summary, so the results agree.
+    /// first use. The build runs outside the publish lock and the first
+    /// publication wins; seed builds are pure functions of the key and
+    /// the summary, so a racing duplicate is identical and safe to drop.
     pub fn seed_bitmap(
         &self,
         tag: TagId,
         rooted: bool,
         build: impl FnOnce() -> Vec<u64>,
     ) -> Arc<Vec<u64>> {
-        let key = ((tag.index() as u64) << 1) | u64::from(rooted);
-        if let Some(s) = self
-            .seeds
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
-        {
+        let snap = self.snapshot();
+        if let Some(s) = snap.seed(tag, rooted) {
             return Arc::clone(s);
         }
+        // Built outside the publish lock, first publication wins — see
+        // [`get`](Self::get) for the argument.
         let built = Arc::new(build());
-        let mut w = self
-            .seeds
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        Arc::clone(w.entry(key).or_insert(built))
+        let mut published = self.lock_published();
+        if let Some(s) = published.seed(tag, rooted) {
+            return Arc::clone(s);
+        }
+        let mut next = JoinIndexSnapshot {
+            maps: published.maps.clone(),
+            seeds: published.seeds.clone(),
+        };
+        next.seeds
+            .insert(JoinIndexSnapshot::seed_key(tag, rooted), Arc::clone(&built));
+        *published = Arc::new(next);
+        self.epoch.fetch_add(1, Ordering::Release);
+        built
     }
 
-    /// Number of memoized adjacencies.
+    /// Number of published adjacencies.
     pub fn len(&self) -> usize {
-        self.maps
-            .iter()
-            .map(|m| {
-                m.read()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .len()
-            })
-            .sum()
+        self.snapshot().len()
     }
 
     /// Whether no adjacency has been built yet.
@@ -668,7 +764,9 @@ impl JoinIndexCache {
         self.len() == 0
     }
 
-    /// Total builds performed (≥ [`len`](Self::len) under races).
+    /// Total *published* builds. A build that loses a same-key publish
+    /// race is discarded without counting, so this equals
+    /// [`len`](Self::len).
     pub fn builds(&self) -> u64 {
         self.builds.load(Ordering::Relaxed)
     }
@@ -678,10 +776,18 @@ impl JoinIndexCache {
         self.build_nanos.load(Ordering::Relaxed) as f64 / 1e6
     }
 
-    /// Total compatible pairs across every build (duplicates included
-    /// under races).
+    /// Total compatible pairs across every build.
     pub fn pair_total(&self) -> u64 {
         self.pairs.load(Ordering::Relaxed)
+    }
+
+    /// Number of publish-mutex acquisitions so far: snapshot refreshes,
+    /// cold builds, and introspection ([`len`](Self::len)) all count.
+    /// Warm joins served from per-estimator memos must not move this —
+    /// `kernel_stats()` surfaces the sum so tests can assert exactly
+    /// that.
+    pub fn lock_count(&self) -> u64 {
+        self.locks.load(Ordering::Relaxed)
     }
 }
 

@@ -128,7 +128,7 @@ impl EncodingTable {
         let mut t = EncodingTable::new();
         for _ in 0..n {
             let len = r.u32()? as usize;
-            let mut path = Vec::with_capacity(len);
+            let mut path = Vec::with_capacity(xpe_xml::wire::cap_alloc(len));
             for _ in 0..len {
                 path.push(TagId::from_index(r.u32()? as usize));
             }

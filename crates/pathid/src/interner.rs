@@ -135,7 +135,33 @@ impl PidInterner {
     /// Deserializes an interner encoded by [`encode`](Self::encode); pid
     /// handles are preserved.
     pub fn decode(r: &mut xpe_xml::wire::Reader<'_>) -> Result<Self, xpe_xml::wire::WireError> {
+        Self::decode_inner(r, None)
+    }
+
+    /// [`decode`](Self::decode) with the width cross-checked against the
+    /// caller's expectation **before any bit sequence is allocated**. The
+    /// stored width sizes every decoded [`PathIdBits`], so in a corrupt
+    /// or hostile image it is an allocation amplifier — `u32::MAX` means
+    /// half a gigabyte of zeroed words *per pid*. Summary decode knows
+    /// the true width independently (the encoding table's path count,
+    /// decoded just before), so it refuses a disagreeing value up front.
+    pub fn decode_checked(
+        r: &mut xpe_xml::wire::Reader<'_>,
+        expected_width: u32,
+    ) -> Result<Self, xpe_xml::wire::WireError> {
+        Self::decode_inner(r, Some(expected_width))
+    }
+
+    fn decode_inner(
+        r: &mut xpe_xml::wire::Reader<'_>,
+        expected_width: Option<u32>,
+    ) -> Result<Self, xpe_xml::wire::WireError> {
         let width = r.u32()?;
+        if expected_width.is_some_and(|w| w != width) {
+            return Err(xpe_xml::wire::WireError::BadHeader(
+                "pid width disagrees with encoding table",
+            ));
+        }
         let n = r.u32()? as usize;
         let mut interner = PidInterner::new(width);
         for _ in 0..n {

@@ -55,24 +55,56 @@ pub fn relation_mask(
     mask
 }
 
-/// Thread-safe memo table over [`relation_mask`].
+/// An immutable view of every relation mask published so far. Probed
+/// lock-free by readers holding it; see [`RelationMaskCache`].
+#[derive(Debug, Default)]
+pub struct RelationMaskSnapshot {
+    masks: std::collections::HashMap<(TagId, TagId, bool), std::sync::Arc<crate::bits::PathIdBits>>,
+}
+
+impl RelationMaskSnapshot {
+    /// The published mask for `(tag_u, tag_v, child_axis)`, if any.
+    #[inline]
+    pub fn get(
+        &self,
+        tag_u: TagId,
+        tag_v: TagId,
+        child_axis: bool,
+    ) -> Option<&std::sync::Arc<crate::bits::PathIdBits>> {
+        self.masks.get(&(tag_u, tag_v, child_axis))
+    }
+
+    /// Number of published masks.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether no mask has been published.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+}
+
+/// Epoch-published memo table over [`relation_mask`].
 ///
 /// A mask depends only on `(tag_u, tag_v, child_axis)` and the encoding
 /// table, which is immutable once a summary is built — so across a query
 /// workload the same few masks are recomputed constantly (every fixpoint
-/// pass of every join of every query). The cache computes each mask once
-/// and hands out shared references; concurrent estimators over one summary
-/// share a single cache, so a batch warms it for every worker.
+/// pass of every join of every query). Concurrent estimators over one
+/// summary share a single cache, so a batch warms it for every worker.
 ///
-/// The double-checked insert means two threads racing on a cold key may
-/// both compute the mask; the first insert wins and both observe the same
-/// `Arc`. Masks are pure functions of the key, so this is only duplicated
-/// work, never divergent results.
+/// Like [`JoinIndexCache`](crate::JoinIndexCache), reads go through an
+/// immutable [`RelationMaskSnapshot`]: take it once, revalidate with one
+/// [`epoch`](Self::epoch) load, probe lock-free. The mutex guards
+/// publication only — a miss computes its mask *outside* the lock, then
+/// rechecks and swaps in a fresh `Arc` (first publication wins; a racing
+/// duplicate is dropped), so cold builds on different keys proceed in
+/// parallel and never stall readers refreshing their snapshots.
 #[derive(Debug, Default)]
 pub struct RelationMaskCache {
-    masks: std::sync::RwLock<
-        std::collections::HashMap<(TagId, TagId, bool), std::sync::Arc<crate::bits::PathIdBits>>,
-    >,
+    published: std::sync::Mutex<std::sync::Arc<RelationMaskSnapshot>>,
+    epoch: std::sync::atomic::AtomicU64,
+    locks: std::sync::atomic::AtomicU64,
 }
 
 impl RelationMaskCache {
@@ -81,7 +113,28 @@ impl RelationMaskCache {
         Self::default()
     }
 
-    /// The mask for `(tag_u, tag_v, child_axis)`, computing and memoizing
+    /// The current publication epoch; bumped (release) after every
+    /// publication, so a reader whose held snapshot matches this epoch
+    /// can skip the refresh entirely.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The current snapshot (one mutex acquisition; probe the returned
+    /// `Arc` lock-free afterwards).
+    pub fn snapshot(&self) -> std::sync::Arc<RelationMaskSnapshot> {
+        std::sync::Arc::clone(&self.lock_published())
+    }
+
+    fn lock_published(&self) -> std::sync::MutexGuard<'_, std::sync::Arc<RelationMaskSnapshot>> {
+        self.locks
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.published
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The mask for `(tag_u, tag_v, child_axis)`, computing and publishing
     /// it on first use.
     pub fn get(
         &self,
@@ -91,33 +144,46 @@ impl RelationMaskCache {
         child_axis: bool,
     ) -> std::sync::Arc<crate::bits::PathIdBits> {
         let key = (tag_u, tag_v, child_axis);
-        if let Some(m) = self
-            .masks
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
-        {
+        let snap = self.snapshot();
+        if let Some(m) = snap.get(tag_u, tag_v, child_axis) {
             return std::sync::Arc::clone(m);
         }
+        // Compute outside the publish lock: the mutex guards publication
+        // only, so a slow mask build never convoys other workers'
+        // snapshot refreshes, and misses on different keys compute in
+        // parallel. Two workers racing on the *same* key may both
+        // compute it; the recheck below keeps the first publication and
+        // the loser's copy is dropped — masks are pure functions of the
+        // key and the encoding table, so either copy is correct.
         let computed = std::sync::Arc::new(relation_mask(encoding, tag_u, tag_v, child_axis));
-        let mut w = self
-            .masks
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        std::sync::Arc::clone(w.entry(key).or_insert(computed))
+        let mut published = self.lock_published();
+        if let Some(m) = published.get(tag_u, tag_v, child_axis) {
+            return std::sync::Arc::clone(m);
+        }
+        let mut next = RelationMaskSnapshot {
+            masks: published.masks.clone(),
+        };
+        next.masks.insert(key, std::sync::Arc::clone(&computed));
+        *published = std::sync::Arc::new(next);
+        self.epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+        computed
     }
 
-    /// Number of memoized masks.
+    /// Number of published masks.
     pub fn len(&self) -> usize {
-        self.masks
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        self.snapshot().len()
     }
 
-    /// Whether no mask has been memoized yet.
+    /// Whether no mask has been published yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of publish-mutex acquisitions so far (snapshot refreshes,
+    /// cold publications, and introspection all count).
+    pub fn lock_count(&self) -> u64 {
+        self.locks.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

@@ -43,6 +43,7 @@ mod phistogram;
 mod rootpids;
 mod stream;
 mod summary;
+mod view;
 
 pub use freq::PathIdFrequencyTable;
 pub use ohistogram::{OBucket, OHistogram, OHistogramSet, Region};
@@ -51,3 +52,4 @@ pub use persist::LoadError;
 pub use phistogram::{PBucket, PHistogram, PHistogramSet};
 pub use rootpids::RootPidIndex;
 pub use summary::{BuildTimings, Summary, SummaryConfig, SummarySizes, DEFAULT_PARALLEL_THRESHOLD};
+pub use view::{SectionSpan, SectionSpans, SummaryView};

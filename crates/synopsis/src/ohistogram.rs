@@ -95,7 +95,7 @@ impl OHistogram {
     /// Deserializes a histogram encoded by [`encode`](Self::encode).
     pub fn decode(r: &mut xpe_xml::wire::Reader<'_>) -> Result<Self, xpe_xml::wire::WireError> {
         let nb = r.u32()? as usize;
-        let mut buckets = Vec::with_capacity(nb);
+        let mut buckets = Vec::with_capacity(xpe_xml::wire::cap_alloc(nb));
         for _ in 0..nb {
             buckets.push(OBucket {
                 x_start: r.u32()?,
@@ -106,7 +106,7 @@ impl OHistogram {
             });
         }
         let nc = r.u32()? as usize;
-        let mut col_of = HashMap::with_capacity(nc);
+        let mut col_of = HashMap::with_capacity(xpe_xml::wire::cap_alloc(nc));
         for _ in 0..nc {
             let p = Pid::from_index(r.u32()? as usize);
             let c = r.u32()?;
@@ -260,11 +260,11 @@ impl OHistogramSet {
     pub fn decode(r: &mut xpe_xml::wire::Reader<'_>) -> Result<Self, xpe_xml::wire::WireError> {
         let variance = r.f64()?;
         let tag_count = r.u32()? as usize;
-        let mut rank_of = Vec::with_capacity(tag_count);
+        let mut rank_of = Vec::with_capacity(xpe_xml::wire::cap_alloc(tag_count));
         for _ in 0..tag_count {
             rank_of.push(r.u32()?);
         }
-        let mut per_tag = Vec::with_capacity(tag_count);
+        let mut per_tag = Vec::with_capacity(xpe_xml::wire::cap_alloc(tag_count));
         for _ in 0..tag_count {
             per_tag.push(OHistogram::decode(r)?);
         }

@@ -92,6 +92,55 @@ impl From<WireError> for LoadError {
     }
 }
 
+/// Validates the integrity envelope of a serialized summary and returns
+/// `(version, payload)` with the payload borrowed from `bytes` — **the**
+/// single envelope path: [`Summary::from_bytes`] decodes the returned
+/// slice into owned structures, and [`SummaryView`](crate::SummaryView)
+/// walks it in place without materializing anything.
+///
+/// For a v2 image this checks magic, version, the recorded payload
+/// length against the actual byte count (short ⇒ `Truncated`, long ⇒
+/// `TrailingBytes`), and the CRC-32 trailer — all before any structural
+/// field is touched. A v1 image (no framing, no checksum) passes its
+/// bare payload through for structural validation only.
+pub(crate) fn validated_payload(bytes: &[u8]) -> Result<(u32, &[u8]), LoadError> {
+    let mut r = Reader::new(bytes);
+    if r.u32()? != MAGIC {
+        return Err(WireError::BadHeader("not an xpe summary").into());
+    }
+    match r.u32()? {
+        VERSION_UNCHECKED => Ok((VERSION_UNCHECKED, &bytes[8..])),
+        VERSION => {
+            let payload_len = r.u64()? as usize;
+            let expected_total = V2_HEADER_LEN
+                .checked_add(payload_len)
+                .and_then(|n| n.checked_add(V2_TRAILER_LEN))
+                .ok_or(WireError::Truncated)?;
+            if bytes.len() < expected_total {
+                return Err(WireError::Truncated.into());
+            }
+            if bytes.len() > expected_total {
+                return Err(WireError::TrailingBytes {
+                    remaining: bytes.len() - expected_total,
+                }
+                .into());
+            }
+            let body = &bytes[..expected_total - V2_TRAILER_LEN];
+            let stored = u32::from_le_bytes(
+                bytes[expected_total - V2_TRAILER_LEN..expected_total]
+                    .try_into()
+                    .expect("4 trailer bytes"),
+            );
+            let computed = wire::crc32(body);
+            if stored != computed {
+                return Err(LoadError::ChecksumMismatch { stored, computed });
+            }
+            Ok((VERSION, &body[V2_HEADER_LEN..]))
+        }
+        _ => Err(WireError::BadHeader("unsupported summary version").into()),
+    }
+}
+
 impl Summary {
     /// Serializes the summary payload fields (everything between the
     /// header and the trailer), shared by every format version.
@@ -120,10 +169,13 @@ impl Summary {
     }
 
     /// Decodes the payload fields; `r` must span exactly the payload.
-    fn decode_payload(r: &mut Reader<'_>) -> Result<Self, WireError> {
+    pub(crate) fn decode_payload(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let tags = TagInterner::decode(r)?;
         let encoding = EncodingTable::decode(r)?;
-        let pids = PidInterner::decode(r)?;
+        // The pid width is redundant with the encoding table's path
+        // count; cross-checking it here blocks a corrupt width from
+        // sizing multi-gigabyte bit sequences during decode.
+        let pids = PidInterner::decode_checked(r, encoding.len() as u32)?;
         // `threads` is an execution knob, deliberately not persisted: a
         // loaded summary builds nothing, so it takes the default.
         let config = SummaryConfig {
@@ -161,42 +213,9 @@ impl Summary {
     /// images (written before the checksum existed) are accepted with
     /// structural validation only.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, LoadError> {
-        let mut r = Reader::new(bytes);
-        if r.u32()? != MAGIC {
-            return Err(WireError::BadHeader("not an xpe summary").into());
-        }
-        match r.u32()? {
-            VERSION_UNCHECKED => Ok(Self::decode_payload(&mut r)?),
-            VERSION => {
-                let payload_len = r.u64()? as usize;
-                let expected_total = V2_HEADER_LEN
-                    .checked_add(payload_len)
-                    .and_then(|n| n.checked_add(V2_TRAILER_LEN))
-                    .ok_or(WireError::Truncated)?;
-                if bytes.len() < expected_total {
-                    return Err(WireError::Truncated.into());
-                }
-                if bytes.len() > expected_total {
-                    return Err(WireError::TrailingBytes {
-                        remaining: bytes.len() - expected_total,
-                    }
-                    .into());
-                }
-                let body = &bytes[..expected_total - V2_TRAILER_LEN];
-                let stored = u32::from_le_bytes(
-                    bytes[expected_total - V2_TRAILER_LEN..expected_total]
-                        .try_into()
-                        .expect("4 trailer bytes"),
-                );
-                let computed = wire::crc32(body);
-                if stored != computed {
-                    return Err(LoadError::ChecksumMismatch { stored, computed });
-                }
-                let mut pr = Reader::new(&body[V2_HEADER_LEN..]);
-                Ok(Self::decode_payload(&mut pr)?)
-            }
-            _ => Err(WireError::BadHeader("unsupported summary version").into()),
-        }
+        let (_, payload) = validated_payload(bytes)?;
+        let mut r = Reader::new(payload);
+        Ok(Self::decode_payload(&mut r)?)
     }
 
     /// Writes the serialized summary to `w`.
@@ -209,16 +228,21 @@ impl Summary {
         std::fs::write(path, self.to_bytes())
     }
 
-    /// Reads a summary from `r`.
+    /// Reads a summary from `r`. Every load route — this method,
+    /// [`load_from_file`](Self::load_from_file), and
+    /// [`SummaryView::to_summary`](crate::SummaryView::to_summary) —
+    /// funnels through [`from_bytes`](Self::from_bytes) and its single
+    /// envelope-validation path, so integrity and version handling can
+    /// never diverge between them.
     pub fn load<R: Read>(mut r: R) -> Result<Self, LoadError> {
         let mut bytes = Vec::new();
         r.read_to_end(&mut bytes)?;
         Self::from_bytes(&bytes)
     }
 
-    /// Reads a summary from a file.
+    /// Reads a summary from a file; delegates to [`load`](Self::load).
     pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<Self, LoadError> {
-        Self::from_bytes(&std::fs::read(path)?)
+        Self::load(std::fs::File::open(path)?)
     }
 }
 
@@ -393,6 +417,41 @@ mod tests {
         assert!(matches!(
             Summary::from_bytes(&long),
             Err(LoadError::Wire(WireError::TrailingBytes { remaining: 1 }))
+        ));
+    }
+
+    /// An inflated count field behind a recomputed (valid) checksum: the
+    /// envelope passes, so the structural decoder must reject the lie
+    /// itself — promptly, as `Truncated`, with its speculative
+    /// preallocation capped at `wire::cap_alloc` instead of sized by the
+    /// hostile count. Every u32 count in the image is swept.
+    #[test]
+    fn inflated_count_fields_rejected_without_count_sized_alloc() {
+        let s = summary();
+        let bytes = s.to_bytes();
+        // Sweep 4-byte-aligned payload offsets, stamping u32::MAX over
+        // each and re-signing the image. Offsets that were not a count
+        // may fail any structural way (or, rarely, still decode when the
+        // stamp lands in an f64 mantissa) — the property under test is
+        // that no stamp panics, hangs, or aborts on allocation.
+        for off in (V2_HEADER_LEN..bytes.len() - V2_TRAILER_LEN - 4).step_by(4) {
+            let mut bad = bytes.clone();
+            bad[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            let body_len = bad.len() - V2_TRAILER_LEN;
+            let crc = wire::crc32(&bad[..body_len]);
+            bad[body_len..].copy_from_slice(&crc.to_le_bytes());
+            let _ = Summary::from_bytes(&bad);
+        }
+        // And the canonical case — the very first count (tag count) —
+        // must be the truncation diagnostic specifically.
+        let mut bad = bytes.clone();
+        bad[V2_HEADER_LEN..V2_HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let body_len = bad.len() - V2_TRAILER_LEN;
+        let crc = wire::crc32(&bad[..body_len]);
+        bad[body_len..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Summary::from_bytes(&bad),
+            Err(LoadError::Wire(WireError::Truncated))
         ));
     }
 

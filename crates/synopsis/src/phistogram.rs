@@ -127,11 +127,11 @@ impl PHistogram {
     /// Deserializes a histogram encoded by [`encode`](Self::encode).
     pub fn decode(r: &mut xpe_xml::wire::Reader<'_>) -> Result<Self, xpe_xml::wire::WireError> {
         let nb = r.u32()? as usize;
-        let mut buckets = Vec::with_capacity(nb);
+        let mut buckets = Vec::with_capacity(xpe_xml::wire::cap_alloc(nb));
         for _ in 0..nb {
             let avg = r.f64()?;
             let np = r.u32()? as usize;
-            let mut pids = Vec::with_capacity(np);
+            let mut pids = Vec::with_capacity(xpe_xml::wire::cap_alloc(np));
             for _ in 0..np {
                 pids.push(Pid::from_index(r.u32()? as usize));
             }
@@ -239,7 +239,7 @@ impl PHistogramSet {
     pub fn decode(r: &mut xpe_xml::wire::Reader<'_>) -> Result<Self, xpe_xml::wire::WireError> {
         let variance = r.f64()?;
         let n = r.u32()? as usize;
-        let mut per_tag = Vec::with_capacity(n);
+        let mut per_tag = Vec::with_capacity(xpe_xml::wire::cap_alloc(n));
         for _ in 0..n {
             per_tag.push(PHistogram::decode(r)?);
         }

@@ -42,6 +42,23 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// Ceiling on the element count any decoder preallocates from an
+/// untrusted length prefix. Collections grow to their true size as
+/// elements actually decode; the cap only bounds the *speculative*
+/// allocation, so a corrupt or hostile count field (e.g. `0xFFFF_FFFF`)
+/// costs at most this many slots before the truncation check fires
+/// instead of a multi-gigabyte `Vec::with_capacity`.
+pub const MAX_PREALLOC: usize = 4096;
+
+/// The capacity to preallocate for a length-prefixed collection whose
+/// count field `n` has not yet been validated: `min(n, MAX_PREALLOC)`.
+/// Use for every `Vec::with_capacity`/`HashMap::with_capacity` whose
+/// size comes off the wire.
+#[inline]
+pub fn cap_alloc(n: usize) -> usize {
+    n.min(MAX_PREALLOC)
+}
+
 /// Appends a `u32`.
 pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -112,6 +129,13 @@ impl<'a> Reader<'a> {
         self.pos == self.buf.len()
     }
 
+    /// Byte offset of the next read — with [`bytes`](Self::bytes), the
+    /// primitive zero-copy section walkers use to record where a record
+    /// starts and ends without materializing it.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     /// Number of unconsumed bytes.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
@@ -158,11 +182,24 @@ impl<'a> Reader<'a> {
         ))
     }
 
-    /// Reads a length-prefixed UTF-8 string.
-    pub fn str(&mut self) -> Result<String, WireError> {
+    /// Reads `n` raw bytes, borrowed from the underlying buffer — the
+    /// zero-copy primitive: no allocation, the slice lives as long as
+    /// the buffer. Also how section walkers skip over records they do
+    /// not materialize.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string as a slice borrowed from the
+    /// buffer: validated in place, never copied.
+    pub fn str_ref(&mut self) -> Result<&'a str, WireError> {
         let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+        std::str::from_utf8(self.take(len)?).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (owned).
+    pub fn str(&mut self) -> Result<String, WireError> {
+        self.str_ref().map(str::to_owned)
     }
 }
 

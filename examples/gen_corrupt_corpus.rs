@@ -61,7 +61,27 @@ fn main() {
 
     // Valid image with junk appended — must surface as trailing bytes,
     // not be silently ignored.
-    let mut trailing = base;
+    let mut trailing = base.clone();
     trailing.extend_from_slice(b"\xDE\xAD\xBE\xEF junk");
     write("trailing.xps", &trailing);
+
+    // Hostile count field with a *valid* checksum: the o-histogram set's
+    // tag count rewritten to u32::MAX and the CRC-32 trailer recomputed,
+    // so the envelope passes and the structural decoder itself must
+    // reject the lie. The decoder's length-capped preallocation
+    // (`wire::cap_alloc`) is what keeps this from requesting a
+    // multi-gigabyte buffer before the truncation check fires.
+    let mut inflated = base;
+    let ohist_payload_off = xpe::synopsis::SummaryView::parse(&inflated)
+        .expect("base image parses")
+        .sections()
+        .ohist
+        .start;
+    // File offset: 16-byte v2 header + section offset + 8-byte variance.
+    let count_off = 16 + ohist_payload_off + 8;
+    inflated[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let body_len = inflated.len() - 4;
+    let crc = xpe::xml::wire::crc32(&inflated[..body_len]);
+    inflated[body_len..].copy_from_slice(&crc.to_le_bytes());
+    write("inflated.xps", &inflated);
 }
