@@ -1,0 +1,354 @@
+//! Machine-readable performance snapshot for the `xpe serve` daemon.
+//!
+//! Boots a real server on an ephemeral loopback port (XMark summary,
+//! persisted to a temp `.xps` so hot reload has a file to re-validate),
+//! then drives it with a mixed fleet:
+//!
+//! * **healthy closed-loop clients** — each sends `ROUNDS` estimate
+//!   requests over one connection, records per-request latency, and
+//!   asserts every answer is `ok` and **bit-identical** to a direct
+//!   [`Estimator`] call on the same query text;
+//! * **hostile clients** — cycling malformed frames, oversized lines,
+//!   mid-frame disconnects, half-closes, and poison-tag queries (the
+//!   worker's panic-isolation path), all while the healthy fleet runs;
+//! * **one hot reload** issued mid-run, after half the healthy traffic
+//!   has completed — answers must stay bit-identical across the epoch
+//!   bump because the reloaded file is the same summary.
+//!
+//! Reports queries/sec of the healthy fleet plus p50/p95/p99 latency,
+//! and writes `results/BENCH_serve.json` (hand-rolled JSON; the
+//! workspace carries no serde). Scale/seed come from the usual `XPE_*`
+//! variables; CI's perf floor reads `qps` via
+//! `scripts/check_perf_floor.sh` (`XPE_PERF_FLOOR_SERVE_QPS`).
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use xpe_bench::{load, print_table, ExpContext};
+use xpe_core::server::{Json, Server, ServerConfig};
+use xpe_core::Estimator;
+use xpe_datagen::Dataset;
+use xpe_synopsis::{Summary, SummaryConfig};
+use xpe_xpath::parse_query;
+
+/// Healthy closed-loop connections.
+const CLIENTS: usize = 4;
+/// Requests per healthy client.
+const ROUNDS: usize = 100;
+/// Hostile connections cycling the abuse mix.
+const HOSTILES: usize = 2;
+/// Cap on distinct workload queries the fleet cycles through.
+const MAX_QUERIES: usize = 48;
+/// A tag no XMark query targets; the server's chaos hook degrades any
+/// estimate whose target tag equals it, exercising panic isolation.
+const POISON_TAG: &str = "zzzpoison";
+
+struct WireClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl WireClient {
+    fn connect(addr: SocketAddr) -> WireClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        WireClient { stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.stream.write_all(line.as_bytes()).expect("write");
+        self.stream.write_all(b"\n").expect("write");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read");
+        Json::parse(reply.trim_end()).expect("response is JSON")
+    }
+
+    fn estimate(&mut self, query: &str) -> Json {
+        self.roundtrip(&format!("{{\"op\": \"estimate\", \"query\": \"{query}\"}}"))
+    }
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1e6
+}
+
+fn main() {
+    let ctx = ExpContext::from_env();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Serve snapshot: scale = {}, seed = {}, cores = {cores}, clients = {CLIENTS}, \
+         hostiles = {HOSTILES}, rounds = {ROUNDS}",
+        ctx.scale, ctx.seed
+    );
+
+    // Workload: distinct XMark queries whose text roundtrips through the
+    // wire (parseable back, JSON-safe, and not targeting the poison tag).
+    let bundle = load(&ctx, Dataset::XMark);
+    let summary = Summary::build(&bundle.doc, SummaryConfig::default());
+    let direct = Estimator::new(&summary);
+    let mut queries: Vec<(String, u64)> = Vec::new();
+    for case in bundle
+        .workload
+        .simple
+        .iter()
+        .chain(&bundle.workload.branch)
+        .chain(&bundle.workload.order_branch)
+        .chain(&bundle.workload.order_trunk)
+    {
+        if queries.len() >= MAX_QUERIES {
+            break;
+        }
+        let text = case.query.to_string();
+        if text.contains('"') || text.contains('\\') || text.contains(POISON_TAG) {
+            continue;
+        }
+        if queries.iter().any(|(t, _)| *t == text) {
+            continue;
+        }
+        match parse_query(&text) {
+            Ok(q) => queries.push((text, direct.estimate(&q).to_bits())),
+            Err(_) => continue,
+        }
+    }
+    assert!(
+        queries.len() >= 8,
+        "workload yielded only {} wire-safe queries",
+        queries.len()
+    );
+    println!("  {} distinct queries on the wire", queries.len());
+
+    // Persist the summary so `reload` has a file to re-validate.
+    let xps = std::env::temp_dir().join(format!("xpe-bench-serve-{}.xps", std::process::id()));
+    std::fs::write(&xps, summary.to_bytes()).expect("persist summary");
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        std::sync::Arc::new(summary),
+        Some(xps.clone()),
+        ServerConfig {
+            workers: 0, // one per core
+            max_line_bytes: 4096,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            poison_tag: Some(POISON_TAG.to_owned()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let server = std::thread::spawn(move || server.run());
+
+    let completed = AtomicU64::new(0);
+    let stop_hostiles = AtomicBool::new(false);
+    let hostile_rounds = AtomicU64::new(0);
+    let poison_degraded = AtomicU64::new(0);
+    let reload_at = (CLIENTS * ROUNDS / 2) as u64;
+
+    let wall = Instant::now();
+    let (latencies_ns, reload_ms) = std::thread::scope(|scope| {
+        let mut healthy = Vec::new();
+        for c in 0..CLIENTS {
+            let (queries, completed) = (&queries, &completed);
+            healthy.push(scope.spawn(move || {
+                let mut client = WireClient::connect(addr);
+                let mut lat = Vec::with_capacity(ROUNDS);
+                for round in 0..ROUNDS {
+                    let (text, expected_bits) = &queries[(c + round * 7) % queries.len()];
+                    let t = Instant::now();
+                    let resp = client.estimate(text);
+                    lat.push(t.elapsed().as_nanos() as u64);
+                    assert_eq!(
+                        resp.get("status").and_then(Json::as_str),
+                        Some("ok"),
+                        "client {c} round {round}: {text}"
+                    );
+                    let served = resp.get("estimate").and_then(Json::as_f64).unwrap();
+                    assert_eq!(
+                        served.to_bits(),
+                        *expected_bits,
+                        "client {c} round {round}: {text} served {served}"
+                    );
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+                lat
+            }));
+        }
+        for h in 0..HOSTILES {
+            let (stop, rounds, poisoned) = (&stop_hostiles, &hostile_rounds, &poison_degraded);
+            scope.spawn(move || {
+                let mut round = h; // stagger the mix across hostiles
+                while !stop.load(Ordering::Relaxed) {
+                    match round % 5 {
+                        0 => {
+                            // Malformed frame: typed error, connection lives.
+                            let mut c = WireClient::connect(addr);
+                            let resp = c.roundtrip("!!not json");
+                            assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+                        }
+                        1 => {
+                            // Oversized line: typed error, then close.
+                            let mut c = WireClient::connect(addr);
+                            let long = "x".repeat(8192);
+                            let _ = c.stream.write_all(long.as_bytes());
+                            let _ = c.stream.write_all(b"\n");
+                            let mut reply = String::new();
+                            let _ = c.reader.read_line(&mut reply);
+                        }
+                        2 => {
+                            // Mid-frame disconnect: bytes, no newline, gone.
+                            let c = WireClient::connect(addr);
+                            let _ = (&c.stream).write_all(b"{\"op\": \"esti");
+                            let _ = c.stream.shutdown(Shutdown::Both);
+                        }
+                        3 => {
+                            // Half-close after a valid request.
+                            let mut c = WireClient::connect(addr);
+                            let _ = c.stream.write_all(b"{\"op\": \"ping\"}\n");
+                            let _ = c.stream.shutdown(Shutdown::Write);
+                            let mut reply = String::new();
+                            let _ = c.reader.read_line(&mut reply);
+                        }
+                        _ => {
+                            // Poison-tag query: the worker's panic path
+                            // answers `degraded:panicked` on this
+                            // connection only.
+                            let mut c = WireClient::connect(addr);
+                            let resp = c.estimate(&format!("//{POISON_TAG}"));
+                            let status = resp.get("status").and_then(Json::as_str).unwrap_or("");
+                            assert!(
+                                status.starts_with("degraded"),
+                                "poison query answered {status:?}"
+                            );
+                            poisoned.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                    round += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+
+        // Hot reload once half the healthy traffic has landed.
+        while completed.load(Ordering::Relaxed) < reload_at {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut control = WireClient::connect(addr);
+        let t = Instant::now();
+        let resp = control.roundtrip("{\"op\": \"reload\"}");
+        let reload_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(resp.get("epoch").and_then(Json::as_f64), Some(2.0));
+
+        let mut latencies: Vec<u64> = Vec::with_capacity(CLIENTS * ROUNDS);
+        for handle in healthy {
+            latencies.extend(handle.join().expect("healthy client"));
+        }
+        stop_hostiles.store(true, Ordering::Relaxed);
+        (latencies, reload_ms)
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    let resp = WireClient::connect(addr).roundtrip("{\"op\": \"shutdown\"}");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    let tally = server.join().expect("server thread");
+    let _ = std::fs::remove_file(&xps);
+
+    let mut sorted = latencies_ns.clone();
+    sorted.sort_unstable();
+    let total = sorted.len() as f64;
+    let qps = total / wall_secs;
+    let (p50, p95, p99) = (
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.95),
+        percentile(&sorted, 0.99),
+    );
+
+    print_table(
+        "xpe serve under a hostile mix",
+        &[
+            "Requests",
+            "q/s",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "Hostile rounds",
+            "Reload ms",
+        ],
+        &[vec![
+            format!("{}", sorted.len()),
+            format!("{qps:.0}"),
+            format!("{p50:.3}"),
+            format!("{p95:.3}"),
+            format!("{p99:.3}"),
+            format!("{}", hostile_rounds.load(Ordering::Relaxed)),
+            format!("{reload_ms:.2}"),
+        ]],
+    );
+    println!(
+        "  lifetime tally: {tally}; poison-degraded answers: {}",
+        poison_degraded.load(Ordering::Relaxed)
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"scale\": {}, \"seed\": {}, \"cores\": {cores},",
+        ctx.scale, ctx.seed
+    );
+    let _ = writeln!(
+        json,
+        "  \"clients\": {CLIENTS}, \"rounds_per_client\": {ROUNDS}, \"hostiles\": {HOSTILES}, \
+         \"distinct_queries\": {},",
+        queries.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"requests\": {}, \"wall_secs\": {wall_secs:.4}, \"qps\": {qps:.1},",
+        sorted.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"p50_ms\": {p50:.4}, \"p95_ms\": {p95:.4}, \"p99_ms\": {p99:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"reload_ms\": {reload_ms:.3}, \"reload_epoch\": 2, \"bit_identical\": true,"
+    );
+    let _ = writeln!(
+        json,
+        "  \"hostile_rounds\": {}, \"poison_degraded\": {},",
+        hostile_rounds.load(Ordering::Relaxed),
+        poison_degraded.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        json,
+        "  \"lifetime\": {{\"ok\": {}, \"degraded\": {}, \"rejected\": {}, \
+         \"protocol_errors\": {}, \"timeouts\": {}, \"overloaded\": {}, \"panics\": {}}}",
+        tally.ok,
+        tally.degraded,
+        tally.rejected,
+        tally.protocol_errors,
+        tally.timeouts,
+        tally.overloaded,
+        tally.panics
+    );
+    json.push_str("}\n");
+
+    let out = "results/BENCH_serve.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\ncould not write {out}: {e}"),
+    }
+}

@@ -10,6 +10,10 @@
 //! xpe exact <file.xml> <query>...              exact selectivities
 //! xpe generate <ssplays|dblp|xmark> -o <out.xml>
 //!     [--scale S] [--seed N]                   synthesize a corpus
+//! xpe serve <summary.xps> [--addr H:P] [--workers N] [--queue N]
+//!     [--deadline-ms N] [--max-query-nodes N] [--kernel K]
+//!     [--join-cache N] [--read-timeout-ms N] [--write-timeout-ms N]
+//!     [--max-line-bytes N]                     estimation daemon
 //! xpe diff [--seed N] [--cases N] [--json FILE]
 //!                                              differential correctness run
 //! xpe faults [--seed N] [--cases N] [--json FILE]
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("exact") => cmd_exact(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -55,6 +60,10 @@ const USAGE: &str = "usage:
       [--deadline-ms N] [--max-query-nodes N] <query>...
   xpe exact <file.xml> <query>...
   xpe generate <ssplays|dblp|xmark> -o <out.xml> [--scale S] [--seed N]
+  xpe serve <summary.xps> [--addr HOST:PORT] [--workers N] [--queue N]
+      [--deadline-ms N] [--max-query-nodes N] [--kernel naive|indexed|bitmap]
+      [--join-cache N] [--read-timeout-ms N] [--write-timeout-ms N]
+      [--max-line-bytes N]
   xpe diff [--seed N] [--cases N] [--json FILE]
   xpe faults [--seed N] [--cases N] [--json FILE]
 
@@ -71,11 +80,23 @@ word-parallel pid bitmaps), 'indexed' (adjacency-row lists), or 'naive'
 --deadline-ms N gives each estimate a wall-clock budget; a query that
 exceeds it prints its tag-frequency upper bound flagged 'degraded'.
 --max-query-nodes N rejects queries with more steps before estimating.
+serve runs a line-delimited-JSON estimation daemon on --addr (default
+127.0.0.1:7878; port 0 picks an ephemeral port, printed on stdout).
+Verbs: estimate, stats, reload, ping, shutdown — one JSON object per
+line. Every estimate reply carries a status (ok, degraded:*, or
+rejected:*) and the epoch of the summary generation that served it;
+reload validates a new .xps fully before atomically swapping it in.
+--queue bounds pending estimates (an overfull server sheds typed
+'overloaded' errors instead of stalling); --read-timeout-ms /
+--write-timeout-ms (0 = never) bound how long one connection can sit
+idle or refuse to drain responses; --max-line-bytes caps request size.
 diff runs the estimator-vs-exact differential battery (seeds accept 0x
 hex); it exits nonzero when any invariant is violated.
 faults injects every fault class (corruption, panics, exhausted
-budgets, oversized queries; --cases trials per class) and exits
-nonzero if any escapes the typed-error-or-degraded contract.";
+budgets, oversized queries, plus the serve wire protocol: truncated
+requests, oversized lines, invalid UTF-8, garbage-then-valid
+pipelining, mid-request disconnects; --cases trials per class) and
+exits nonzero if any escapes the typed-error-or-degraded contract.";
 
 fn load_doc(path: &str) -> Result<Document, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -262,12 +283,81 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         }
     }
     let stats = engine.kernel_stats();
-    if stats.outcomes_degraded > 0 || stats.outcomes_rejected > 0 {
-        eprintln!(
-            "outcomes: {} ok, {} degraded, {} rejected",
-            stats.outcomes_ok, stats.outcomes_degraded, stats.outcomes_rejected
-        );
+    // Same tally type (and formatter) the serve daemon reports, so batch
+    // runs and daemon logs read identically.
+    let tally = xpe::estimator::OutcomeTally {
+        ok: stats.outcomes_ok,
+        degraded: stats.outcomes_degraded,
+        rejected: stats.outcomes_rejected,
+        panics: stats.worker_panics,
+        ..xpe::estimator::OutcomeTally::default()
+    };
+    if tally.degraded > 0 || tally.rejected > 0 {
+        eprintln!("outcomes: {tally}");
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args)?;
+    let [path] = pos.as_slice() else {
+        return Err("serve takes one summary file".into());
+    };
+    let addr = flag(&flags, "addr").unwrap_or("127.0.0.1:7878");
+    let deadline_ms: Option<u64> = match flag(&flags, "deadline-ms") {
+        Some(v) => Some(v.parse().map_err(|_| "bad value for --deadline-ms")?),
+        None => None,
+    };
+    let max_nodes: Option<usize> = match flag(&flags, "max-query-nodes") {
+        Some(v) => Some(v.parse().map_err(|_| "bad value for --max-query-nodes")?),
+        None => None,
+    };
+    let kernel = match flag(&flags, "kernel") {
+        Some(v) => xpe::estimator::JoinKernel::parse(v)
+            .ok_or_else(|| format!("bad value for --kernel (naive|indexed|bitmap): {v}"))?,
+        None => xpe::estimator::JoinKernel::default(),
+    };
+    // 0 disables a socket timeout entirely; the defaults mirror
+    // ServerConfig::default (30 s read, 10 s write).
+    let timeout = |ms: u64| (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    let defaults = xpe::estimator::ServerConfig::default();
+    let config = xpe::estimator::ServerConfig {
+        workers: parse_flag(&flags, "workers", 0usize)?,
+        queue_capacity: parse_flag(&flags, "queue", defaults.queue_capacity)?,
+        max_line_bytes: parse_flag(&flags, "max-line-bytes", defaults.max_line_bytes)?,
+        read_timeout: timeout(parse_flag(&flags, "read-timeout-ms", 30_000u64)?),
+        write_timeout: timeout(parse_flag(&flags, "write-timeout-ms", 10_000u64)?),
+        limits: xpe::estimator::QueryLimits {
+            max_nodes,
+            ..xpe::estimator::QueryLimits::unlimited()
+        },
+        budget: xpe::estimator::Budget {
+            deadline: deadline_ms.map(std::time::Duration::from_millis),
+            max_join_edges: None,
+        },
+        kernel,
+        join_cache_capacity: parse_flag(
+            &flags,
+            "join-cache",
+            xpe::estimator::DEFAULT_JOIN_CACHE_CAPACITY,
+        )?,
+        ..defaults
+    };
+    let summary = Syn::load_from_file(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let server = xpe::estimator::Server::bind(
+        addr,
+        std::sync::Arc::new(summary),
+        Some(std::path::PathBuf::from(path)),
+        config,
+    )
+    .map_err(|e| format!("binding {addr}: {e}"))?;
+    // The resolved address lands on stdout (and is flushed) before any
+    // request is served, so scripts binding port 0 can scrape it.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let tally = server.run();
+    println!("serve: {tally}");
     Ok(())
 }
 

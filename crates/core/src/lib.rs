@@ -45,6 +45,7 @@ mod joincache;
 mod metrics;
 mod planner;
 mod serve;
+pub mod server;
 
 pub use editor::{
     drop_subtrees, rebuild, spine_query, subtree_of, trim_below, without_constraints, Rebuilt,
@@ -62,5 +63,6 @@ pub use metrics::{mean_relative_error, relative_error, ErrorStats};
 pub use planner::{PathCardinalities, PlanEdge, PredicateRank, QueryPlan};
 pub use serve::{
     AdmissionError, Budget, BudgetExhausted, BudgetState, DegradedReason, EstimateOutcome,
-    EstimateStatus, QueryLimits,
+    EstimateStatus, OutcomeTally, QueryLimits,
 };
+pub use server::{Server, ServerConfig};

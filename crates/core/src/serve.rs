@@ -137,6 +137,19 @@ pub enum AdmissionError {
     },
 }
 
+impl AdmissionError {
+    /// Stable machine-readable name of the violated limit, used in wire
+    /// status codes (`rejected:<code>`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            AdmissionError::TooManyNodes { .. } => "nodes",
+            AdmissionError::TooManyBranches { .. } => "branches",
+            AdmissionError::TooManyOrderConstraints { .. } => "order-constraints",
+            AdmissionError::PidFanoutTooLarge { .. } => "pid-fanout",
+        }
+    }
+}
+
 impl fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -325,6 +338,22 @@ impl EstimateStatus {
     pub fn is_rejected(&self) -> bool {
         matches!(self, EstimateStatus::Rejected { .. })
     }
+
+    /// Compact machine-readable status code for the wire protocol:
+    /// `"ok"`, `"degraded:deadline"`, `"degraded:join-budget"`,
+    /// `"degraded:panicked"`, or `"rejected:<limit>"`. Human-readable
+    /// detail stays in the [`Display`](fmt::Display) rendering.
+    pub fn code(&self) -> String {
+        match self {
+            EstimateStatus::Ok => "ok".to_owned(),
+            EstimateStatus::Degraded { reason } => match reason {
+                DegradedReason::Deadline => "degraded:deadline".to_owned(),
+                DegradedReason::JoinBudget => "degraded:join-budget".to_owned(),
+                DegradedReason::Panicked { .. } => "degraded:panicked".to_owned(),
+            },
+            EstimateStatus::Rejected { reason } => format!("rejected:{}", reason.code()),
+        }
+    }
 }
 
 impl fmt::Display for EstimateStatus {
@@ -346,6 +375,117 @@ pub struct EstimateOutcome {
     pub value: f64,
     /// How the value was produced.
     pub status: EstimateStatus,
+}
+
+/// One set of serving outcome counters — the single source of truth for
+/// counter *names* shared by the CLI batch tally (`xpe estimate
+/// --deadline-ms` stderr line), the daemon's `stats` verb, and the
+/// process-exit summary: all of them print through [`fmt::Display`] /
+/// [`write_json`](Self::write_json) so the field names can never drift
+/// apart.
+///
+/// `degraded` counts every degraded outcome; `panics` additionally
+/// counts the `degraded:panicked` subset. The transport-level counters
+/// (`protocol_errors`, `timeouts`, `overloaded`) are only moved by the
+/// network server — a direct batch run leaves them zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Estimates that completed normally.
+    pub ok: u64,
+    /// Estimates served degraded (deadline, join budget, or panic).
+    pub degraded: u64,
+    /// Queries refused by admission control.
+    pub rejected: u64,
+    /// Frames that violated the wire protocol (bad JSON, unknown verb,
+    /// oversized or truncated line, invalid UTF-8, bad query syntax).
+    pub protocol_errors: u64,
+    /// Connections that hit a socket read/write timeout.
+    pub timeouts: u64,
+    /// Requests shed because the worker queue was full.
+    pub overloaded: u64,
+    /// Worker panics isolated to their own request (a subset of
+    /// `degraded`).
+    pub panics: u64,
+}
+
+impl OutcomeTally {
+    /// Every counter as `(name, value)`, in report order — the one list
+    /// both renderers below iterate.
+    pub fn fields(&self) -> [(&'static str, u64); 7] {
+        [
+            ("ok", self.ok),
+            ("degraded", self.degraded),
+            ("rejected", self.rejected),
+            ("protocol_errors", self.protocol_errors),
+            ("timeouts", self.timeouts),
+            ("overloaded", self.overloaded),
+            ("panics", self.panics),
+        ]
+    }
+
+    /// Records one estimate outcome status.
+    pub fn record(&mut self, status: &EstimateStatus) {
+        match status {
+            EstimateStatus::Ok => self.ok += 1,
+            EstimateStatus::Degraded { reason } => {
+                self.degraded += 1;
+                if matches!(reason, DegradedReason::Panicked { .. }) {
+                    self.panics += 1;
+                }
+            }
+            EstimateStatus::Rejected { .. } => self.rejected += 1,
+        }
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &OutcomeTally) {
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.rejected += other.rejected;
+        self.protocol_errors += other.protocol_errors;
+        self.timeouts += other.timeouts;
+        self.overloaded += other.overloaded;
+        self.panics += other.panics;
+    }
+
+    /// Requests observed, over every counter except the `panics` subset.
+    pub fn total(&self) -> u64 {
+        self.ok + self.degraded + self.rejected + self.protocol_errors + self.overloaded
+    }
+
+    /// Appends the tally as a JSON object (`{"ok":N,...}`) to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (name, value)) in self.fields().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+    }
+}
+
+impl fmt::Display for OutcomeTally {
+    /// Renders `"N ok, N degraded, N rejected"` always, then only the
+    /// nonzero transport counters — so the batch CLI line stays as terse
+    /// as before while the daemon summary shows everything that moved.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ok, {} degraded, {} rejected",
+            self.ok, self.degraded, self.rejected
+        )?;
+        for (name, value) in &self.fields()[3..] {
+            if *value > 0 {
+                write!(f, ", {value} {}", name.replace('_', " "))?;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -604,5 +744,88 @@ mod tests {
         assert!(deg.contains("deadline"));
         assert!(rej.contains("9 nodes"));
         assert_ne!(deg, rej);
+    }
+
+    #[test]
+    fn status_codes_are_compact_and_distinct() {
+        let codes = [
+            EstimateStatus::Ok.code(),
+            EstimateStatus::Degraded {
+                reason: DegradedReason::Deadline,
+            }
+            .code(),
+            EstimateStatus::Degraded {
+                reason: DegradedReason::JoinBudget,
+            }
+            .code(),
+            EstimateStatus::Degraded {
+                reason: DegradedReason::Panicked {
+                    message: "boom".into(),
+                },
+            }
+            .code(),
+            EstimateStatus::Rejected {
+                reason: AdmissionError::TooManyNodes { count: 9, limit: 4 },
+            }
+            .code(),
+            EstimateStatus::Rejected {
+                reason: AdmissionError::PidFanoutTooLarge {
+                    tag: "A".into(),
+                    fanout: 8,
+                    limit: 2,
+                },
+            }
+            .code(),
+        ];
+        assert_eq!(codes[0], "ok");
+        assert_eq!(codes[1], "degraded:deadline");
+        assert_eq!(codes[4], "rejected:nodes");
+        assert_eq!(codes[5], "rejected:pid-fanout");
+        for (i, a) in codes.iter().enumerate() {
+            // Codes never carry spaces or quotes — safe to embed raw in
+            // the hand-rolled JSON writer.
+            assert!(!a.contains([' ', '"']), "{a}");
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_tally_records_merges_and_renders() {
+        let mut t = OutcomeTally::default();
+        t.record(&EstimateStatus::Ok);
+        t.record(&EstimateStatus::Ok);
+        t.record(&EstimateStatus::Degraded {
+            reason: DegradedReason::Panicked {
+                message: "boom".into(),
+            },
+        });
+        t.record(&EstimateStatus::Rejected {
+            reason: AdmissionError::TooManyNodes { count: 9, limit: 4 },
+        });
+        assert_eq!((t.ok, t.degraded, t.rejected, t.panics), (2, 1, 1, 1));
+        let mut sum = OutcomeTally {
+            protocol_errors: 3,
+            ..OutcomeTally::default()
+        };
+        sum.merge(&t);
+        assert_eq!(sum.ok, 2);
+        assert_eq!(sum.protocol_errors, 3);
+        assert_eq!(sum.total(), 7);
+        // The terse rendering hides zero transport counters, shows
+        // nonzero ones.
+        assert_eq!(t.to_string(), "2 ok, 1 degraded, 1 rejected, 1 panics");
+        assert_eq!(
+            sum.to_string(),
+            "2 ok, 1 degraded, 1 rejected, 3 protocol errors, 1 panics"
+        );
+        let mut json = String::new();
+        sum.write_json(&mut json);
+        assert_eq!(
+            json,
+            "{\"ok\":2,\"degraded\":1,\"rejected\":1,\"protocol_errors\":3,\
+             \"timeouts\":0,\"overloaded\":0,\"panics\":1}"
+        );
     }
 }

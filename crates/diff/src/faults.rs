@@ -17,17 +17,30 @@
 //! | `deadline` | zero wall-clock budget | `Ok` or `Degraded(Deadline)`, value in `[0, f(tag)]` |
 //! | `join-budget` | zero join-edge budget | `Ok` or `Degraded(JoinBudget)`, value in `[0, f(tag)]` |
 //! | `oversized-query` | admission limit below the query size | `Rejected` exactly when the limit is exceeded |
+//! | `truncated-request` | serve request line cut off before its newline | typed `protocol:truncated`, no panic |
+//! | `oversized-line` | serve request line above the byte cap | typed `protocol:line-too-long`, no panic |
+//! | `invalid-utf8-frame` | serve frame bytes that are not UTF-8 | typed `protocol:invalid-utf8`, connection may continue |
+//! | `garbage-then-valid` | junk line pipelined before a valid request | typed recoverable error, then the valid request parses |
+//! | `mid-request-disconnect` | transport resets mid-request | typed I/O error, no panic |
+//!
+//! The last five classes drive the `xpe serve` wire protocol
+//! ([`FrameReader`](xpe_core::server::FrameReader) +
+//! [`parse_request`](xpe_core::server::parse_request)) in-process, with no
+//! sockets: the same code the daemon runs per connection is fed hostile
+//! byte streams directly.
 //!
 //! Every trial also runs under `catch_unwind`, so an escaped panic in any
 //! layer is itself recorded as a harness failure. The report renders to
 //! JSON for CI's `fault-smoke` artifact, mirroring the diff report.
 
+use std::io::{self, Cursor, Read};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use xpe_core::server::{parse_request, FrameError, FrameReader, ProtocolError, Request};
 use xpe_core::{Budget, DegradedReason, EstimateStatus, EstimationEngine, Estimator, QueryLimits};
 use xpe_datagen::{random_document, RandomDocConfig};
 use xpe_synopsis::{Summary, SummaryConfig};
@@ -54,11 +67,23 @@ pub enum FaultClass {
     JoinBudget,
     /// Admission limits are set below the query's size.
     OversizedQuery,
+    /// A serve request line is cut off mid-frame (the peer died before
+    /// sending its newline).
+    TruncatedRequest,
+    /// A serve request line exceeds the configured byte cap.
+    OversizedLine,
+    /// A serve frame carries bytes that are not valid UTF-8.
+    InvalidUtf8Frame,
+    /// A garbage line is pipelined ahead of a valid request on one
+    /// connection.
+    GarbageThenValid,
+    /// The transport errors out (connection reset) mid-request.
+    MidRequestDisconnect,
 }
 
 impl FaultClass {
     /// Every fault class, in report order.
-    pub const ALL: [FaultClass; 8] = [
+    pub const ALL: [FaultClass; 13] = [
         FaultClass::BitFlip,
         FaultClass::Truncation,
         FaultClass::VersionFlip,
@@ -67,6 +92,11 @@ impl FaultClass {
         FaultClass::Deadline,
         FaultClass::JoinBudget,
         FaultClass::OversizedQuery,
+        FaultClass::TruncatedRequest,
+        FaultClass::OversizedLine,
+        FaultClass::InvalidUtf8Frame,
+        FaultClass::GarbageThenValid,
+        FaultClass::MidRequestDisconnect,
     ];
 
     /// Stable machine-readable name (used in the JSON report).
@@ -80,6 +110,11 @@ impl FaultClass {
             FaultClass::Deadline => "deadline",
             FaultClass::JoinBudget => "join-budget",
             FaultClass::OversizedQuery => "oversized-query",
+            FaultClass::TruncatedRequest => "truncated-request",
+            FaultClass::OversizedLine => "oversized-line",
+            FaultClass::InvalidUtf8Frame => "invalid-utf8-frame",
+            FaultClass::GarbageThenValid => "garbage-then-valid",
+            FaultClass::MidRequestDisconnect => "mid-request-disconnect",
         }
     }
 
@@ -145,7 +180,7 @@ pub struct FaultReport {
     /// Trials per class the run executed.
     pub cases_per_class: u64,
     /// Counters, indexed as [`FaultClass::ALL`].
-    pub tallies: [FaultTally; 8],
+    pub tallies: [FaultTally; 13],
     /// Broken-contract trials (the run passes iff this is empty).
     pub failures: Vec<FaultFailure>,
 }
@@ -260,7 +295,7 @@ pub fn run_faults(plan: &FaultPlan) -> FaultReport {
     let mut report = FaultReport {
         seed: plan.seed,
         cases_per_class: plan.cases_per_class,
-        tallies: [FaultTally::default(); 8],
+        tallies: [FaultTally::default(); 13],
         failures: Vec::new(),
     };
     let prev_hook = plan.quiet.then(std::panic::take_hook);
@@ -322,6 +357,11 @@ fn run_one(report: &mut FaultReport, class: FaultClass, case: u64, rng: &mut Std
             },
         ),
         FaultClass::OversizedQuery => run_oversized(report, case, rng),
+        FaultClass::TruncatedRequest
+        | FaultClass::OversizedLine
+        | FaultClass::InvalidUtf8Frame
+        | FaultClass::GarbageThenValid
+        | FaultClass::MidRequestDisconnect => run_protocol(report, class, case, rng),
     }
 }
 
@@ -557,6 +597,186 @@ fn run_oversized(report: &mut FaultReport, case: u64, rng: &mut StdRng) {
     }
 }
 
+/// Network-protocol classes: feed the serve framing and request parser a
+/// hostile byte stream and require the typed error the daemon's contract
+/// promises — never a panic, never a silently-accepted frame.
+fn run_protocol(report: &mut FaultReport, class: FaultClass, case: u64, rng: &mut StdRng) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| protocol_trial(class, rng)));
+    match outcome {
+        Ok(Ok(())) => report.tallies[class.idx()].typed_errors += 1,
+        Ok(Err(detail)) => fail(report, class, case, detail),
+        Err(_) => fail(report, class, case, "protocol handling panicked".to_owned()),
+    }
+}
+
+/// A syntactically valid wire query ("/A//B/..."), built without a
+/// document — these trials exercise framing, not estimation.
+fn random_wire_query(rng: &mut StdRng) -> String {
+    let mut q = String::new();
+    for i in 0..rng.gen_range(1..=4usize) {
+        q.push_str(if i > 0 || rng.gen_bool(0.5) {
+            "//"
+        } else {
+            "/"
+        });
+        q.push((b'A' + rng.gen_range(0..4u8)) as char);
+    }
+    q
+}
+
+/// A full, well-formed `estimate` request line (newline included).
+fn wire_request_line(query: &str) -> String {
+    format!("{{\"op\": \"estimate\", \"query\": \"{query}\"}}\n")
+}
+
+/// A transport that yields `data` in small reads, then fails with
+/// `ConnectionReset` — a peer that died mid-request.
+struct ResetAfter {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for ResetAfter {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "peer reset the connection",
+            ));
+        }
+        // Drip at most 3 bytes per read so the reset lands mid-frame.
+        let n = 3.min(self.data.len() - self.pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// One protocol trial; `Ok(())` means the contract held.
+fn protocol_trial(class: FaultClass, rng: &mut StdRng) -> Result<(), String> {
+    const CAP: usize = 64 * 1024;
+    match class {
+        FaultClass::TruncatedRequest => {
+            // A valid request cut to a strict prefix of its line — the
+            // newline never arrives, so EOF must surface as a typed
+            // (fatal) truncation, not an empty or partial frame.
+            let line = wire_request_line(&random_wire_query(rng));
+            let cut = rng.gen_range(1..line.len());
+            let mut frames = FrameReader::new(Cursor::new(line.as_bytes()[..cut].to_vec()), CAP);
+            match frames.read_frame() {
+                Err(FrameError::Protocol(e @ ProtocolError::TruncatedFrame { .. })) => {
+                    if e.is_recoverable() {
+                        return Err("truncated frame reported as recoverable".to_owned());
+                    }
+                    Ok(())
+                }
+                Err(other) => Err(format!("truncated stream produced {other:?}")),
+                Ok(frame) => Err(format!("truncated stream yielded frame {frame:?}")),
+            }
+        }
+        FaultClass::OversizedLine => {
+            // The line must span multiple transport reads before its
+            // newline, so the reader's buffer crosses the cap; the typed
+            // error names the configured limit.
+            let cap = rng.gen_range(32..=256usize);
+            let len = 4096 + rng.gen_range(1..=4096usize);
+            let mut bytes = vec![b'x'; len];
+            bytes.push(b'\n');
+            let mut frames = FrameReader::new(Cursor::new(bytes), cap);
+            match frames.read_frame() {
+                Err(FrameError::Protocol(e @ ProtocolError::LineTooLong { limit })) => {
+                    if limit != cap {
+                        return Err(format!("error names limit {limit}, configured {cap}"));
+                    }
+                    if e.is_recoverable() {
+                        return Err("oversized line reported as recoverable".to_owned());
+                    }
+                    Ok(())
+                }
+                Err(other) => Err(format!("oversized line produced {other:?}")),
+                Ok(frame) => Err(format!(
+                    "oversized line yielded frame of {:?} bytes",
+                    frame.map(|f| f.len())
+                )),
+            }
+        }
+        FaultClass::InvalidUtf8Frame => {
+            // Framing is byte-oriented and must deliver the line; the
+            // request parser must refuse it with a recoverable typed
+            // error (the connection survives a single bad frame).
+            let mut bytes = b"{\"op\": \"estimate\", \"query\": \"".to_vec();
+            for _ in 0..rng.gen_range(1..=8usize) {
+                bytes.push(rng.gen_range(0xF8..=0xFFu8));
+            }
+            bytes.extend_from_slice(b"\"}\n");
+            let mut frames = FrameReader::new(Cursor::new(bytes), CAP);
+            let frame = match frames.read_frame() {
+                Ok(Some(frame)) => frame,
+                other => return Err(format!("framing rejected the bytes early: {other:?}")),
+            };
+            match parse_request(&frame) {
+                Err(e @ ProtocolError::InvalidUtf8) => {
+                    if !e.is_recoverable() {
+                        return Err("invalid UTF-8 reported as fatal".to_owned());
+                    }
+                    Ok(())
+                }
+                Err(other) => Err(format!("expected invalid-utf8, got {other:?}")),
+                Ok(req) => Err(format!("invalid UTF-8 parsed as {req:?}")),
+            }
+        }
+        FaultClass::GarbageThenValid => {
+            // Pipelining: one junk line then a valid request on the same
+            // stream. The junk must fail with a *recoverable* typed error
+            // and the next frame must still parse to the exact request.
+            let query = random_wire_query(rng);
+            let garbage = match rng.gen_range(0..3u8) {
+                0 => format!("!@#$ not json {}", rng.gen::<u32>()),
+                1 => "[1, 2, 3]".to_owned(),
+                _ => "{\"op\": \"frobnicate\"}".to_owned(),
+            };
+            let wire = format!("{garbage}\n{}", wire_request_line(&query));
+            let mut frames = FrameReader::new(Cursor::new(wire.into_bytes()), CAP);
+            let junk = match frames.read_frame() {
+                Ok(Some(frame)) => frame,
+                other => return Err(format!("junk line failed to frame: {other:?}")),
+            };
+            match parse_request(&junk) {
+                Err(e) if e.is_recoverable() => {}
+                Err(e) => return Err(format!("junk raised fatal {:?}", e.code())),
+                Ok(req) => return Err(format!("junk parsed as {req:?}")),
+            }
+            match frames.read_frame() {
+                Ok(Some(frame)) => match parse_request(&frame) {
+                    Ok(Request::Estimate { query: q }) if q == query => Ok(()),
+                    other => Err(format!("pipelined request parsed as {other:?}")),
+                },
+                other => Err(format!("pipelined frame lost after junk: {other:?}")),
+            }
+        }
+        FaultClass::MidRequestDisconnect => {
+            // The transport itself errors partway through a request; the
+            // reader must surface the I/O error typed, never panic or
+            // fabricate a frame.
+            let line = wire_request_line(&random_wire_query(rng));
+            let cut = rng.gen_range(0..line.len());
+            let mut frames = FrameReader::new(
+                ResetAfter {
+                    data: line.as_bytes()[..cut].to_vec(),
+                    pos: 0,
+                },
+                CAP,
+            );
+            match frames.read_frame() {
+                Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::ConnectionReset => Ok(()),
+                Err(other) => Err(format!("disconnect produced {other:?}")),
+                Ok(frame) => Err(format!("disconnect yielded frame {frame:?}")),
+            }
+        }
+        _ => unreachable!("protocol classes only"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,6 +815,23 @@ mod tests {
         assert!(report.tally(FaultClass::Deadline).degraded > 0);
         assert!(report.tally(FaultClass::JoinBudget).degraded > 0);
         assert!(report.tally(FaultClass::OversizedQuery).rejected > 0);
+        // Network classes: every trial must end in the promised typed
+        // error (the contract check inside each trial already verified
+        // which error and its recoverability).
+        for class in [
+            FaultClass::TruncatedRequest,
+            FaultClass::OversizedLine,
+            FaultClass::InvalidUtf8Frame,
+            FaultClass::GarbageThenValid,
+            FaultClass::MidRequestDisconnect,
+        ] {
+            assert_eq!(
+                report.tally(class).typed_errors,
+                8,
+                "{} missed typed errors",
+                class.name()
+            );
+        }
     }
 
     #[test]
@@ -632,7 +869,7 @@ mod tests {
         let mut report = FaultReport {
             seed: 0,
             cases_per_class: 0,
-            tallies: [FaultTally::default(); 8],
+            tallies: [FaultTally::default(); 13],
             failures: Vec::new(),
         };
         fail(

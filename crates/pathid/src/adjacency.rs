@@ -22,10 +22,10 @@
 //! additionally counts builds and build wall-time so the bench harness
 //! can report amortization (`adjacency_build_ms` in the perf snapshot).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 use xpe_xml::TagId;
 
@@ -590,14 +590,17 @@ impl JoinIndexSnapshot {
 /// [`epoch`](Self::epoch) load, and probe lock-free until the epoch
 /// moves. The mutex guards publication only — a miss builds its
 /// adjacency *outside* the lock, then rechecks, clones the current maps,
-/// inserts, swaps the `Arc`, and bumps the epoch. First publication
-/// wins: two workers racing on one key may both build it, the loser's
-/// copy is dropped, and only published builds move
-/// [`builds`](Self::builds) — so it still equals the published count.
-/// Builds are pure functions of the key and the (immutable) summary
-/// structures, so every reader observes the same rows regardless of
-/// which epoch it joined at. Build count, cumulative build time, pair
-/// totals, and mutex acquisitions are tracked for the perf snapshot.
+/// inserts, swaps the `Arc`, and bumps the epoch. A per-key in-flight
+/// guard keeps same-key cold misses from duplicating work: the first
+/// worker claims the key and builds, racers wait on a condvar and then
+/// read the published entry, and misses on *different* keys still build
+/// fully in parallel. The publish-side recheck stays as a belt-and-braces
+/// first-publication-wins backstop (a claim released by a panicking
+/// builder can let a second attempt run). Builds are pure functions of
+/// the key and the (immutable) summary structures, so every reader
+/// observes the same rows regardless of which epoch it joined at. Build
+/// count, build attempts, cumulative build time, pair totals, and mutex
+/// acquisitions are tracked for the perf snapshot.
 #[derive(Debug, Default)]
 pub struct JoinIndexCache {
     /// The current snapshot; the mutex guards publication, not reads —
@@ -617,6 +620,42 @@ pub struct JoinIndexCache {
     build_nanos: AtomicU64,
     pairs: AtomicU64,
     locks: AtomicU64,
+    /// Keys (adjacency or seed) whose build is currently running. A cold
+    /// miss claims its key here before building; racing workers on the
+    /// *same* key wait on [`inflight_cv`](Self::inflight_cv) and then
+    /// re-probe the snapshot instead of duplicating the build. Different
+    /// keys still build fully in parallel.
+    inflight: Mutex<HashSet<(u8, u64)>>,
+    /// Wakes same-key waiters when a claim is released (publish or
+    /// panic — the claim is a drop guard).
+    inflight_cv: Condvar,
+    /// Adjacency builds *started* (claimed and run), published or not.
+    /// With the in-flight guard this equals [`builds`](Self::builds)
+    /// in the absence of builder panics; the serving regression tests
+    /// assert exactly that.
+    build_attempts: AtomicU64,
+}
+
+/// Ownership of one in-flight build key. Dropping it — on publish *or*
+/// on a panicking build unwinding through the claim scope — removes the
+/// key and wakes every same-key waiter, so a dead builder can never
+/// strand them.
+struct InflightClaim<'a> {
+    cache: &'a JoinIndexCache,
+    key: (u8, u64),
+}
+
+impl Drop for InflightClaim<'_> {
+    fn drop(&mut self) {
+        let mut set = self
+            .cache
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        set.remove(&self.key);
+        drop(set);
+        self.cache.inflight_cv.notify_all();
+    }
 }
 
 impl JoinIndexCache {
@@ -645,8 +684,33 @@ impl JoinIndexCache {
             .unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Tries to claim an in-flight key; `None` means another worker is
+    /// already building it.
+    fn try_claim(&self, key: (u8, u64)) -> Option<InflightClaim<'_>> {
+        let mut set = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        // `then`, not `then_some`: the guard's constructor must stay
+        // lazy. An eagerly built claim would be dropped right here on
+        // the `false` path — deadlocking on the lock this function
+        // already holds and erasing the real builder's claim.
+        set.insert(key).then(|| InflightClaim { cache: self, key })
+    }
+
+    /// Blocks until `key`'s current builder releases its claim (or a
+    /// short timeout elapses, bounding any missed-wakeup window). The
+    /// caller re-probes the snapshot afterwards.
+    fn wait_inflight(&self, key: (u8, u64)) {
+        let set = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        if set.contains(&key) {
+            let _ = self
+                .inflight_cv
+                .wait_timeout(set, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
     /// The adjacency for `(tag_u, tag_v, child_axis)`, building and
-    /// publishing it on first use.
+    /// publishing it on first use. Concurrent cold calls on the same key
+    /// coalesce into one build; other keys build in parallel.
     pub fn get(
         &self,
         encoding: &EncodingTable,
@@ -655,48 +719,63 @@ impl JoinIndexCache {
         tag_v: TagId,
         child_axis: bool,
     ) -> Arc<ContainmentAdjacency> {
-        let snap = self.snapshot();
-        if let Some(a) = snap.adjacency(tag_u, tag_v, child_axis) {
-            return Arc::clone(a);
-        }
-        // Resolve the shared layout first: the OnceLocks serialize their
-        // own (expensive, once-per-summary) builds without stalling
-        // unrelated publications.
-        let slab = self.slab(pids);
-        let relation = self.relation(pids);
-        // Build outside the publish lock: the mutex guards publication
-        // only, so a long adjacency build never convoys other workers'
-        // snapshot refreshes, and misses on different keys build in
-        // parallel. Two workers racing on the *same* key may both build
-        // it; the recheck below keeps the first publication and the
-        // loser's copy is dropped — builds are pure functions of the key
-        // and the (immutable) summary structures, so either is correct,
-        // and only the published build moves the counters.
-        let t0 = Instant::now();
-        let built = Arc::new(ContainmentAdjacency::build_with_layout(
-            encoding, pids, &slab, &relation, tag_u, tag_v, child_axis,
-        ));
-        let build_nanos = t0.elapsed().as_nanos() as u64;
-        let mut published = self.lock_published();
-        if let Some(a) = published.adjacency(tag_u, tag_v, child_axis) {
-            // A racing worker published the key while we built.
-            return Arc::clone(a);
-        }
-        self.builds.fetch_add(1, Ordering::Relaxed);
-        self.build_nanos.fetch_add(build_nanos, Ordering::Relaxed);
-        self.pairs
-            .fetch_add(built.pair_count() as u64, Ordering::Relaxed);
-        let mut next = JoinIndexSnapshot {
-            maps: published.maps.clone(),
-            seeds: published.seeds.clone(),
-        };
-        next.maps[usize::from(child_axis)].insert(
+        let claim_key = (
+            u8::from(child_axis),
             JoinIndexSnapshot::adjacency_key(tag_u, tag_v),
-            Arc::clone(&built),
         );
-        *published = Arc::new(next);
-        self.epoch.fetch_add(1, Ordering::Release);
-        built
+        loop {
+            if let Some(a) = self.snapshot().adjacency(tag_u, tag_v, child_axis) {
+                return Arc::clone(a);
+            }
+            let Some(_claim) = self.try_claim(claim_key) else {
+                // Another worker is building this key right now: wait
+                // for its publication instead of duplicating the work,
+                // then re-probe.
+                self.wait_inflight(claim_key);
+                continue;
+            };
+            // Claimed. Re-probe once — the previous holder may have
+            // published between our probe and our claim.
+            if let Some(a) = self.snapshot().adjacency(tag_u, tag_v, child_axis) {
+                return Arc::clone(a);
+            }
+            // Resolve the shared layout first: the OnceLocks serialize
+            // their own (expensive, once-per-summary) builds without
+            // stalling unrelated publications.
+            let slab = self.slab(pids);
+            let relation = self.relation(pids);
+            // Build outside the publish lock: the mutex guards
+            // publication only, so a long adjacency build never convoys
+            // other workers' snapshot refreshes. The claim guarantees at
+            // most one same-key build at a time; the publish-side
+            // recheck below stays as the first-publication-wins backstop
+            // for claims released by a panicking builder.
+            self.build_attempts.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let built = Arc::new(ContainmentAdjacency::build_with_layout(
+                encoding, pids, &slab, &relation, tag_u, tag_v, child_axis,
+            ));
+            let build_nanos = t0.elapsed().as_nanos() as u64;
+            let mut published = self.lock_published();
+            if let Some(a) = published.adjacency(tag_u, tag_v, child_axis) {
+                return Arc::clone(a);
+            }
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            self.build_nanos.fetch_add(build_nanos, Ordering::Relaxed);
+            self.pairs
+                .fetch_add(built.pair_count() as u64, Ordering::Relaxed);
+            let mut next = JoinIndexSnapshot {
+                maps: published.maps.clone(),
+                seeds: published.seeds.clone(),
+            };
+            next.maps[usize::from(child_axis)].insert(
+                JoinIndexSnapshot::adjacency_key(tag_u, tag_v),
+                Arc::clone(&built),
+            );
+            *published = Arc::new(next);
+            self.epoch.fetch_add(1, Ordering::Release);
+            return built;
+        }
     }
 
     /// The memoized arena layout of `pids`, building it on first use.
@@ -723,35 +802,47 @@ impl JoinIndexCache {
     }
 
     /// The memoized seed bitmap for `(tag, rooted)`, running `build` on
-    /// first use. The build runs outside the publish lock and the first
-    /// publication wins; seed builds are pure functions of the key and
-    /// the summary, so a racing duplicate is identical and safe to drop.
+    /// first use. The build runs outside the publish lock; the per-key
+    /// in-flight guard coalesces concurrent cold calls (a waiter whose
+    /// builder panicked re-runs `build`, so the closure may run more
+    /// than once across failures — never concurrently for one key).
     pub fn seed_bitmap(
         &self,
         tag: TagId,
         rooted: bool,
-        build: impl FnOnce() -> Vec<u64>,
+        build: impl Fn() -> Vec<u64>,
     ) -> Arc<Vec<u64>> {
-        let snap = self.snapshot();
-        if let Some(s) = snap.seed(tag, rooted) {
-            return Arc::clone(s);
+        // Namespaces 2/3 keep seed claims disjoint from adjacency claims
+        // (which use the axis bit, 0/1).
+        let claim_key = (2 + u8::from(rooted), tag.index() as u64);
+        loop {
+            if let Some(s) = self.snapshot().seed(tag, rooted) {
+                return Arc::clone(s);
+            }
+            let Some(_claim) = self.try_claim(claim_key) else {
+                self.wait_inflight(claim_key);
+                continue;
+            };
+            if let Some(s) = self.snapshot().seed(tag, rooted) {
+                return Arc::clone(s);
+            }
+            // Built outside the publish lock; the recheck below is the
+            // first-publication-wins backstop, as in [`get`](Self::get).
+            let built = Arc::new(build());
+            let mut published = self.lock_published();
+            if let Some(s) = published.seed(tag, rooted) {
+                return Arc::clone(s);
+            }
+            let mut next = JoinIndexSnapshot {
+                maps: published.maps.clone(),
+                seeds: published.seeds.clone(),
+            };
+            next.seeds
+                .insert(JoinIndexSnapshot::seed_key(tag, rooted), Arc::clone(&built));
+            *published = Arc::new(next);
+            self.epoch.fetch_add(1, Ordering::Release);
+            return built;
         }
-        // Built outside the publish lock, first publication wins — see
-        // [`get`](Self::get) for the argument.
-        let built = Arc::new(build());
-        let mut published = self.lock_published();
-        if let Some(s) = published.seed(tag, rooted) {
-            return Arc::clone(s);
-        }
-        let mut next = JoinIndexSnapshot {
-            maps: published.maps.clone(),
-            seeds: published.seeds.clone(),
-        };
-        next.seeds
-            .insert(JoinIndexSnapshot::seed_key(tag, rooted), Arc::clone(&built));
-        *published = Arc::new(next);
-        self.epoch.fetch_add(1, Ordering::Release);
-        built
     }
 
     /// Number of published adjacencies.
@@ -769,6 +860,15 @@ impl JoinIndexCache {
     /// [`len`](Self::len).
     pub fn builds(&self) -> u64 {
         self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Total adjacency builds *started*. The per-key in-flight guard
+    /// coalesces same-key cold misses, so this equals
+    /// [`builds`](Self::builds) unless a builder panicked mid-build (its
+    /// claim is released and a waiter retries) — the regression tests
+    /// for duplicate cold builds assert the equality.
+    pub fn build_attempts(&self) -> u64 {
+        self.build_attempts.load(Ordering::Relaxed)
     }
 
     /// Cumulative wall-clock milliseconds spent building adjacencies.
@@ -1162,5 +1262,82 @@ mod tests {
             }
         });
         assert_eq!(cache.len(), tags.len() * tags.len());
+        // Every cold miss either built or waited for the builder; the
+        // in-flight guard means no key was ever built twice.
+        assert_eq!(cache.build_attempts(), cache.builds());
+    }
+
+    #[test]
+    fn same_key_cold_race_coalesces_into_one_build() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let lab = Labeling::compute(&doc);
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        // Many rounds: each uses a fresh cache and races 8 threads on a
+        // single cold key, the historically racy shape.
+        for round in 0..20 {
+            let cache = JoinIndexCache::new();
+            let built: Vec<Arc<ContainmentAdjacency>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        s.spawn(|| cache.get(&lab.encoding, &lab.interner, tags[0], tags[1], true))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            // Exactly one build ran; every thread got the published Arc.
+            assert_eq!(cache.build_attempts(), 1, "round {round}");
+            assert_eq!(cache.builds(), 1, "round {round}");
+            for a in &built {
+                assert!(Arc::ptr_eq(a, &built[0]), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_key_seed_race_runs_the_closure_once() {
+        use std::sync::atomic::AtomicU64;
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        for round in 0..20 {
+            let cache = JoinIndexCache::new();
+            let calls = AtomicU64::new(0);
+            let seeds: Vec<Arc<Vec<u64>>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        s.spawn(|| {
+                            cache.seed_bitmap(tags[0], true, || {
+                                calls.fetch_add(1, Ordering::Relaxed);
+                                // Widen the race window a little.
+                                std::thread::yield_now();
+                                vec![0b1011]
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 1, "round {round}");
+            for sdw in &seeds {
+                assert!(Arc::ptr_eq(sdw, &seeds[0]), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_builder_releases_the_claim_for_waiters() {
+        let doc = xpe_xml::fixtures::paper_figure1();
+        let tags: Vec<TagId> = doc.tags().iter().map(|(t, _)| t).collect();
+        let cache = JoinIndexCache::new();
+        // First builder panics inside the seed closure; its claim must
+        // drop so a later caller can build the key instead of hanging.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.seed_bitmap(tags[0], true, || panic!("builder dies"))
+        }));
+        std::panic::set_hook(prev);
+        assert!(died.is_err());
+        let s = cache.seed_bitmap(tags[0], true, || vec![0b1]);
+        assert_eq!(*s, vec![0b1]);
     }
 }

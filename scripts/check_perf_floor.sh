@@ -34,6 +34,14 @@
 # tripwire, not a benchmark: it catches the batch path re-growing a
 # shared lock on its warm path, not percent-level drift. Snapshots
 # without a `scaling` array fail — the array is part of the format.
+#
+# The script also understands the serve snapshot
+# (results/BENCH_serve.json, recognized by a top-level `qps` with no
+# `datasets` array): it requires `qps` and the `p50_ms`/`p95_ms`/
+# `p99_ms` latency fields to be present and finite, and gates `qps`
+# against XPE_PERF_FLOOR_SERVE_QPS (default 200 — again an
+# order-of-magnitude tripwire: a 2-core local run at scale 0.05
+# sustains >2000 q/s through the full socket path under a hostile mix).
 set -euo pipefail
 
 snapshot="${1:-results/BENCH_estimation.json}"
@@ -41,6 +49,7 @@ floor="${XPE_PERF_FLOOR_XMARK_QPS:-8000}"
 max_screen_share="${XPE_PERF_MAX_SCREEN_SHARE:-0.48}"
 min_speedup="${XPE_PERF_MIN_SPEEDUP:-1.3}"
 scaling_slack="${XPE_PERF_SCALING_SLACK:-0.9}"
+serve_floor="${XPE_PERF_FLOOR_SERVE_QPS:-200}"
 
 if [[ ! -f "$snapshot" ]]; then
     echo "perf floor: snapshot $snapshot not found" >&2
@@ -48,8 +57,10 @@ if [[ ! -f "$snapshot" ]]; then
 fi
 
 SNAPSHOT="$snapshot" FLOOR="$floor" MAX_SCREEN_SHARE="$max_screen_share" \
-MIN_SPEEDUP="$min_speedup" SCALING_SLACK="$scaling_slack" python3 - <<'EOF'
+MIN_SPEEDUP="$min_speedup" SCALING_SLACK="$scaling_slack" \
+SERVE_FLOOR="$serve_floor" python3 - <<'EOF'
 import json
+import math
 import os
 import sys
 
@@ -58,8 +69,31 @@ floor = float(os.environ["FLOOR"])
 max_screen_share = float(os.environ["MAX_SCREEN_SHARE"])
 min_speedup = float(os.environ["MIN_SPEEDUP"])
 scaling_slack = float(os.environ["SCALING_SLACK"])
+serve_floor = float(os.environ["SERVE_FLOOR"])
 with open(snapshot) as f:
     data = json.load(f)
+
+# Serve snapshot: a flat object with a top-level `qps` and latency
+# percentiles instead of per-dataset rows.
+if "qps" in data and "datasets" not in data:
+    failures = []
+    for field in ("qps", "p50_ms", "p95_ms", "p99_ms"):
+        if field not in data:
+            sys.exit(f"perf floor: serve snapshot {snapshot} lacks '{field}'")
+        if not math.isfinite(float(data[field])):
+            failures.append(f"{field} is not finite: {data[field]}")
+    qps = float(data["qps"])
+    print(
+        f"perf floor: serve {qps:.0f} q/s (floor {serve_floor:.0f}), "
+        f"p50 {float(data['p50_ms']):.3f} ms, p95 {float(data['p95_ms']):.3f} ms, "
+        f"p99 {float(data['p99_ms']):.3f} ms"
+    )
+    if qps < serve_floor:
+        failures.append(f"serve {qps:.0f} q/s < floor {serve_floor:.0f}")
+    if failures:
+        sys.exit("perf floor FAILED: " + "; ".join(failures))
+    print("perf floor: ok")
+    sys.exit(0)
 
 rows = data.get("datasets", [])
 kernels = {r.get("kernel") for r in rows}

@@ -1,0 +1,288 @@
+//! Integration: the `xpe serve` daemon over real sockets — concurrent
+//! clients get answers bit-identical to direct [`Estimator`] calls, a
+//! hostile client cannot perturb healthy ones, and hot reload under live
+//! traffic completes with zero failed requests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use xpe_core::server::{Json, Server, ServerConfig};
+use xpe_core::Estimator;
+use xpe_synopsis::{Summary, SummaryConfig};
+use xpe_xpath::parse_query;
+
+const QUERIES: [&str; 4] = [
+    "//A//C",
+    "//A/B",
+    "//A[/C/F]/B/D",
+    "//A[/C[/F]/folls::$B/D]",
+];
+
+fn summary() -> Summary {
+    Summary::build(
+        &xpe_xml::fixtures::paper_figure1(),
+        SummaryConfig::default(),
+    )
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        read_timeout: Some(Duration::from_secs(5)),
+        write_timeout: Some(Duration::from_secs(5)),
+        ..ServerConfig::default()
+    }
+}
+
+fn spawn(
+    summary_path: Option<PathBuf>,
+    config: ServerConfig,
+) -> (SocketAddr, std::thread::JoinHandle<xpe_core::OutcomeTally>) {
+    let server = Server::bind("127.0.0.1:0", Arc::new(summary()), summary_path, config)
+        .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// A line-at-a-time protocol client.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.stream.write_all(line.as_bytes()).expect("write");
+        self.stream.write_all(b"\n").expect("write");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read");
+        Json::parse(reply.trim_end()).expect("response is JSON")
+    }
+
+    fn estimate(&mut self, query: &str) -> Json {
+        self.roundtrip(&format!("{{\"op\": \"estimate\", \"query\": \"{query}\"}}"))
+    }
+}
+
+fn shutdown(addr: SocketAddr) {
+    let resp = Client::connect(addr).roundtrip("{\"op\": \"shutdown\"}");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+}
+
+fn direct_estimates() -> Vec<f64> {
+    let s = summary();
+    let est = Estimator::new(&s);
+    QUERIES
+        .iter()
+        .map(|q| est.estimate(&parse_query(q).unwrap()))
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_are_bit_identical_to_direct_estimation() {
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 8;
+    let expected = direct_estimates();
+    let (addr, server) = spawn(None, config());
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for round in 0..ROUNDS {
+                    let i = (c + round) % QUERIES.len();
+                    let resp = client.estimate(QUERIES[i]);
+                    assert_eq!(
+                        resp.get("status").and_then(Json::as_str),
+                        Some("ok"),
+                        "client {c} round {round}"
+                    );
+                    let served = resp.get("estimate").and_then(Json::as_f64).unwrap();
+                    assert_eq!(
+                        served.to_bits(),
+                        expected[i].to_bits(),
+                        "client {c} round {round}: served {served} direct {}",
+                        expected[i]
+                    );
+                }
+            });
+        }
+    });
+    shutdown(addr);
+    let tally = server.join().unwrap();
+    assert_eq!(tally.ok, (CLIENTS * ROUNDS) as u64);
+    assert_eq!(tally.protocol_errors, 0);
+    assert_eq!(tally.panics, 0);
+}
+
+#[test]
+fn a_hostile_client_cannot_perturb_healthy_answers() {
+    let expected = direct_estimates();
+    let (addr, server) = spawn(
+        None,
+        ServerConfig {
+            max_line_bytes: 256,
+            ..config()
+        },
+    );
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // The hostile client cycles every abuse the protocol survives:
+        // garbage lines, oversized lines, half-closed and mid-frame
+        // abandoned connections.
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let mut round = 0usize;
+            while !stop_ref.load(Ordering::Relaxed) {
+                match round % 4 {
+                    0 => {
+                        let mut c = Client::connect(addr);
+                        let resp = c.roundtrip("!!garbage");
+                        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+                    }
+                    1 => {
+                        let mut c = Client::connect(addr);
+                        let long = "x".repeat(4096);
+                        let _ = c.stream.write_all(long.as_bytes());
+                        let _ = c.stream.write_all(b"\n");
+                        let mut reply = String::new();
+                        let _ = c.reader.read_line(&mut reply);
+                    }
+                    2 => {
+                        // Mid-frame disconnect: bytes but no newline.
+                        let c = Client::connect(addr);
+                        let _ = (&c.stream).write_all(b"{\"op\": \"esti");
+                        let _ = c.stream.shutdown(Shutdown::Both);
+                    }
+                    _ => {
+                        // Half-close after a valid request.
+                        let mut c = Client::connect(addr);
+                        let _ = c.stream.write_all(b"{\"op\": \"ping\"}\n");
+                        let _ = c.stream.shutdown(Shutdown::Write);
+                        let mut reply = String::new();
+                        let _ = c.reader.read_line(&mut reply);
+                    }
+                }
+                round += 1;
+            }
+        });
+        let mut client = Client::connect(addr);
+        for round in 0..32 {
+            let i = round % QUERIES.len();
+            let resp = client.estimate(QUERIES[i]);
+            assert_eq!(
+                resp.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "round {round}"
+            );
+            let served = resp.get("estimate").and_then(Json::as_f64).unwrap();
+            assert_eq!(served.to_bits(), expected[i].to_bits(), "round {round}");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    shutdown(addr);
+    let tally = server.join().unwrap();
+    assert_eq!(tally.panics, 0);
+    assert!(tally.ok >= 32, "healthy requests all served: {tally}");
+}
+
+#[test]
+fn reload_under_live_traffic_loses_no_request() {
+    const CLIENTS: usize = 3;
+    let expected = direct_estimates();
+    let path =
+        std::env::temp_dir().join(format!("xpe-serve-integration-{}.xps", std::process::id()));
+    std::fs::write(&path, summary().to_bytes()).expect("persist summary");
+    let (addr, server) = spawn(Some(path.clone()), config());
+    // Phase gates: every client completes one epoch-1 request before the
+    // reloads start, and keeps querying until both reloads are published.
+    let started = Barrier::new(CLIENTS + 1);
+    let reloaded = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let (started, reloaded, expected) = (&started, &reloaded, &expected);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let resp = client.estimate(QUERIES[c % QUERIES.len()]);
+                assert_eq!(resp.get("epoch").and_then(Json::as_f64), Some(1.0));
+                started.wait();
+                let mut rounds = 0usize;
+                loop {
+                    let done = reloaded.load(Ordering::Relaxed);
+                    let i = rounds % QUERIES.len();
+                    let resp = client.estimate(QUERIES[i]);
+                    // The contract under reload: zero failures, answers
+                    // bit-identical on every epoch (same summary file).
+                    assert_eq!(
+                        resp.get("status").and_then(Json::as_str),
+                        Some("ok"),
+                        "client {c} round {rounds} mid-reload"
+                    );
+                    let served = resp.get("estimate").and_then(Json::as_f64).unwrap();
+                    assert_eq!(served.to_bits(), expected[i].to_bits());
+                    let epoch = resp.get("epoch").and_then(Json::as_f64).unwrap();
+                    assert!((1.0..=3.0).contains(&epoch), "epoch {epoch}");
+                    rounds += 1;
+                    if done {
+                        assert_eq!(epoch, 3.0, "post-reload epoch");
+                        break;
+                    }
+                }
+            });
+        }
+        started.wait();
+        let mut control = Client::connect(addr);
+        for expected_epoch in [2.0, 3.0] {
+            let resp = control.roundtrip("{\"op\": \"reload\"}");
+            assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+            assert_eq!(
+                resp.get("epoch").and_then(Json::as_f64),
+                Some(expected_epoch)
+            );
+        }
+        reloaded.store(true, Ordering::Relaxed);
+    });
+    shutdown(addr);
+    let tally = server.join().unwrap();
+    assert_eq!(tally.panics, 0);
+    assert_eq!(tally.rejected, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn failed_reload_keeps_the_old_generation_serving() {
+    let expected = direct_estimates();
+    let (addr, server) = spawn(None, config());
+    let mut client = Client::connect(addr);
+    let resp = client.roundtrip("{\"op\": \"reload\", \"path\": \"/nonexistent/image.xps\"}");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(
+        resp.get("error").and_then(Json::as_str),
+        Some("reload-failed")
+    );
+    // Still epoch 1, still bit-identical.
+    let resp = client.estimate(QUERIES[0]);
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(resp.get("epoch").and_then(Json::as_f64), Some(1.0));
+    let served = resp.get("estimate").and_then(Json::as_f64).unwrap();
+    assert_eq!(served.to_bits(), expected[0].to_bits());
+    drop(client);
+    shutdown(addr);
+    let tally = server.join().unwrap();
+    assert_eq!(tally.ok, 1);
+    assert_eq!(tally.panics, 0);
+}
