@@ -19,7 +19,14 @@
 //! * a per-phase join breakdown from one instrumented serial pass —
 //!   plan (tag/edge resolution for the prepared query plan), screen
 //!   (worklist seeding + candidate setup), fixpoint (the edge sweep),
-//!   and finalize (rebuilding the surviving lists).
+//!   and finalize (rebuilding the surviving lists);
+//! * a production-traffic replay per dataset: Zipf-skewed traces from
+//!   [`xpe_datagen::generate_traffic`] driven through a persistent
+//!   engine — a uniform cold mix, a warm Zipf(s=1.1) mix with the
+//!   estimate cache on, and the same warm mix with it off — reporting
+//!   q/s, p50/p95/p99 per-request latency and both cache hit rates.
+//!   The warm-vs-nocache ratio is the headline the estimate cache pays
+//!   its rent with.
 //!
 //! Writes `results/BENCH_estimation.json` (hand-rolled JSON — the
 //! workspace carries no serde) and prints the same numbers as a table.
@@ -29,8 +36,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use xpe_bench::{load, print_table, ExpContext};
-use xpe_core::{EstimationEngine, Estimator, JoinKernel};
-use xpe_datagen::Dataset;
+use xpe_core::{EstimationEngine, Estimator, JoinKernel, DEFAULT_ESTIMATE_CACHE_CAPACITY};
+use xpe_datagen::{generate_traffic, Dataset, TrafficConfig};
 use xpe_synopsis::{Summary, SummaryConfig};
 use xpe_xpath::Query;
 
@@ -88,6 +95,63 @@ struct ScalingRow {
     speedup_vs_1: f64,
 }
 
+/// One production-traffic replay configuration (engine level).
+struct MixSpec {
+    name: &'static str,
+    /// Zipf skew over template popularity ranks (0 = uniform).
+    zipf: f64,
+    /// Estimate-cache capacity for the replaying engine (0 disables).
+    estimate_cache: usize,
+    /// Pre-touch every template once before the timed reps and keep the
+    /// engine alive across them (steady-state); cold mixes get a fresh
+    /// engine every rep.
+    warmup: bool,
+}
+
+/// Skew and estimate-cache state are the axes the skew-aware fast path
+/// trades on; `zipf_warm` vs `zipf_warm_nocache` isolates the cache on
+/// identical traffic.
+const TRAFFIC_MIXES: [MixSpec; 3] = [
+    MixSpec {
+        name: "uniform_cold",
+        zipf: 0.0,
+        estimate_cache: DEFAULT_ESTIMATE_CACHE_CAPACITY,
+        warmup: false,
+    },
+    MixSpec {
+        name: "zipf_warm",
+        zipf: 1.1,
+        estimate_cache: DEFAULT_ESTIMATE_CACHE_CAPACITY,
+        warmup: true,
+    },
+    MixSpec {
+        name: "zipf_warm_nocache",
+        zipf: 1.1,
+        estimate_cache: 0,
+        warmup: true,
+    },
+];
+
+struct TrafficRow {
+    dataset: &'static str,
+    mix: &'static str,
+    requests: usize,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    estimate_cache_hit_rate: f64,
+    join_cache_hit_rate: f64,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1e3
+}
+
 /// Parses `--threads-sweep[=LIST]` from the command line. The bare flag
 /// (or no flag) selects [`SWEEP_DEFAULT`]; `LIST` is comma-separated
 /// worker counts where `0` means one worker per core.
@@ -126,6 +190,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut scaling: Vec<ScalingRow> = Vec::new();
+    let mut traffic: Vec<TrafficRow> = Vec::new();
     for ds in Dataset::ALL {
         let b = load(&ctx, ds);
         let queries: Vec<Query> = b
@@ -192,12 +257,18 @@ fn main() {
             // evenly over the curve instead of always taxing the last
             // row.
             let sweep_base = scaling.len();
+            // Estimate cache off: a persistent engine's repeat passes
+            // would otherwise be answered from the full-query cache and
+            // the sweep would measure cache lookups, not how the warm
+            // join path scales with workers. The traffic replay below
+            // prices the cache; this sweep prices the kernel.
             let engines: Vec<_> = sweep
                 .iter()
                 .map(|&t| {
                     let engine = EstimationEngine::new(&summary)
                         .with_threads(t)
-                        .with_kernel(kernel);
+                        .with_kernel(kernel)
+                        .with_estimate_cache_capacity(0);
                     std::hint::black_box(engine.estimate_batch(&queries));
                     engine
                 })
@@ -308,6 +379,90 @@ fn main() {
                 finalize_ms: phases.finalize_ns as f64 / 1e6,
             });
         }
+
+        // Production-traffic replay (default kernel, one driving
+        // thread): the trace is the §7 workload under Zipf-skewed
+        // template popularity. Reps are interleaved round-robin across
+        // the mixes; warm mixes keep one engine alive across reps while
+        // cold mixes restart it every rep.
+        let traces: Vec<_> = TRAFFIC_MIXES
+            .iter()
+            .map(|spec| {
+                generate_traffic(
+                    &b.workload,
+                    &TrafficConfig {
+                        seed: ctx.seed,
+                        zipf_s: spec.zipf,
+                        ..TrafficConfig::default()
+                    },
+                )
+            })
+            .collect();
+        let fresh_engine = |spec: &MixSpec| {
+            EstimationEngine::new(&summary)
+                .with_threads(1)
+                .with_estimate_cache_capacity(spec.estimate_cache)
+        };
+        let mut engines: Vec<EstimationEngine> = TRAFFIC_MIXES.iter().map(fresh_engine).collect();
+        for (spec, engine) in TRAFFIC_MIXES.iter().zip(&engines) {
+            if spec.warmup {
+                // All traces share one template table (skew only changes
+                // the request sampling), so touching traces[0]'s
+                // templates warms every mix's key set.
+                let est = engine.estimator();
+                for template in &traces[0].templates {
+                    std::hint::black_box(est.estimate(&template.case.query));
+                }
+            }
+        }
+        let mut lat: Vec<Vec<u64>> = vec![Vec::new(); TRAFFIC_MIXES.len()];
+        let mut secs = vec![0.0f64; TRAFFIC_MIXES.len()];
+        for _rep in 0..REPS {
+            for (i, spec) in TRAFFIC_MIXES.iter().enumerate() {
+                if !spec.warmup {
+                    engines[i] = fresh_engine(spec);
+                }
+                let est = engines[i].estimator();
+                let trace = &traces[i];
+                let t0 = Instant::now();
+                for request in &trace.requests {
+                    let q = &trace.templates[request.template].case.query;
+                    let t = Instant::now();
+                    std::hint::black_box(est.estimate(q));
+                    lat[i].push(t.elapsed().as_nanos() as u64);
+                }
+                secs[i] += t0.elapsed().as_secs_f64();
+            }
+        }
+        for (i, spec) in TRAFFIC_MIXES.iter().enumerate() {
+            let stats = engines[i].kernel_stats();
+            let mut sorted = std::mem::take(&mut lat[i]);
+            sorted.sort_unstable();
+            traffic.push(TrafficRow {
+                dataset: ds.name(),
+                mix: spec.name,
+                requests: sorted.len(),
+                qps: sorted.len() as f64 / secs[i],
+                p50_us: percentile_us(&sorted, 0.50),
+                p95_us: percentile_us(&sorted, 0.95),
+                p99_us: percentile_us(&sorted, 0.99),
+                estimate_cache_hit_rate: stats.estimate_cache_hit_rate,
+                join_cache_hit_rate: stats.join_cache_hit_rate,
+            });
+        }
+        let mix_qps = |mix: &str| {
+            traffic
+                .iter()
+                .find(|r| r.dataset == ds.name() && r.mix == mix)
+                .map_or(f64::NAN, |r| r.qps)
+        };
+        println!(
+            "  {} traffic: warm zipf vs estimate cache off {:.1}x, \
+             warm zipf vs uniform cold {:.1}x",
+            ds.name(),
+            mix_qps("zipf_warm") / mix_qps("zipf_warm_nocache"),
+            mix_qps("zipf_warm") / mix_qps("uniform_cold"),
+        );
     }
 
     print_table(
@@ -334,6 +489,37 @@ fn main() {
                     format!("{:.0}", r.batch_auto_qps),
                     format!("{:.2}", r.build_serial_ms),
                     format!("{:.2}", r.build_parallel_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    print_table(
+        "Production traffic replay (per mix)",
+        &[
+            "Dataset",
+            "Mix",
+            "Requests",
+            "q/s",
+            "p50 us",
+            "p95 us",
+            "p99 us",
+            "Est-cache %",
+            "Join %",
+        ],
+        &traffic
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.to_owned(),
+                    r.mix.to_owned(),
+                    r.requests.to_string(),
+                    format!("{:.0}", r.qps),
+                    format!("{:.2}", r.p50_us),
+                    format!("{:.2}", r.p95_us),
+                    format!("{:.2}", r.p99_us),
+                    format!("{:.1}", r.estimate_cache_hit_rate * 100.0),
+                    format!("{:.1}", r.join_cache_hit_rate * 100.0),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -412,6 +598,26 @@ fn main() {
             r.finalize_ms,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"traffic\": [\n");
+    for (i, r) in traffic.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"dataset\": \"{}\", \"mix\": \"{}\", \"requests\": {}, \
+             \"qps\": {:.1}, \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}, \
+             \"estimate_cache_hit_rate\": {:.4}, \"join_cache_hit_rate\": {:.4}}}",
+            json_escape_free(r.dataset),
+            json_escape_free(r.mix),
+            r.requests,
+            r.qps,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.estimate_cache_hit_rate,
+            r.join_cache_hit_rate,
+        );
+        json.push_str(if i + 1 < traffic.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
     json.push_str("  \"scaling\": [\n");

@@ -15,22 +15,36 @@
 //!   has completed — answers must stay bit-identical across the epoch
 //!   bump because the reloaded file is the same summary.
 //!
-//! Reports queries/sec of the healthy fleet plus p50/p95/p99 latency,
-//! and writes `results/BENCH_serve.json` (hand-rolled JSON; the
-//! workspace carries no serde). Scale/seed come from the usual `XPE_*`
-//! variables; CI's perf floor reads `qps` via
-//! `scripts/check_perf_floor.sh` (`XPE_PERF_FLOOR_SERVE_QPS`).
+//! After the hostile mix, a **traffic replay** phase restarts the
+//! daemon per mix and replays production-shaped traces from
+//! [`xpe_datagen::generate_traffic`]: a uniform cold mix (fresh server,
+//! no skew), a Zipf(s=1.1) warm mix (templates pre-touched, estimate
+//! cache on), and the same warm Zipf mix with the estimate cache
+//! disabled. Reps are interleaved round-robin across the mixes (like
+//! `bench_estimation`'s scaling sweep) so a noisy phase of a shared
+//! runner taxes every row evenly. Each per-mix row reports q/s,
+//! p50/p95/p99/p99.9, shed (`overloaded`) counts, and the server's own
+//! estimate-/join-cache hit rates from the `stats` verb.
+//!
+//! Reports queries/sec of the healthy fleet plus p50/p95/p99/p99.9
+//! latency, and writes `results/BENCH_serve.json` (hand-rolled JSON;
+//! the workspace carries no serde). Scale/seed come from the usual
+//! `XPE_*` variables; CI's perf floor reads `qps` and the per-mix
+//! `traffic` rows via `scripts/check_perf_floor.sh`
+//! (`XPE_PERF_FLOOR_SERVE_QPS`, `XPE_PERF_MIN_WARM_SKEW_SPEEDUP`).
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use xpe_bench::{load, print_table, ExpContext};
 use xpe_core::server::{Json, Server, ServerConfig};
 use xpe_core::Estimator;
-use xpe_datagen::Dataset;
+use xpe_datagen::{generate_traffic, Dataset, TrafficConfig, TrafficTrace};
 use xpe_synopsis::{Summary, SummaryConfig};
 use xpe_xpath::parse_query;
 
@@ -45,6 +59,49 @@ const MAX_QUERIES: usize = 48;
 /// A tag no XMark query targets; the server's chaos hook degrades any
 /// estimate whose target tag equals it, exercising panic isolation.
 const POISON_TAG: &str = "zzzpoison";
+
+/// Requests per traffic-replay pass.
+const TRAFFIC_REQUESTS: usize = 1200;
+/// Interleaved repetitions per traffic mix; latencies pool across reps.
+const TRAFFIC_REPS: usize = 3;
+/// Closed-loop connections replaying each trace.
+const TRAFFIC_CLIENTS: usize = 4;
+
+/// One production-shaped replay configuration.
+struct MixSpec {
+    name: &'static str,
+    /// Zipf skew exponent over template popularity (0 = uniform).
+    zipf: f64,
+    /// Server-side estimate-cache capacity (0 disables).
+    estimate_cache: usize,
+    /// Pre-touch every template once before the timed pass.
+    warmup: bool,
+}
+
+/// The replay matrix: skew and cache state are the two axes the
+/// skew-aware fast path trades on. `uniform_cold` is the no-locality
+/// baseline; `zipf_warm` is steady-state production; `zipf_warm_nocache`
+/// prices the estimate cache itself on identical traffic.
+const TRAFFIC_MIXES: [MixSpec; 3] = [
+    MixSpec {
+        name: "uniform_cold",
+        zipf: 0.0,
+        estimate_cache: xpe_core::DEFAULT_ESTIMATE_CACHE_CAPACITY,
+        warmup: false,
+    },
+    MixSpec {
+        name: "zipf_warm",
+        zipf: 1.1,
+        estimate_cache: xpe_core::DEFAULT_ESTIMATE_CACHE_CAPACITY,
+        warmup: true,
+    },
+    MixSpec {
+        name: "zipf_warm_nocache",
+        zipf: 1.1,
+        estimate_cache: 0,
+        warmup: true,
+    },
+];
 
 struct WireClient {
     stream: TcpStream,
@@ -82,6 +139,184 @@ fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[rank.min(sorted_ns.len() - 1)] as f64 / 1e6
 }
 
+/// One timed replay of a trace against a fresh daemon.
+struct PassResult {
+    latencies_ns: Vec<u64>,
+    shed: u64,
+    wall_secs: f64,
+    est_hit_rate: f64,
+    join_hit_rate: f64,
+}
+
+/// Per-mix accumulator over the interleaved reps.
+struct MixAgg {
+    name: &'static str,
+    latencies_ns: Vec<u64>,
+    shed: u64,
+    wall_secs: f64,
+    est_rate_sum: f64,
+    join_rate_sum: f64,
+    passes: usize,
+}
+
+impl MixAgg {
+    fn new(name: &'static str) -> MixAgg {
+        MixAgg {
+            name,
+            latencies_ns: Vec::new(),
+            shed: 0,
+            wall_secs: 0.0,
+            est_rate_sum: 0.0,
+            join_rate_sum: 0.0,
+            passes: 0,
+        }
+    }
+
+    fn fold(&mut self, pass: PassResult) {
+        self.latencies_ns.extend(pass.latencies_ns);
+        self.shed += pass.shed;
+        self.wall_secs += pass.wall_secs;
+        self.est_rate_sum += pass.est_hit_rate;
+        self.join_rate_sum += pass.join_hit_rate;
+        self.passes += 1;
+    }
+
+    fn sorted(&self) -> Vec<u64> {
+        let mut s = self.latencies_ns.clone();
+        s.sort_unstable();
+        s
+    }
+
+    fn qps(&self) -> f64 {
+        (self.latencies_ns.len() + self.shed as usize) as f64 / self.wall_secs
+    }
+
+    fn est_rate(&self) -> f64 {
+        self.est_rate_sum / self.passes.max(1) as f64
+    }
+
+    fn join_rate(&self) -> f64 {
+        self.join_rate_sum / self.passes.max(1) as f64
+    }
+}
+
+/// Boots a fresh daemon for `spec`, optionally pre-touches every
+/// template, then replays the trace closed-loop from
+/// [`TRAFFIC_CLIENTS`] connections (client `c` takes request indices
+/// `c mod TRAFFIC_CLIENTS`, preserving arrival order per connection).
+/// Every `ok` answer is asserted bit-identical to the direct uncached
+/// estimator; `overloaded` answers count as shed. Cache hit rates come
+/// from the daemon's own `stats` verb before shutdown.
+fn traffic_pass(
+    summary: &Arc<Summary>,
+    trace: &TrafficTrace,
+    expected_bits: &HashMap<&str, u64>,
+    spec: &MixSpec,
+) -> PassResult {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(summary),
+        None,
+        ServerConfig {
+            workers: 0,
+            estimate_cache_capacity: spec.estimate_cache,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind traffic port");
+    let addr = server.local_addr();
+    let server = std::thread::spawn(move || server.run());
+
+    if spec.warmup {
+        let mut client = WireClient::connect(addr);
+        for template in &trace.templates {
+            let resp = client.estimate(&template.case.text);
+            assert_eq!(
+                resp.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "warmup: {}",
+                template.case.text
+            );
+        }
+    }
+
+    let shed = AtomicU64::new(0);
+    let wall = Instant::now();
+    let latencies_ns = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..TRAFFIC_CLIENTS {
+            let shed = &shed;
+            handles.push(scope.spawn(move || {
+                let mut client = WireClient::connect(addr);
+                let mut lat = Vec::new();
+                for (i, request) in trace.requests.iter().enumerate() {
+                    if i % TRAFFIC_CLIENTS != c {
+                        continue;
+                    }
+                    let text = trace.templates[request.template].case.text.as_str();
+                    let t = Instant::now();
+                    let resp = client.estimate(text);
+                    let ns = t.elapsed().as_nanos() as u64;
+                    match resp.get("status").and_then(Json::as_str) {
+                        Some("ok") => {
+                            let served = resp.get("estimate").and_then(Json::as_f64).unwrap();
+                            assert_eq!(
+                                served.to_bits(),
+                                expected_bits[text],
+                                "mix {}: {text} served {served}",
+                                spec.name
+                            );
+                            lat.push(ns);
+                        }
+                        Some("error") => {
+                            assert_eq!(
+                                resp.get("error").and_then(Json::as_str),
+                                Some("overloaded"),
+                                "mix {}: {text}",
+                                spec.name
+                            );
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("mix {}: {text} answered {other:?}", spec.name),
+                    }
+                }
+                lat
+            }));
+        }
+        let mut all = Vec::with_capacity(trace.requests.len());
+        for handle in handles {
+            all.extend(handle.join().expect("traffic client"));
+        }
+        all
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    let mut control = WireClient::connect(addr);
+    let stats = control.roundtrip("{\"op\": \"stats\"}");
+    let rate = |section: &str| {
+        stats
+            .get("caches")
+            .and_then(|c| c.get(section))
+            .and_then(|s| s.get("hit_rate"))
+            .and_then(Json::as_f64)
+            .expect("stats caches section")
+    };
+    let (est_hit_rate, join_hit_rate) = (rate("estimate"), rate("join"));
+    let resp = control.roundtrip("{\"op\": \"shutdown\"}");
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    let _ = server.join().expect("traffic server");
+
+    PassResult {
+        latencies_ns,
+        shed: shed.load(Ordering::Relaxed),
+        wall_secs,
+        est_hit_rate,
+        join_hit_rate,
+    }
+}
+
 fn main() {
     let ctx = ExpContext::from_env();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -94,7 +329,7 @@ fn main() {
     // Workload: distinct XMark queries whose text roundtrips through the
     // wire (parseable back, JSON-safe, and not targeting the poison tag).
     let bundle = load(&ctx, Dataset::XMark);
-    let summary = Summary::build(&bundle.doc, SummaryConfig::default());
+    let summary = Arc::new(Summary::build(&bundle.doc, SummaryConfig::default()));
     let direct = Estimator::new(&summary);
     let mut queries: Vec<(String, u64)> = Vec::new();
     for case in bundle
@@ -133,7 +368,7 @@ fn main() {
 
     let server = Server::bind(
         "127.0.0.1:0",
-        std::sync::Arc::new(summary),
+        Arc::clone(&summary),
         Some(xps.clone()),
         ServerConfig {
             workers: 0, // one per core
@@ -268,10 +503,11 @@ fn main() {
     sorted.sort_unstable();
     let total = sorted.len() as f64;
     let qps = total / wall_secs;
-    let (p50, p95, p99) = (
+    let (p50, p95, p99, p999) = (
         percentile(&sorted, 0.50),
         percentile(&sorted, 0.95),
         percentile(&sorted, 0.99),
+        percentile(&sorted, 0.999),
     );
 
     print_table(
@@ -282,6 +518,8 @@ fn main() {
             "p50 ms",
             "p95 ms",
             "p99 ms",
+            "p99.9 ms",
+            "Shed",
             "Hostile rounds",
             "Reload ms",
         ],
@@ -291,6 +529,8 @@ fn main() {
             format!("{p50:.3}"),
             format!("{p95:.3}"),
             format!("{p99:.3}"),
+            format!("{p999:.3}"),
+            format!("{}", tally.overloaded),
             format!("{}", hostile_rounds.load(Ordering::Relaxed)),
             format!("{reload_ms:.2}"),
         ]],
@@ -298,6 +538,96 @@ fn main() {
     println!(
         "  lifetime tally: {tally}; poison-degraded answers: {}",
         poison_degraded.load(Ordering::Relaxed)
+    );
+
+    // -- traffic replay: production-shaped mixes ------------------------
+    //
+    // Precompute the uncached ground truth once: every template of every
+    // mix must come back bit-identical from the daemon, cached or not.
+    let mix_traces: Vec<(usize, TrafficTrace)> = TRAFFIC_MIXES
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let trace = generate_traffic(
+                &bundle.workload,
+                &TrafficConfig {
+                    seed: ctx.seed,
+                    zipf_s: spec.zipf,
+                    requests: TRAFFIC_REQUESTS,
+                    ..TrafficConfig::default()
+                },
+            );
+            (i, trace)
+        })
+        .collect();
+    let mut expected_bits: HashMap<&str, u64> = HashMap::new();
+    for (_, trace) in &mix_traces {
+        for template in &trace.templates {
+            let text = template.case.text.as_str();
+            assert!(
+                !text.contains('"') && !text.contains('\\') && !text.contains(POISON_TAG),
+                "template text is not wire-safe: {text}"
+            );
+            expected_bits
+                .entry(text)
+                .or_insert_with(|| direct.estimate(&template.case.query).to_bits());
+        }
+    }
+
+    // Reps are interleaved round-robin across the mixes so shared-runner
+    // noise spreads evenly instead of always taxing the last mix.
+    let mut aggs: Vec<MixAgg> = TRAFFIC_MIXES.iter().map(|s| MixAgg::new(s.name)).collect();
+    for _rep in 0..TRAFFIC_REPS {
+        for (i, trace) in &mix_traces {
+            let spec = &TRAFFIC_MIXES[*i];
+            let pass = traffic_pass(&summary, trace, &expected_bits, spec);
+            aggs[*i].fold(pass);
+        }
+    }
+    let mix_qps = |name: &str| {
+        aggs.iter()
+            .find(|a| a.name == name)
+            .map_or(f64::NAN, MixAgg::qps)
+    };
+    let warm_skew_speedup = mix_qps("zipf_warm") / mix_qps("uniform_cold");
+    let warm_cache_speedup = mix_qps("zipf_warm") / mix_qps("zipf_warm_nocache");
+
+    print_table(
+        "Traffic replay (per mix)",
+        &[
+            "Mix",
+            "Requests",
+            "q/s",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "p99.9 ms",
+            "Shed",
+            "Est-cache %",
+            "Join %",
+        ],
+        &aggs
+            .iter()
+            .map(|a| {
+                let s = a.sorted();
+                vec![
+                    a.name.to_owned(),
+                    format!("{}", s.len()),
+                    format!("{:.0}", a.qps()),
+                    format!("{:.3}", percentile(&s, 0.50)),
+                    format!("{:.3}", percentile(&s, 0.95)),
+                    format!("{:.3}", percentile(&s, 0.99)),
+                    format!("{:.3}", percentile(&s, 0.999)),
+                    format!("{}", a.shed),
+                    format!("{:.1}", a.est_rate() * 100.0),
+                    format!("{:.1}", a.join_rate() * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "  warm zipf vs uniform cold: {warm_skew_speedup:.2}x; \
+         warm zipf vs estimate cache off: {warm_cache_speedup:.2}x"
     );
 
     let mut json = String::new();
@@ -320,7 +650,8 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"p50_ms\": {p50:.4}, \"p95_ms\": {p95:.4}, \"p99_ms\": {p99:.4},"
+        "  \"p50_ms\": {p50:.4}, \"p95_ms\": {p95:.4}, \"p99_ms\": {p99:.4}, \
+         \"p999_ms\": {p999:.4},"
     );
     let _ = writeln!(
         json,
@@ -331,6 +662,34 @@ fn main() {
         "  \"hostile_rounds\": {}, \"poison_degraded\": {},",
         hostile_rounds.load(Ordering::Relaxed),
         poison_degraded.load(Ordering::Relaxed)
+    );
+    json.push_str("  \"traffic\": [\n");
+    for (i, a) in aggs.iter().enumerate() {
+        let s = a.sorted();
+        let _ = write!(
+            json,
+            "    {{\"mix\": \"{}\", \"requests\": {}, \"reps\": {TRAFFIC_REPS}, \
+             \"qps\": {:.1}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"p999_ms\": {:.4}, \"shed\": {}, \"estimate_cache_hit_rate\": {:.4}, \
+             \"join_cache_hit_rate\": {:.4}}}",
+            a.name,
+            s.len(),
+            a.qps(),
+            percentile(&s, 0.50),
+            percentile(&s, 0.95),
+            percentile(&s, 0.99),
+            percentile(&s, 0.999),
+            a.shed,
+            a.est_rate(),
+            a.join_rate(),
+        );
+        json.push_str(if i + 1 < aggs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"warm_skew_speedup\": {warm_skew_speedup:.3}, \
+         \"warm_cache_speedup\": {warm_cache_speedup:.3},"
     );
     let _ = writeln!(
         json,

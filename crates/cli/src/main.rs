@@ -5,14 +5,18 @@
 //! xpe build <file.xml> -o <summary.xps>        build + save a summary
 //!     [--p-variance V] [--o-variance V] [--jobs N] [--stream]
 //! xpe estimate <summary.xps> <query>...        estimate selectivities
-//!     [--jobs N] [--join-cache N]
+//!     [--jobs N] [--join-cache N] [--estimate-cache N]
 //!     [--deadline-ms N] [--max-query-nodes N]
 //! xpe exact <file.xml> <query>...              exact selectivities
 //! xpe generate <ssplays|dblp|xmark> -o <out.xml>
 //!     [--scale S] [--seed N]                   synthesize a corpus
+//! xpe workload <ssplays|dblp|xmark> [--scale S] [--seed N]
+//!     [--requests N] [--zipf S] [--templates N] [--mix A,B,C]
+//!                                              print a skewed query trace
 //! xpe serve <summary.xps> [--addr H:P] [--workers N] [--queue N]
 //!     [--deadline-ms N] [--max-query-nodes N] [--kernel K]
-//!     [--join-cache N] [--read-timeout-ms N] [--write-timeout-ms N]
+//!     [--join-cache N] [--estimate-cache N]
+//!     [--read-timeout-ms N] [--write-timeout-ms N]
 //!     [--max-line-bytes N]                     estimation daemon
 //! xpe diff [--seed N] [--cases N] [--json FILE]
 //!                                              differential correctness run
@@ -33,6 +37,7 @@ fn main() -> ExitCode {
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("exact") => cmd_exact(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("workload") => cmd_workload(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
@@ -55,14 +60,17 @@ const USAGE: &str = "usage:
   xpe stats <file.xml>
   xpe build <file.xml> -o <summary.xps> [--p-variance V] [--o-variance V]
       [--jobs N] [--stream]
-  xpe estimate <summary.xps> [--jobs N] [--join-cache N]
+  xpe estimate <summary.xps> [--jobs N] [--join-cache N] [--estimate-cache N]
       [--kernel naive|indexed|bitmap]
       [--deadline-ms N] [--max-query-nodes N] <query>...
   xpe exact <file.xml> <query>...
   xpe generate <ssplays|dblp|xmark> -o <out.xml> [--scale S] [--seed N]
+  xpe workload <ssplays|dblp|xmark> [--scale S] [--seed N] [--requests N]
+      [--zipf S] [--templates N] [--mix SIMPLE,BRANCH,ORDER]
   xpe serve <summary.xps> [--addr HOST:PORT] [--workers N] [--queue N]
       [--deadline-ms N] [--max-query-nodes N] [--kernel naive|indexed|bitmap]
-      [--join-cache N] [--read-timeout-ms N] [--write-timeout-ms N]
+      [--join-cache N] [--estimate-cache N]
+      [--read-timeout-ms N] [--write-timeout-ms N]
       [--max-line-bytes N]
   xpe diff [--seed N] [--cases N] [--json FILE]
   xpe faults [--seed N] [--cases N] [--json FILE]
@@ -74,6 +82,17 @@ instead of materializing the document tree; the output is byte-identical
 and peak memory is bounded by depth x path count, not node count.
 --join-cache N caps the workload-level join cache at N memoized join
 results (estimate); 0 disables it. Caches never change estimates.
+--estimate-cache N caps the full-query estimate cache at N finished
+estimates (estimate, serve); 0 disables the skew-aware fast path. Only
+'ok' answers are ever cached, and a serve reload invalidates the cache
+atomically with the summary swap.
+workload prints a production-shaped query trace on stdout, one
+canonical query per line in arrival order: Zipf-skewed template
+popularity (--zipf, default 1.1; 0 = uniform) over the paper's §7
+workload classes mixed by --mix weights (default 0.5,0.3,0.2 for
+simple,branch,order), --templates popularity ranks per class, seeded
+and byte-reproducible. Pipe it through `xpe serve` to replay skewed
+production traffic.
 --kernel selects the path-join kernel (estimate): 'bitmap' (default,
 word-parallel pid bitmaps), 'indexed' (adjacency-row lists), or 'naive'
 (the paper's Figure-3 reference). All three print identical estimates.
@@ -234,6 +253,11 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         "join-cache",
         xpe::estimator::DEFAULT_JOIN_CACHE_CAPACITY,
     )?;
+    let estimate_cache = parse_flag(
+        &flags,
+        "estimate-cache",
+        xpe::estimator::DEFAULT_ESTIMATE_CACHE_CAPACITY,
+    )?;
     let deadline_ms: Option<u64> = match flag(&flags, "deadline-ms") {
         Some(v) => Some(v.parse().map_err(|_| "bad value for --deadline-ms")?),
         None => None,
@@ -251,6 +275,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let engine = EstimationEngine::new(&summary)
         .with_threads(jobs)
         .with_join_cache_capacity(join_cache)
+        .with_estimate_cache_capacity(estimate_cache)
         .with_kernel(kernel)
         .with_budget(xpe::estimator::Budget {
             deadline: deadline_ms.map(std::time::Duration::from_millis),
@@ -271,6 +296,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         for (q, v) in queries.iter().zip(engine.estimate_batch(&batch)) {
             println!("{v:.2}\t{q}");
         }
+        print_cache_tally(&engine.kernel_stats());
         return Ok(());
     }
     // Resilient path: each line still leads with the numeric estimate;
@@ -295,7 +321,25 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     if tally.degraded > 0 || tally.rejected > 0 {
         eprintln!("outcomes: {tally}");
     }
+    print_cache_tally(&stats);
     Ok(())
+}
+
+/// Cache effectiveness lands on stderr next to the outcome tally, so
+/// stdout stays a pure estimate stream for scripts.
+fn print_cache_tally(stats: &xpe::estimator::KernelStats) {
+    eprintln!(
+        "caches: estimate {} hit / {} miss ({:.1}% hit rate, {} inserted, \
+         {} invalidated), join {} hit / {} miss ({:.1}% hit rate)",
+        stats.estimate_cache_hits,
+        stats.estimate_cache_misses,
+        stats.estimate_cache_hit_rate * 100.0,
+        stats.estimate_cache_inserts,
+        stats.estimate_cache_invalidations,
+        stats.join_cache_hits,
+        stats.join_cache_misses,
+        stats.join_cache_hit_rate * 100.0,
+    );
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -340,6 +384,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             &flags,
             "join-cache",
             xpe::estimator::DEFAULT_JOIN_CACHE_CAPACITY,
+        )?,
+        estimate_cache_capacity: parse_flag(
+            &flags,
+            "estimate-cache",
+            xpe::estimator::DEFAULT_ESTIMATE_CACHE_CAPACITY,
         )?,
         ..defaults
     };
@@ -402,6 +451,86 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let doc = spec.generate();
     std::fs::write(out, xpe::xml::to_string(&doc)).map_err(|e| format!("writing {out}: {e}"))?;
     println!("{} elements written to {out}", doc.len());
+    Ok(())
+}
+
+fn cmd_workload(args: &[String]) -> Result<(), String> {
+    let (flags, pos) = split_flags(args)?;
+    let [name] = pos.as_slice() else {
+        return Err("workload takes one dataset name".into());
+    };
+    let dataset = match name.as_str() {
+        "ssplays" => Dataset::SSPlays,
+        "dblp" => Dataset::Dblp,
+        "xmark" => Dataset::XMark,
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let seed = parse_seed(&flags, "seed", 42)?;
+    let mix = match flag(&flags, "mix") {
+        None => (0.5, 0.3, 0.2),
+        Some(v) => {
+            let parts: Vec<f64> = v
+                .split(',')
+                .map(|p| p.trim().parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| "bad value for --mix (want SIMPLE,BRANCH,ORDER)")?;
+            let [s, b, o] = parts.as_slice() else {
+                return Err("bad value for --mix (want three comma-separated weights)".into());
+            };
+            (*s, *b, *o)
+        }
+    };
+    let spec = DatasetSpec {
+        dataset,
+        scale: parse_flag(&flags, "scale", 0.01)?,
+        seed,
+    };
+    let doc = spec.generate();
+    let labeling = Labeling::compute(&doc);
+    let attempts = parse_flag(&flags, "attempts", 1000usize)?;
+    let workload = xpe::datagen::generate_workload(
+        &doc,
+        &labeling.encoding,
+        &xpe::datagen::WorkloadConfig {
+            seed,
+            simple_attempts: attempts,
+            branch_attempts: attempts,
+            ..xpe::datagen::WorkloadConfig::default()
+        },
+    );
+    let config = xpe::datagen::TrafficConfig {
+        seed,
+        zipf_s: parse_flag(&flags, "zipf", 1.1)?,
+        templates_per_class: parse_flag(&flags, "templates", 64usize)?,
+        requests: parse_flag(&flags, "requests", 4096usize)?,
+        mix,
+        ..xpe::datagen::TrafficConfig::default()
+    };
+    let trace = xpe::datagen::generate_traffic(&workload, &config);
+    // One canonical query per line in arrival order on stdout; the
+    // shape summary goes to stderr so the trace pipes cleanly into a
+    // replay client (or straight into `xpe serve`).
+    let mut out = String::new();
+    for text in trace.texts() {
+        out.push_str(text);
+        out.push('\n');
+    }
+    use std::io::Write as _;
+    std::io::stdout()
+        .write_all(out.as_bytes())
+        .map_err(|e| format!("writing trace: {e}"))?;
+    let counts = trace.class_counts();
+    eprintln!(
+        "workload: {} requests over {} templates \
+         (simple {} / branch {} / order {}), zipf {}, seed {:#x}",
+        trace.requests.len(),
+        trace.templates.len(),
+        counts[0],
+        counts[1],
+        counts[2],
+        config.zipf_s,
+        seed,
+    );
     Ok(())
 }
 

@@ -20,6 +20,7 @@ use xpe_pathid::{JoinIndexCache, RelationMaskCache};
 use xpe_synopsis::Summary;
 use xpe_xpath::{Query, QueryParseError};
 
+use crate::estcache::EstimateCache;
 use crate::estimator::Estimator;
 use crate::invariant::finalize_estimate;
 use crate::join::JoinKernel;
@@ -34,6 +35,13 @@ use crate::serve::{Budget, DegradedReason, EstimateOutcome, EstimateStatus, Quer
 /// evicted reuse — while still bounding memory on adversarial ones.
 pub const DEFAULT_JOIN_CACHE_CAPACITY: usize = 4096;
 
+/// Default number of finished estimates the engine's full-query cache
+/// retains. Estimates are keyed by the complete canonical query, not the
+/// skeleton, so the distinct-key population is larger than the join
+/// cache's; each entry is only a string key and an `f64`, so holding the
+/// whole working set of a skewed production workload is cheap.
+pub const DEFAULT_ESTIMATE_CACHE_CAPACITY: usize = 16384;
+
 /// Kernel counters of one engine's lifetime, for benchmark reports.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct KernelStats {
@@ -43,6 +51,20 @@ pub struct KernelStats {
     pub join_cache_misses: u64,
     /// `hits / (hits + misses)`, or 0 before any lookup.
     pub join_cache_hit_rate: f64,
+    /// Full-query estimate-cache lookups served from a published value —
+    /// the skew-aware fast path that skips the join machinery entirely.
+    pub estimate_cache_hits: u64,
+    /// Full-query estimate-cache lookups that ran the estimate.
+    pub estimate_cache_misses: u64,
+    /// `hits / (hits + misses)` of the estimate cache, or 0 before any
+    /// lookup.
+    pub estimate_cache_hit_rate: f64,
+    /// Finished `Ok` estimates published to the estimate cache (degraded,
+    /// rejected, and budget-truncated answers are never published).
+    pub estimate_cache_inserts: u64,
+    /// Estimate-cache entries dropped by segment rotation — its only
+    /// eviction path.
+    pub estimate_cache_invalidations: u64,
     /// Containment adjacencies built (distinct `(tag, tag, axis)` triples).
     pub adjacency_builds: u64,
     /// Total wall-clock milliseconds spent building adjacencies.
@@ -98,6 +120,7 @@ pub struct EstimationEngine<'s> {
     masks: Arc<RelationMaskCache>,
     adjacency: Arc<JoinIndexCache>,
     join_cache: Option<Arc<JoinCache>>,
+    est_cache: Option<Arc<EstimateCache>>,
     threads: usize,
     kernel: JoinKernel,
     local: Estimator<'s>,
@@ -110,22 +133,36 @@ impl<'s> EstimationEngine<'s> {
     /// Creates an engine with one worker per available core and the
     /// default join-cache capacity.
     pub fn new(summary: &'s Summary) -> Self {
-        Self::with_parts(summary, 0, DEFAULT_JOIN_CACHE_CAPACITY)
+        Self::with_parts(
+            summary,
+            0,
+            DEFAULT_JOIN_CACHE_CAPACITY,
+            DEFAULT_ESTIMATE_CACHE_CAPACITY,
+        )
     }
 
-    fn with_parts(summary: &'s Summary, threads: usize, join_cache_capacity: usize) -> Self {
+    fn with_parts(
+        summary: &'s Summary,
+        threads: usize,
+        join_cache_capacity: usize,
+        estimate_cache_capacity: usize,
+    ) -> Self {
         let masks = Arc::new(RelationMaskCache::new());
         let adjacency = Arc::new(JoinIndexCache::new());
         let join_cache = (join_cache_capacity > 0)
             .then(|| Arc::new(JoinCache::with_capacity(join_cache_capacity)));
+        let est_cache = (estimate_cache_capacity > 0)
+            .then(|| Arc::new(EstimateCache::with_capacity(estimate_cache_capacity)));
         EstimationEngine {
             summary,
             masks: Arc::clone(&masks),
             adjacency: Arc::clone(&adjacency),
             join_cache: join_cache.clone(),
+            est_cache: est_cache.clone(),
             threads,
             kernel: JoinKernel::default(),
-            local: Estimator::with_caches(summary, masks, adjacency, join_cache),
+            local: Estimator::with_caches(summary, masks, adjacency, join_cache)
+                .with_estimate_cache(est_cache),
             limits: QueryLimits::unlimited(),
             budget: Budget::unlimited(),
             outcomes: OutcomeCounters::default(),
@@ -143,7 +180,21 @@ impl<'s> EstimationEngine<'s> {
     /// Sets how many join results the workload-level join cache retains;
     /// `0` disables join caching entirely.
     pub fn with_join_cache_capacity(self, capacity: usize) -> Self {
-        let mut rebuilt = Self::with_parts(self.summary, self.threads, capacity);
+        let est = self.est_cache.as_ref().map_or(0, |c| c.capacity());
+        self.rebuild_with_caches(capacity, est)
+    }
+
+    /// Sets how many finished estimates the full-query estimate cache
+    /// retains; `0` disables the skew-aware fast path entirely (every
+    /// arrival runs the join machinery, as before this cache existed).
+    pub fn with_estimate_cache_capacity(self, capacity: usize) -> Self {
+        let join = self.join_cache.as_ref().map_or(0, |c| c.capacity());
+        self.rebuild_with_caches(join, capacity)
+    }
+
+    fn rebuild_with_caches(self, join_capacity: usize, estimate_capacity: usize) -> Self {
+        let mut rebuilt =
+            Self::with_parts(self.summary, self.threads, join_capacity, estimate_capacity);
         rebuilt.limits = self.limits;
         rebuilt.budget = self.budget;
         // The outcome tallies are lifetime counters of *this* engine, not
@@ -218,6 +269,11 @@ impl<'s> EstimationEngine<'s> {
         self.join_cache.as_ref()
     }
 
+    /// The full-query estimate cache, if enabled.
+    pub fn estimate_cache(&self) -> Option<&Arc<EstimateCache>> {
+        self.est_cache.as_ref()
+    }
+
     /// Kernel counters accumulated over this engine's lifetime.
     ///
     /// Flushes the resident estimator's private join-cache tallies first
@@ -226,15 +282,32 @@ impl<'s> EstimationEngine<'s> {
     /// retire. Reads only atomics and never takes a shared lock itself,
     /// so `lock_acquisitions` deltas measure the estimates in between.
     pub fn kernel_stats(&self) -> KernelStats {
-        self.local.flush_join_cache();
+        self.local.flush_caches();
         let (hits, misses, rate, join_locks) = match &self.join_cache {
             Some(c) => (c.hits(), c.misses(), c.hit_rate(), c.lock_count()),
             None => (0, 0, 0.0, 0),
         };
+        let (est_hits, est_misses, est_rate, est_inserts, est_invalidations, est_locks) =
+            match &self.est_cache {
+                Some(c) => (
+                    c.hits(),
+                    c.misses(),
+                    c.hit_rate(),
+                    c.inserts(),
+                    c.invalidations(),
+                    c.lock_count(),
+                ),
+                None => (0, 0, 0.0, 0, 0, 0),
+            };
         KernelStats {
             join_cache_hits: hits,
             join_cache_misses: misses,
             join_cache_hit_rate: rate,
+            estimate_cache_hits: est_hits,
+            estimate_cache_misses: est_misses,
+            estimate_cache_hit_rate: est_rate,
+            estimate_cache_inserts: est_inserts,
+            estimate_cache_invalidations: est_invalidations,
             adjacency_builds: self.adjacency.builds(),
             adjacency_build_ms: self.adjacency.build_ms(),
             adjacency_pairs: self.adjacency.pair_total(),
@@ -242,7 +315,10 @@ impl<'s> EstimationEngine<'s> {
             outcomes_degraded: self.outcomes.degraded.load(Ordering::Relaxed),
             outcomes_rejected: self.outcomes.rejected.load(Ordering::Relaxed),
             worker_panics: self.outcomes.panics.load(Ordering::Relaxed),
-            lock_acquisitions: self.masks.lock_count() + self.adjacency.lock_count() + join_locks,
+            lock_acquisitions: self.masks.lock_count()
+                + self.adjacency.lock_count()
+                + join_locks
+                + est_locks,
         }
     }
 
@@ -255,6 +331,7 @@ impl<'s> EstimationEngine<'s> {
             Arc::clone(&self.adjacency),
             self.join_cache.clone(),
         )
+        .with_estimate_cache(self.est_cache.clone())
         .with_kernel(self.kernel)
     }
 
@@ -283,6 +360,7 @@ impl<'s> EstimationEngine<'s> {
         let masks = &self.masks;
         let adjacency = &self.adjacency;
         let join_cache = &self.join_cache;
+        let est_cache = &self.est_cache;
         let kernel = self.kernel;
         xpe_par::par_map_init_flushed(
             self.threads,
@@ -295,10 +373,11 @@ impl<'s> EstimationEngine<'s> {
                     Arc::clone(adjacency),
                     join_cache.clone(),
                 )
+                .with_estimate_cache(est_cache.clone())
                 .with_kernel(kernel)
             },
             |est, i| est.estimate(&queries[i]),
-            |est| est.flush_join_cache(),
+            |est| est.flush_caches(),
         )
     }
 
@@ -336,6 +415,7 @@ impl<'s> EstimationEngine<'s> {
         let masks = &self.masks;
         let adjacency = &self.adjacency;
         let join_cache = &self.join_cache;
+        let est_cache = &self.est_cache;
         let kernel = self.kernel;
         let results = xpe_par::par_map_init_chunked_isolated(
             self.threads,
@@ -348,6 +428,7 @@ impl<'s> EstimationEngine<'s> {
                     Arc::clone(adjacency),
                     join_cache.clone(),
                 )
+                .with_estimate_cache(est_cache.clone())
                 .with_kernel(kernel)
             },
             |est, i| f(est, &queries[i]),
@@ -574,10 +655,52 @@ mod tests {
                 kernel.name()
             );
             assert!(
+                after.estimate_cache_hits > before.estimate_cache_hits,
+                "{}: the warm pass was served by the full-query cache",
+                kernel.name()
+            );
+            assert_eq!(
+                after.estimate_cache_misses,
+                before.estimate_cache_misses,
+                "{}: nothing in the warm pass missed",
+                kernel.name()
+            );
+        }
+    }
+
+    /// The zero-lock warm-path contract holds one layer down as well:
+    /// with the full-query cache disabled, warm traffic is served by the
+    /// join cache through the worker-private front without locking.
+    #[test]
+    fn warm_estimates_without_the_estimate_cache_still_take_zero_locks() {
+        let s = summary();
+        for kernel in [JoinKernel::Indexed, JoinKernel::Bitmap] {
+            let engine = EstimationEngine::new(&s)
+                .with_kernel(kernel)
+                .with_estimate_cache_capacity(0);
+            assert!(engine.estimate_cache().is_none());
+            let queries: Vec<Query> = QUERIES.iter().map(|q| parse_query(q).unwrap()).collect();
+            for q in &queries {
+                engine.estimate(q);
+            }
+            let before = engine.kernel_stats();
+            for q in &queries {
+                engine.estimate(q);
+            }
+            let after = engine.kernel_stats();
+            assert_eq!(
+                after.lock_acquisitions,
+                before.lock_acquisitions,
+                "{}: warm estimates must not take any shared-cache lock",
+                kernel.name()
+            );
+            assert!(
                 after.join_cache_hits > before.join_cache_hits,
                 "{}: the warm pass was served by the join cache",
                 kernel.name()
             );
+            assert_eq!(after.estimate_cache_hits, 0);
+            assert_eq!(after.estimate_cache_misses, 0);
         }
     }
 
@@ -760,9 +883,13 @@ mod tests {
     #[test]
     fn cached_rerun_is_bitwise_stable() {
         // A warm join cache serves results computed in the first run; the
-        // second run must still be bit-identical to the first.
+        // second run must still be bit-identical to the first. The
+        // full-query cache is disabled so the rerun actually exercises
+        // the join layer instead of being served above it.
         let s = summary();
-        let engine = EstimationEngine::new(&s).with_threads(2);
+        let engine = EstimationEngine::new(&s)
+            .with_threads(2)
+            .with_estimate_cache_capacity(0);
         let queries: Vec<Query> = QUERIES.iter().map(|q| parse_query(q).unwrap()).collect();
         let first = engine.estimate_batch(&queries);
         let second = engine.estimate_batch(&queries);
@@ -771,5 +898,61 @@ mod tests {
             second.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
         );
         assert!(engine.kernel_stats().join_cache_hits > 0);
+    }
+
+    #[test]
+    fn estimate_cache_serves_bit_identical_values() {
+        // Cached reruns across every entry point agree bitwise with an
+        // engine that has the full-query cache disabled.
+        let s = summary();
+        let queries: Vec<Query> = QUERIES
+            .iter()
+            .cycle()
+            .take(32)
+            .map(|q| parse_query(q).unwrap())
+            .collect();
+        for threads in [1, 2] {
+            let cached = EstimationEngine::new(&s).with_threads(threads);
+            let uncached = EstimationEngine::new(&s)
+                .with_threads(threads)
+                .with_estimate_cache_capacity(0);
+            let cold = cached.estimate_batch(&queries);
+            let warm = cached.estimate_batch(&queries);
+            let plain = uncached.estimate_batch(&queries);
+            assert_eq!(
+                cold.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}: cold cached pass"
+            );
+            assert_eq!(
+                warm.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}: warm cached pass"
+            );
+            let stats = cached.kernel_stats();
+            assert!(stats.estimate_cache_hits > 0, "{stats:?}");
+            assert!(stats.estimate_cache_inserts > 0, "{stats:?}");
+            assert!(stats.estimate_cache_hit_rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn rebuilding_estimate_cache_carries_outcome_counters_and_policy() {
+        let s = summary();
+        let engine = EstimationEngine::new(&s)
+            .with_kernel(JoinKernel::Indexed)
+            .with_limits(crate::QueryLimits {
+                max_nodes: Some(8),
+                ..crate::QueryLimits::unlimited()
+            });
+        let q = parse_query("//A//C").unwrap();
+        engine.try_estimate(&q);
+        let rebuilt = engine.with_estimate_cache_capacity(64);
+        assert_eq!(rebuilt.kernel_stats().outcomes_ok, 1);
+        assert_eq!(rebuilt.kernel(), JoinKernel::Indexed);
+        assert_eq!(rebuilt.limits().max_nodes, Some(8));
+        assert_eq!(rebuilt.estimate_cache().unwrap().capacity(), 64);
+        // The join cache survives the rebuild at its previous capacity.
+        assert!(rebuilt.join_cache().is_some());
     }
 }

@@ -29,6 +29,7 @@ use xpe_xpath::{
 };
 
 use crate::editor::{self, subtree_of};
+use crate::estcache::{estimate_key, EstimateCache, EstimateCacheReader};
 use crate::invariant::{finalize_estimate, safe_div};
 use crate::join::{
     path_join, path_join_bitmap_planned, path_join_planned, JoinKernel, JoinMemo, JoinPhaseStats,
@@ -63,6 +64,10 @@ pub struct Estimator<'s> {
     /// [`flush_join_cache`](Self::flush_join_cache) (the batch engine
     /// calls it at chunk boundaries) and on drop.
     join_cache: Option<RefCell<WorkerJoinCache>>,
+    /// Worker-private front for the shared full-query
+    /// [`EstimateCache`]: warm hits probe this reader's held snapshot
+    /// lock-free, above all join machinery (see `estcache`).
+    est_cache: Option<RefCell<EstimateCacheReader>>,
     scratch: RefCell<JoinScratch>,
     /// Flat per-estimator mirror of the shared adjacency/seed caches —
     /// valid for this estimator's `(summary, adjacency)` pairing, which
@@ -135,11 +140,28 @@ impl<'s> Estimator<'s> {
             masks,
             adjacency,
             join_cache: join_cache.map(|c| RefCell::new(WorkerJoinCache::new(c))),
+            est_cache: None,
             scratch: RefCell::new(JoinScratch::new()),
             memo: RefCell::new(JoinMemo::new()),
             kernel: JoinKernel::default(),
             budget: RefCell::new(None),
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a shared full-query
+    /// [`EstimateCache`]. A finished `Ok` estimate is published under
+    /// the query's canonical text; a later arrival of the same canonical
+    /// query — through this estimator or any other sharing the cache —
+    /// is served from the snapshot without touching the join machinery.
+    /// Estimates are pure functions of `(summary, canonical query)`, so
+    /// the cache changes nothing observable except speed; a cache built
+    /// with capacity 0 is dropped here and disables the fast path
+    /// entirely.
+    pub fn with_estimate_cache(mut self, cache: Option<Arc<EstimateCache>>) -> Self {
+        self.est_cache = cache
+            .filter(|c| c.capacity() > 0)
+            .map(|c| RefCell::new(EstimateCacheReader::new(c)));
+        self
     }
 
     /// Selects the join kernel (default: [`JoinKernel::Bitmap`]). Every
@@ -233,6 +255,18 @@ impl<'s> Estimator<'s> {
         }
     }
 
+    /// Flushes every shared-cache front this estimator holds: the
+    /// join-cache merge of [`flush_join_cache`](Self::flush_join_cache)
+    /// plus the estimate-cache hit/miss tallies (entries themselves are
+    /// epoch-published immediately; only the counters are batched). Also
+    /// runs on drop.
+    pub fn flush_caches(&self) {
+        self.flush_join_cache();
+        if let Some(front) = &self.est_cache {
+            front.borrow_mut().flush();
+        }
+    }
+
     /// Builds the prepared plan for `query`, lapping the build into the
     /// phase breakdown when join timing is on.
     fn build_plan(&self, query: &Query) -> QueryPlan {
@@ -295,6 +329,24 @@ impl<'s> Estimator<'s> {
     /// always finite, non-negative, and at most the target tag's total
     /// frequency in the summary.
     pub fn estimate(&self, query: &Query) -> f64 {
+        let Some(front) = &self.est_cache else {
+            return self.estimate_uncached(query);
+        };
+        let key = estimate_key(query);
+        if let Some(v) = front.borrow_mut().lookup(&key) {
+            return v;
+        }
+        // Compute outside the borrow: the formulas below never re-enter
+        // `estimate` (recursion goes through `estimate_depth`), but the
+        // discipline costs nothing and keeps the RefCell panic-safe.
+        let v = self.estimate_uncached(query);
+        front.borrow_mut().publish(key, v);
+        v
+    }
+
+    /// [`estimate`](Self::estimate) without the full-query cache wrap —
+    /// always runs the join machinery.
+    fn estimate_uncached(&self, query: &Query) -> f64 {
         let raw = self.estimate_depth(query, 0);
         let cap = self.summary.tag_total(&query.node(query.target()).tag);
         finalize_estimate(raw, cap)
@@ -336,10 +388,27 @@ impl<'s> Estimator<'s> {
             };
         }
         if !budget.is_bounded() {
+            // `estimate` carries the full-query cache wrap itself.
             return EstimateOutcome {
                 value: self.estimate(query),
                 status: EstimateStatus::Ok,
             };
+        }
+        // Admission ran above, so a cached hit cannot resurrect a query
+        // the limits would reject. A hit costs no budget at all — the
+        // stored value is a finished, untruncated `Ok` by construction
+        // (degraded answers are never published).
+        let key = self.est_cache.as_ref().map(|front| {
+            let key = estimate_key(query);
+            (front, key)
+        });
+        if let Some((front, key)) = &key {
+            if let Some(v) = front.borrow_mut().lookup(key) {
+                return EstimateOutcome {
+                    value: v,
+                    status: EstimateStatus::Ok,
+                };
+            }
         }
         *self.budget.borrow_mut() = Some(BudgetState::start(budget));
         let raw = self.estimate_depth(query, 0);
@@ -349,10 +418,19 @@ impl<'s> Estimator<'s> {
             .take()
             .expect("budget installed above");
         match state.exhausted() {
-            None => EstimateOutcome {
-                value: finalize_estimate(raw, cap),
-                status: EstimateStatus::Ok,
-            },
+            None => {
+                let value = finalize_estimate(raw, cap);
+                // Only a finished, untruncated estimate is published —
+                // it is bit-identical to `estimate` by the `Ok`
+                // contract, so cached and uncached paths agree exactly.
+                if let Some((front, key)) = key {
+                    front.borrow_mut().publish(key, value);
+                }
+                EstimateOutcome {
+                    value,
+                    status: EstimateStatus::Ok,
+                }
+            }
             Some(BudgetExhausted::Deadline) => EstimateOutcome {
                 value: bound,
                 status: EstimateStatus::Degraded {

@@ -103,7 +103,7 @@ pub fn skeleton_key(query: &Query) -> SkeletonKey {
 /// [`SkeletonKey::hash`] writes its stored `u64` and this hasher returns
 /// it unchanged, so map probes pay zero re-hashing.
 #[derive(Default)]
-struct PrehashedHasher(u64);
+pub(crate) struct PrehashedHasher(u64);
 
 impl Hasher for PrehashedHasher {
     fn finish(&self) -> u64 {

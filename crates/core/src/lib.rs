@@ -38,6 +38,7 @@
 
 mod editor;
 mod engine;
+mod estcache;
 mod estimator;
 mod invariant;
 mod join;
@@ -50,7 +51,12 @@ pub mod server;
 pub use editor::{
     drop_subtrees, rebuild, spine_query, subtree_of, trim_below, without_constraints, Rebuilt,
 };
-pub use engine::{EstimationEngine, KernelStats, DEFAULT_JOIN_CACHE_CAPACITY};
+pub use engine::{
+    EstimationEngine, KernelStats, DEFAULT_ESTIMATE_CACHE_CAPACITY, DEFAULT_JOIN_CACHE_CAPACITY,
+};
+pub use estcache::{
+    estimate_key, EstimateCache, EstimateCacheReader, EstimateKey, EstimateSnapshot,
+};
 pub use estimator::Estimator;
 pub use invariant::{finalize_estimate, safe_div};
 pub use join::{

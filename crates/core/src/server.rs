@@ -63,8 +63,9 @@ use xpe_xpath::{parse_query, Query};
 
 use crate::serve::OutcomeTally;
 use crate::{
-    finalize_estimate, Budget, DegradedReason, EstimateOutcome, EstimateStatus, Estimator,
-    JoinCache, JoinKernel, QueryLimits, DEFAULT_JOIN_CACHE_CAPACITY,
+    finalize_estimate, Budget, DegradedReason, EstimateCache, EstimateOutcome, EstimateStatus,
+    Estimator, JoinCache, JoinKernel, QueryLimits, DEFAULT_ESTIMATE_CACHE_CAPACITY,
+    DEFAULT_JOIN_CACHE_CAPACITY,
 };
 
 // ---------------------------------------------------------------------------
@@ -600,6 +601,12 @@ pub struct ServerConfig {
     pub kernel: JoinKernel,
     /// Shared join-cache capacity per generation.
     pub join_cache_capacity: usize,
+    /// Full-query estimate-cache capacity per generation (0 disables the
+    /// skew-aware fast path). Each `reload` builds its generation a
+    /// fresh cache, so a summary swap invalidates every published
+    /// estimate atomically — in-flight jobs finish against the old
+    /// generation's cache, and no stale value crosses the epoch bump.
+    pub estimate_cache_capacity: usize,
     /// Chaos hook: a worker panics when an estimate's *target tag*
     /// equals this, exercising the panic-isolation path end-to-end. The
     /// integration tests and the serve bench's hostile mix use it; never
@@ -619,6 +626,7 @@ impl Default for ServerConfig {
             budget: Budget::unlimited(),
             kernel: JoinKernel::default(),
             join_cache_capacity: DEFAULT_JOIN_CACHE_CAPACITY,
+            estimate_cache_capacity: DEFAULT_ESTIMATE_CACHE_CAPACITY,
             poison_tag: None,
         }
     }
@@ -636,6 +644,11 @@ struct Generation {
     masks: Arc<RelationMaskCache>,
     adjacency: Arc<JoinIndexCache>,
     join_cache: Arc<JoinCache>,
+    /// Full-query estimate cache of this generation. Owned by the
+    /// generation so reload's swap invalidates it atomically: workers on
+    /// the new generation start from a cold cache built over the new
+    /// summary, while in-flight jobs keep hitting the old one.
+    estimate_cache: Arc<EstimateCache>,
     kernel: JoinKernel,
 }
 
@@ -645,6 +658,7 @@ impl Generation {
         epoch: u64,
         kernel: JoinKernel,
         join_cache_capacity: usize,
+        estimate_cache_capacity: usize,
     ) -> Self {
         Generation {
             epoch,
@@ -652,6 +666,7 @@ impl Generation {
             masks: Arc::new(RelationMaskCache::new()),
             adjacency: Arc::new(JoinIndexCache::new()),
             join_cache: Arc::new(JoinCache::with_capacity(join_cache_capacity)),
+            estimate_cache: Arc::new(EstimateCache::with_capacity(estimate_cache_capacity)),
             kernel,
         }
     }
@@ -665,6 +680,7 @@ impl Generation {
             Arc::clone(&self.adjacency),
             Some(Arc::clone(&self.join_cache)),
         )
+        .with_estimate_cache(Some(Arc::clone(&self.estimate_cache)))
         .with_kernel(self.kernel)
     }
 }
@@ -833,6 +849,30 @@ fn stats_response(state: &SharedState, connection: &OutcomeTally) -> String {
     state.counters.snapshot().write_json(&mut out);
     out.push_str(",\"connection\":");
     connection.write_json(&mut out);
+    // Cache counters of the *current* generation — a reload swaps in
+    // fresh (cold) caches, so these reset at each epoch bump. Workers
+    // fold their tally-local hit/miss counts into these shared atomics
+    // after every job, so the rates trail in-flight requests by at most
+    // one job per worker.
+    let generation = state.generation();
+    let est = &generation.estimate_cache;
+    let join = &generation.join_cache;
+    out.push_str(&format!(
+        ",\"caches\":{{\"estimate\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\
+         \"inserts\":{},\"invalidations\":{},\"len\":{},\"capacity\":{}}},\
+         \"join\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\"capacity\":{}}}}}",
+        est.hits(),
+        est.misses(),
+        est.hit_rate(),
+        est.inserts(),
+        est.invalidations(),
+        est.len(),
+        est.capacity(),
+        join.hits(),
+        join.misses(),
+        join.hit_rate(),
+        join.capacity(),
+    ));
     out.push('}');
     out
 }
@@ -872,12 +912,12 @@ fn worker_loop(state: &SharedState) {
                 Some(job) => job,
                 None => {
                     // Closed and drained: flush warm entries and exit.
-                    estimator.flush_join_cache();
+                    estimator.flush_caches();
                     return;
                 }
             };
             if state.epoch() != generation.epoch {
-                estimator.flush_join_cache();
+                estimator.flush_caches();
                 carried = Some(job);
                 continue 'generation;
             }
@@ -892,6 +932,12 @@ fn worker_loop(state: &SharedState) {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 estimator.try_estimate(&job.query, &state.limits, &state.budget)
             }));
+            // Fold this worker's local cache tallies into the shared
+            // counters after every job so the `stats` verb reads live
+            // hit rates, not drain-time snapshots. A handful of relaxed
+            // atomic adds per request — noise next to the socket work —
+            // and the estimate hot path itself stays tally-local.
+            estimator.flush_caches();
             match outcome {
                 Ok(outcome) => {
                     state.counters.record_status(&outcome.status);
@@ -1041,6 +1087,7 @@ fn handle_reload(state: &SharedState, path_override: Option<String>) -> String {
         epoch,
         state.config.kernel,
         state.config.join_cache_capacity,
+        state.config.estimate_cache_capacity,
     );
     let (paths, pids, tags) = (
         generation.summary.encoding.len(),
@@ -1172,7 +1219,13 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let generation = Generation::new(summary, 1, config.kernel, config.join_cache_capacity);
+        let generation = Generation::new(
+            summary,
+            1,
+            config.kernel,
+            config.join_cache_capacity,
+            config.estimate_cache_capacity,
+        );
         let state = Arc::new(SharedState {
             generation: Mutex::new(Arc::new(generation)),
             epoch: AtomicU64::new(1),

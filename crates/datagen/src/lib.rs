@@ -32,10 +32,14 @@
 pub mod dblp;
 mod random;
 pub mod ssplays;
+mod traffic;
 mod workload;
 pub mod xmark;
 
 pub use random::{random_document, RandomDocConfig};
+pub use traffic::{
+    generate_traffic, BurstConfig, MixClass, Template, TrafficConfig, TrafficRequest, TrafficTrace,
+};
 pub use workload::{generate_workload, QueryCase, TargetPlacement, Workload, WorkloadConfig};
 
 use xpe_xml::Document;

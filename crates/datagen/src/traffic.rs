@@ -1,0 +1,453 @@
+//! Production-shaped estimation traffic over a §7 workload.
+//!
+//! The [`workload`](crate::workload) module generates the paper's query
+//! population: per-class lists of positive queries with exact
+//! selectivities. Production traffic does not sample that population
+//! uniformly — a handful of hot templates dominate arrivals, and
+//! requests come in bursts, not a smooth stream. This module turns a
+//! [`Workload`] into such a trace:
+//!
+//! * **Zipf-skewed template popularity** — template at popularity rank
+//!   `r` (0-based) is drawn with weight `1 / (r + 1)^s`. The exponent
+//!   `s ≈ 1.1` matches commonly reported production skew; `s = 0`
+//!   degenerates to the uniform mix benchmarks use as the cold
+//!   baseline.
+//! * **Parameterized class mix** — relative arrival weights for the
+//!   simple / branch / order query classes.
+//! * **Burst arrival schedule** — geometric burst sizes separated by
+//!   exponential gaps, yielding monotone `arrival_us` offsets an
+//!   open-loop replayer can honor (closed-loop replayers just ignore
+//!   them).
+//!
+//! Everything is drawn from one seeded [`StdRng`] in a single
+//! sequential pass, so a `(workload, config)` pair maps to exactly one
+//! trace — byte-identical across runs and machines regardless of how
+//! many threads evaluated the workload (the generator never threads).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::{QueryCase, Workload};
+
+/// Which workload class a template (and every request drawn from it)
+/// belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MixClass {
+    /// Linear-path queries.
+    Simple,
+    /// Branching queries without order constraints.
+    Branch,
+    /// Order-constrained queries (both target placements).
+    Order,
+}
+
+impl MixClass {
+    /// All classes, in mix-weight order.
+    pub const ALL: [MixClass; 3] = [MixClass::Simple, MixClass::Branch, MixClass::Order];
+
+    /// Stable lowercase name for reports and JSON rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MixClass::Simple => "simple",
+            MixClass::Branch => "branch",
+            MixClass::Order => "order",
+        }
+    }
+}
+
+/// Burst arrival shape: geometric burst sizes, exponential inter-burst
+/// gaps. `mean_burst = 1` with any gap degenerates to smooth Poisson-ish
+/// arrivals.
+#[derive(Clone, Debug)]
+pub struct BurstConfig {
+    /// Mean requests per burst (≥ 1; geometric sizes). Requests within a
+    /// burst share one arrival instant.
+    pub mean_burst: f64,
+    /// Mean microseconds between bursts (exponential).
+    pub mean_gap_us: f64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig {
+            mean_burst: 8.0,
+            mean_gap_us: 500.0,
+        }
+    }
+}
+
+/// Tunables for [`generate_traffic`].
+#[derive(Clone, Debug)]
+pub struct TrafficConfig {
+    /// RNG seed; one seed maps to exactly one trace.
+    pub seed: u64,
+    /// Zipf skew exponent `s` over template popularity ranks (0 =
+    /// uniform).
+    pub zipf_s: f64,
+    /// Popularity ranks drawn per class (clamped to what the workload
+    /// holds).
+    pub templates_per_class: usize,
+    /// Trace length in requests.
+    pub requests: usize,
+    /// Relative arrival weights of (simple, branch, order). A zero
+    /// weight — or an empty workload class — removes the class.
+    pub mix: (f64, f64, f64),
+    /// Arrival schedule shape.
+    pub burst: BurstConfig,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 42,
+            zipf_s: 1.1,
+            templates_per_class: 64,
+            requests: 4096,
+            mix: (0.5, 0.3, 0.2),
+            burst: BurstConfig::default(),
+        }
+    }
+}
+
+/// One popularity-ranked template of the trace.
+#[derive(Clone, Debug)]
+pub struct Template {
+    /// The underlying workload case (query, canonical text, exact
+    /// selectivity).
+    pub case: QueryCase,
+    /// Which class the template came from.
+    pub class: MixClass,
+    /// Popularity rank within its class (0 = hottest).
+    pub rank: usize,
+}
+
+/// One arrival: an index into [`TrafficTrace::templates`] plus its
+/// schedule offset.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficRequest {
+    /// Index into the trace's template table.
+    pub template: usize,
+    /// Microseconds since the trace epoch (monotone non-decreasing).
+    pub arrival_us: u64,
+}
+
+/// A generated trace: the template table plus the arrival-ordered
+/// request sequence.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficTrace {
+    /// Every template the trace draws from.
+    pub templates: Vec<Template>,
+    /// The arrivals, in schedule order.
+    pub requests: Vec<TrafficRequest>,
+}
+
+impl TrafficTrace {
+    /// The template behind a request.
+    pub fn template(&self, request: &TrafficRequest) -> &Template {
+        &self.templates[request.template]
+    }
+
+    /// Canonical query texts in arrival order — the byte sequence the
+    /// determinism contract pins, and what `xpe workload` prints.
+    pub fn texts(&self) -> impl Iterator<Item = &str> {
+        self.requests
+            .iter()
+            .map(|r| self.templates[r.template].case.text.as_str())
+    }
+
+    /// Requests per class, in [`MixClass::ALL`] order.
+    pub fn class_counts(&self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        for r in &self.requests {
+            let class = self.templates[r.template].class;
+            let slot = MixClass::ALL.iter().position(|c| *c == class).unwrap();
+            counts[slot] += 1;
+        }
+        counts
+    }
+}
+
+/// Per-class Zipf sampler: cumulative weights over popularity ranks,
+/// probed by binary search.
+struct ZipfTable {
+    /// Template-table indices, hottest first.
+    templates: Vec<usize>,
+    /// Cumulative weights, parallel to `templates`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    fn new(templates: Vec<usize>, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(templates.len());
+        let mut total = 0.0;
+        for rank in 0..templates.len() {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        ZipfTable { templates, cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cdf.last().expect("non-empty class");
+        let u = rng.gen::<f64>() * total;
+        let at = self.cdf.partition_point(|&c| c < u);
+        self.templates[at.min(self.templates.len() - 1)]
+    }
+}
+
+/// Generates a production-shaped trace over `workload` (see the module
+/// docs). Deterministic: one `(workload, config)` pair maps to exactly
+/// one trace.
+pub fn generate_traffic(workload: &Workload, config: &TrafficConfig) -> TrafficTrace {
+    let mut trace = TrafficTrace::default();
+
+    // Template table: up to `templates_per_class` per class, popularity
+    // rank = position in the workload's (seed-deterministic) order. The
+    // order class interleaves both target placements so hot order
+    // traffic exercises Eqs. 3–5 alike.
+    let mut class_tables: Vec<(f64, ZipfTable)> = Vec::new();
+    let order_cases: Vec<&QueryCase> = interleave(&workload.order_branch, &workload.order_trunk);
+    let classes: [(MixClass, Vec<&QueryCase>, f64); 3] = [
+        (
+            MixClass::Simple,
+            workload.simple.iter().collect(),
+            config.mix.0,
+        ),
+        (
+            MixClass::Branch,
+            workload.branch.iter().collect(),
+            config.mix.1,
+        ),
+        (MixClass::Order, order_cases, config.mix.2),
+    ];
+    for (class, cases, weight) in classes {
+        if weight <= 0.0 || cases.is_empty() {
+            continue;
+        }
+        let mut ids = Vec::new();
+        for (rank, case) in cases.iter().take(config.templates_per_class).enumerate() {
+            ids.push(trace.templates.len());
+            trace.templates.push(Template {
+                case: (*case).clone(),
+                class,
+                rank,
+            });
+        }
+        class_tables.push((weight, ZipfTable::new(ids, config.zipf_s)));
+    }
+    if class_tables.is_empty() || config.requests == 0 {
+        return trace;
+    }
+    let weight_total: f64 = class_tables.iter().map(|(w, _)| *w).sum();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut arrival_us = 0u64;
+    let mut burst_left = 0usize;
+    for _ in 0..config.requests {
+        if burst_left == 0 {
+            // Next burst: exponential gap, geometric size.
+            let gap = -config.burst.mean_gap_us.max(0.0) * (1.0 - rng.gen::<f64>()).ln();
+            arrival_us = arrival_us.saturating_add(gap as u64);
+            burst_left = geometric(&mut rng, config.burst.mean_burst);
+        }
+        burst_left -= 1;
+
+        let mut pick = rng.gen::<f64>() * weight_total;
+        let mut chosen = &class_tables[class_tables.len() - 1].1;
+        for (weight, table) in &class_tables {
+            if pick < *weight {
+                chosen = table;
+                break;
+            }
+            pick -= weight;
+        }
+        trace.requests.push(TrafficRequest {
+            template: chosen.sample(&mut rng),
+            arrival_us,
+        });
+    }
+    trace
+}
+
+/// Geometric burst size with mean `m` (clamped to ≥ 1).
+fn geometric(rng: &mut StdRng, m: f64) -> usize {
+    if m <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / m;
+    let u = 1.0 - rng.gen::<f64>();
+    1 + (u.ln() / (1.0 - p).ln()) as usize
+}
+
+fn interleave<'a>(a: &'a [QueryCase], b: &'a [QueryCase]) -> Vec<&'a QueryCase> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.iter();
+    let mut bi = b.iter();
+    loop {
+        match (ai.next(), bi.next()) {
+            (None, None) => return out,
+            (x, y) => {
+                out.extend(x);
+                out.extend(y);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_workload, WorkloadConfig};
+    use xpe_pathid::Labeling;
+
+    fn workload() -> Workload {
+        let doc = crate::ssplays::generate(0.05, 7);
+        let lab = Labeling::compute(&doc);
+        generate_workload(
+            &doc,
+            &lab.encoding,
+            &WorkloadConfig {
+                seed: 11,
+                simple_attempts: 400,
+                branch_attempts: 400,
+                ..WorkloadConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn same_seed_yields_a_byte_identical_trace() {
+        // The workload is generated twice — including its internally
+        // parallel exact-evaluation pass — and the traffic generator runs
+        // on each copy: the query text sequence and every arrival offset
+        // must match byte for byte, whatever thread count evaluated the
+        // workload.
+        let config = TrafficConfig {
+            requests: 512,
+            ..TrafficConfig::default()
+        };
+        let (w1, w2) = (workload(), workload());
+        let (t1, t2) = (
+            generate_traffic(&w1, &config),
+            generate_traffic(&w2, &config),
+        );
+        assert_eq!(
+            t1.texts().collect::<Vec<_>>(),
+            t2.texts().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            t1.requests.iter().map(|r| r.arrival_us).collect::<Vec<_>>(),
+            t2.requests.iter().map(|r| r.arrival_us).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let w = workload();
+        let base = TrafficConfig {
+            requests: 512,
+            ..TrafficConfig::default()
+        };
+        let other = TrafficConfig {
+            seed: 43,
+            ..base.clone()
+        };
+        let (t1, t2) = (generate_traffic(&w, &base), generate_traffic(&w, &other));
+        assert_ne!(
+            t1.texts().collect::<Vec<_>>(),
+            t2.texts().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zipf_skews_template_popularity() {
+        let w = workload();
+        let config = TrafficConfig {
+            requests: 4096,
+            zipf_s: 1.1,
+            ..TrafficConfig::default()
+        };
+        let trace = generate_traffic(&w, &config);
+        let mut counts = vec![0usize; trace.templates.len()];
+        for r in &trace.requests {
+            counts[r.template] += 1;
+        }
+        // The hottest rank of some class must far exceed the uniform
+        // share of its class population.
+        let hottest = *counts.iter().max().unwrap();
+        let uniform_share = trace.requests.len() / trace.templates.len();
+        assert!(
+            hottest > 3 * uniform_share,
+            "hottest template got {hottest} of {} requests across {} templates",
+            trace.requests.len(),
+            trace.templates.len()
+        );
+        // And a uniform trace (s = 0) is measurably flatter.
+        let flat = generate_traffic(
+            &w,
+            &TrafficConfig {
+                zipf_s: 0.0,
+                ..config
+            },
+        );
+        let mut flat_counts = vec![0usize; flat.templates.len()];
+        for r in &flat.requests {
+            flat_counts[r.template] += 1;
+        }
+        assert!(*flat_counts.iter().max().unwrap() < hottest);
+    }
+
+    #[test]
+    fn mix_weights_control_class_shares() {
+        let w = workload();
+        let trace = generate_traffic(
+            &w,
+            &TrafficConfig {
+                requests: 2048,
+                mix: (1.0, 0.0, 1.0),
+                ..TrafficConfig::default()
+            },
+        );
+        let [simple, branch, order] = trace.class_counts();
+        assert_eq!(branch, 0, "zero-weight class must not appear");
+        assert!(simple > 0);
+        assert!(order > 0);
+        // Equal weights land within a loose tolerance of each other.
+        let ratio = simple as f64 / order as f64;
+        assert!((0.6..1.7).contains(&ratio), "simple:order = {ratio}");
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_bursty() {
+        let w = workload();
+        let trace = generate_traffic(
+            &w,
+            &TrafficConfig {
+                requests: 1024,
+                ..TrafficConfig::default()
+            },
+        );
+        let mut shared_instant = 0usize;
+        for pair in trace.requests.windows(2) {
+            assert!(
+                pair[0].arrival_us <= pair[1].arrival_us,
+                "monotone schedule"
+            );
+            if pair[0].arrival_us == pair[1].arrival_us {
+                shared_instant += 1;
+            }
+        }
+        assert!(shared_instant > 0, "bursts share arrival instants");
+    }
+
+    #[test]
+    fn canonical_text_matches_the_query_rendering() {
+        // The trace's `text` is the cache-key normalizer downstream: it
+        // must be exactly the canonical Display rendering of the query.
+        let w = workload();
+        let trace = generate_traffic(&w, &TrafficConfig::default());
+        for t in &trace.templates {
+            assert_eq!(t.case.text, t.case.query.to_string());
+        }
+    }
+}

@@ -263,6 +263,93 @@ fn reload_under_live_traffic_loses_no_request() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// The estimate cache must die with its generation: after a reload
+/// swaps in a *different* summary, no client may ever receive an
+/// epoch-2 response carrying the epoch-1 summary's (cached) value, and
+/// no epoch-1 response may carry the new summary's value. Clients
+/// hammer one query so epoch-1 answers are warm cache hits when the
+/// reload lands mid-traffic.
+#[test]
+fn reload_with_caching_enabled_serves_zero_stale_answers() {
+    const CLIENTS: usize = 3;
+    const QUERY: &str = "//A//C";
+    let parsed = parse_query(QUERY).unwrap();
+    let summary_a = summary();
+    // A different corpus over the same tags, so the two generations
+    // genuinely disagree on QUERY — the precondition a staleness test
+    // lives on.
+    let doc_b = xpe_xml::parse_document("<R><A><C/><C/><B><C/></B></A><A><C/></A><A><B/></A></R>")
+        .expect("inline corpus parses");
+    let summary_b = Summary::build(&doc_b, SummaryConfig::default());
+    let bits_a = Estimator::new(&summary_a).estimate(&parsed).to_bits();
+    let bits_b = Estimator::new(&summary_b).estimate(&parsed).to_bits();
+    assert_ne!(bits_a, bits_b, "summaries must disagree on {QUERY}");
+
+    let path =
+        std::env::temp_dir().join(format!("xpe-serve-stale-cache-{}.xps", std::process::id()));
+    std::fs::write(&path, summary_a.to_bytes()).expect("persist summary A");
+    let (addr, server) = spawn(Some(path.clone()), config());
+
+    let started = Barrier::new(CLIENTS + 1);
+    let reloaded = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let (started, reloaded) = (&started, &reloaded);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                // One warm-up hit before the reload is allowed to start.
+                let resp = client.estimate(QUERY);
+                assert_eq!(resp.get("epoch").and_then(Json::as_f64), Some(1.0));
+                started.wait();
+                loop {
+                    let done = reloaded.load(Ordering::Relaxed);
+                    let resp = client.estimate(QUERY);
+                    assert_eq!(
+                        resp.get("status").and_then(Json::as_str),
+                        Some("ok"),
+                        "client {c} mid-reload"
+                    );
+                    let served = resp.get("estimate").and_then(Json::as_f64).unwrap();
+                    let epoch = resp.get("epoch").and_then(Json::as_f64).unwrap();
+                    // The whole point: the served value must match the
+                    // summary of the epoch that served it, bitwise.
+                    if epoch == 1.0 {
+                        assert_eq!(
+                            served.to_bits(),
+                            bits_a,
+                            "client {c}: epoch-1 answer from summary B"
+                        );
+                    } else {
+                        assert_eq!(epoch, 2.0, "client {c}: unexpected epoch");
+                        assert_eq!(
+                            served.to_bits(),
+                            bits_b,
+                            "client {c}: stale cached answer crossed the epoch bump"
+                        );
+                    }
+                    if done && epoch == 2.0 {
+                        break;
+                    }
+                }
+            });
+        }
+        started.wait();
+        // Swap the on-disk summary under the running server, then reload
+        // while the clients keep hammering the (cached) query.
+        std::fs::write(&path, summary_b.to_bytes()).expect("persist summary B");
+        let mut control = Client::connect(addr);
+        let resp = control.roundtrip("{\"op\": \"reload\"}");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(resp.get("epoch").and_then(Json::as_f64), Some(2.0));
+        reloaded.store(true, Ordering::Relaxed);
+    });
+    shutdown(addr);
+    let tally = server.join().unwrap();
+    assert_eq!(tally.panics, 0);
+    assert_eq!(tally.rejected, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn failed_reload_keeps_the_old_generation_serving() {
     let expected = direct_estimates();
